@@ -1,0 +1,218 @@
+// Command skipit-bench regenerates every table and figure of the paper's
+// evaluation (§7) as printed series. See EXPERIMENTS.md for the side-by-side
+// comparison with the published results.
+//
+// Usage:
+//
+//	skipit-bench [-fig 9|10|11|12|13|14|15|16|all] [-quick] [-csv]
+//
+// -quick shrinks sweep sizes and operation counts so the full set completes
+// in well under a minute; -csv emits machine-readable rows (figure,series,
+// x,y) for plotting instead of the human-readable tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"skipit/internal/bench"
+	"skipit/internal/commercial"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 9..16 or all")
+	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
+	csv := flag.Bool("csv", false, "emit figure,series,x,y rows for plotting")
+	flag.Parse()
+	if *csv {
+		fmt.Println("figure,series,x,y")
+	}
+
+	if *quick {
+		bench.Reps = 1
+		bench.Sizes = []uint64{64, 1024, 4096, 32768}
+		bench.ThreadCounts = []int{1, 8}
+		bench.PersistOpsPerThr = 4000
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	ran := false
+
+	if all || want["9"] {
+		ran = true
+		rows := bench.Fig9(false)
+		if *csv {
+			for _, r := range rows {
+				fmt.Printf("9,%dT,%d,%.0f\n", r.Threads, r.Size, r.Cycles)
+			}
+		} else {
+			header("Figure 9 — CBO.X latency vs writeback size and thread count (cycles)")
+			fmt.Println("paper anchors: 1 line ~100 cy; 32 KiB ~7460 cy; 8 threads ~7.2x faster")
+			for _, r := range rows {
+				fmt.Println("  ", r)
+			}
+		}
+	}
+	if all || want["10"] {
+		ran = true
+		rows := bench.Fig10(bench.ThreadCounts)
+		if *csv {
+			for _, r := range rows {
+				op := "flush"
+				if r.Clean {
+					op = "clean"
+				}
+				fmt.Printf("10,%s-%dT,%d,%.0f\n", op, r.Threads, r.Size, r.Cycles)
+			}
+		} else {
+			header("Figure 10 — write, 10x CBO.X, fence, re-read (cycles)")
+			fmt.Println("paper: re-read after CBO.CLEAN ~2x faster than after CBO.FLUSH")
+			for _, r := range rows {
+				fmt.Println("  ", r)
+			}
+		}
+	}
+	if all || want["11"] || want["12"] {
+		ran = true
+		for _, threads := range []int{1, 8} {
+			if threads == 1 && !(all || want["11"]) {
+				continue
+			}
+			if threads == 8 && !(all || want["12"]) {
+				continue
+			}
+			figNo := map[int]int{1: 11, 8: 12}[threads]
+			if *csv {
+				for _, clean := range []bool{false, true} {
+					op := "CBO.FLUSH"
+					if clean {
+						op = "CBO.CLEAN"
+					}
+					for _, size := range bench.Sizes {
+						fmt.Printf("%d,SonicBOOM-%s,%d,%.0f\n", figNo, op, size, bench.SweepOnce(size, threads, clean))
+					}
+				}
+				for _, m := range commercial.Models() {
+					for _, size := range bench.Sizes {
+						fmt.Printf("%d,%s-%s,%d,%.0f\n", figNo, m.Vendor, m.Instr, size, m.Latency(size, threads))
+					}
+				}
+				continue
+			}
+			header(fmt.Sprintf("Figure %d — comparative writeback latency, %d thread(s) (cycles)",
+				figNo, threads))
+			fmt.Printf("  %-22s", "size")
+			for _, size := range bench.Sizes {
+				fmt.Printf("%9d", size)
+			}
+			fmt.Println()
+			// SonicBOOM rows from the cycle simulator.
+			for _, clean := range []bool{false, true} {
+				op := "CBO.FLUSH"
+				if clean {
+					op = "CBO.CLEAN"
+				}
+				fmt.Printf("  %-22s", "SonicBOOM "+op)
+				for _, size := range bench.Sizes {
+					fmt.Printf("%9.0f", bench.SweepOnce(size, threads, clean))
+				}
+				fmt.Println()
+			}
+			// Commercial rows from the analytic models.
+			for _, m := range commercial.Models() {
+				fmt.Printf("  %-22s", m.Vendor+" "+m.Instr)
+				for _, size := range bench.Sizes {
+					fmt.Printf("%9.0f", m.Latency(size, threads))
+				}
+				fmt.Println()
+			}
+		}
+	}
+	if all || want["13"] {
+		ran = true
+		rows := bench.Fig13(bench.ThreadCounts, 10)
+		if *csv {
+			for _, r := range rows {
+				mode := "naive"
+				if r.SkipIt {
+					mode = "skipit"
+				}
+				fmt.Printf("13,%s-%dT,%d,%.0f\n", mode, r.Threads, r.Size, r.Cycles)
+			}
+		} else {
+			header("Figure 13 — naive vs Skip It, 10 redundant CBO.X per line (cycles)")
+			fmt.Println("paper: Skip It 15-30% faster (CBO.CLEAN variant; see EXPERIMENTS.md)")
+			for _, r := range rows {
+				fmt.Println("  ", r)
+			}
+		}
+	}
+	if all || want["14"] {
+		ran = true
+		rows14 := bench.Fig14()
+		if *csv {
+			for _, r := range rows14 {
+				fmt.Printf("14,%s-%s,%s,%.4f\n", r.Structure, r.Mode, r.Policy, r.Mops)
+			}
+		} else {
+			header("Figure 14 — §7.4 throughput, 5% updates, 2 threads (Mops/s)")
+			fmt.Println("paper: Skip It >= FliT variants; link-and-persist ahead on automatic list/hash")
+			for _, r := range rows14 {
+				fmt.Println("  ", r)
+			}
+		}
+	}
+	if all || want["15"] {
+		ran = true
+		pcts := []int{0, 5, 20, 50}
+		if !*quick {
+			pcts = []int{0, 5, 10, 20, 50, 100}
+		}
+		rows15 := bench.Fig15(pcts)
+		if *csv {
+			for _, r := range rows15 {
+				fmt.Printf("15,%s-%s,%d,%.4f\n", r.Structure, r.Policy, r.UpdatePct, r.Mops)
+			}
+		} else {
+			header("Figure 15 — throughput vs update percentage, automatic algorithm (Mops/s)")
+			for _, r := range rows15 {
+				fmt.Println("  ", r)
+			}
+		}
+	}
+	if all || want["16"] {
+		ran = true
+		sizes := []uint64{1 << 6, 1 << 12, 1 << 16, 1 << 20}
+		if !*quick {
+			sizes = nil // full default sweep
+		}
+		rows16 := bench.Fig16(sizes)
+		if *csv {
+			for _, r := range rows16 {
+				fmt.Printf("16,flit-hash,%d,%.4f\n", r.TableEntries, r.Mops)
+			}
+		} else {
+			header("Figure 16 — BST (10k keys) throughput vs FliT hash-table size (Mops/s)")
+			fmt.Println("paper: throughput is sensitive to the table size on the small-cache platform")
+			for _, r := range rows16 {
+				fmt.Println("  ", r)
+			}
+		}
+	}
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 9..16 or all)\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func header(s string) {
+	fmt.Println()
+	fmt.Println("==", s)
+}

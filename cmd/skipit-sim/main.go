@@ -1,0 +1,158 @@
+// Command skipit-sim runs a writeback microbenchmark on the cycle-accurate
+// SoC simulator and prints per-phase latencies and hardware statistics —
+// the interactive counterpart of the Figure 9/13 harnesses.
+//
+// Usage:
+//
+//	skipit-sim [-cores N] [-size BYTES] [-op clean|flush] [-redundant K]
+//	           [-skipit=true|false] [-trace]
+//	skipit-sim -file prog.s [-skipit=...] [-trace]
+//
+// With -file, the program is read from an assembly file (one instruction per
+// line: sd/ld/cbo.clean/cbo.flush/cflush.d.l1/fence/nop; see isa.Parse) and
+// run on a single core; per-instruction timings are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"skipit/internal/isa"
+	"skipit/internal/sim"
+	"skipit/internal/trace"
+)
+
+func main() {
+	cores := flag.Int("cores", 1, "number of simulated cores (threads)")
+	size := flag.Uint64("size", 4096, "bytes of dirty data per run (split across cores)")
+	op := flag.String("op", "flush", "writeback instruction: clean or flush")
+	redundant := flag.Int("redundant", 0, "redundant CBO.X per line after the first")
+	skipIt := flag.Bool("skipit", true, "enable the Skip It optimization")
+	doTrace := flag.Bool("trace", false, "stream component events to stderr")
+	file := flag.String("file", "", "run an assembly file instead of the built-in sweep")
+	flag.Parse()
+
+	clean := false
+	switch *op {
+	case "clean":
+		clean = true
+	case "flush":
+	default:
+		log.Fatalf("unknown -op %q (want clean or flush)", *op)
+	}
+
+	cfg := sim.DefaultConfig(*cores)
+	cfg.L1.Flush.SkipIt = *skipIt
+	s := sim.New(cfg)
+	if *doTrace {
+		s.SetTracer(trace.NewWriter(os.Stderr))
+	}
+
+	if *file != "" {
+		runFile(s, *file)
+		return
+	}
+
+	const lineBytes = 64
+	per := *size / uint64(*cores)
+	if per < lineBytes {
+		per = lineBytes
+	}
+	progs := make([]*isa.Program, *cores)
+	start := make([]int, *cores)
+	fence := make([]int, *cores)
+	for t := 0; t < *cores; t++ {
+		base := uint64(t) * (1 << 16)
+		b := isa.NewBuilder().StoreRegion(base, per, lineBytes, 0xAB).Fence()
+		start[t] = b.Mark()
+		for a := base; a < base+per; a += lineBytes {
+			b.Cbo(a, clean)
+			for r := 0; r < *redundant; r++ {
+				b.Cbo(a, clean)
+			}
+		}
+		fence[t] = b.Mark()
+		b.Fence()
+		progs[t] = b.Build()
+	}
+
+	if _, err := s.Run(progs, 50_000_000); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		log.Fatalf("invariant violation: %v", err)
+	}
+
+	var begin, end int64 = 1 << 62, 0
+	for t := 0; t < *cores; t++ {
+		tm := s.Cores[t].Timings()
+		if is := tm[start[t]].IssuedAt; is < begin {
+			begin = is
+		}
+		if c := tm[fence[t]].CompletedAt; c > end {
+			end = c
+		}
+	}
+
+	lines := per / lineBytes * uint64(*cores)
+	fmt.Printf("cores=%d size=%dB lines=%d op=cbo.%s redundant=%d skipit=%v\n",
+		*cores, per*uint64(*cores), lines, *op, *redundant, *skipIt)
+	fmt.Printf("writeback-phase latency: %d cycles (%.1f cycles/line)\n",
+		end-begin, float64(end-begin)/float64(lines))
+	fmt.Println()
+	for t := 0; t < *cores; t++ {
+		fu := s.L1s[t].FlushUnit().Stats()
+		d := s.L1s[t].Stats()
+		fmt.Printf("l1[%d]: cbo offered=%d enqueued=%d skip-dropped=%d coalesced=%d "+
+			"nacks(queue=%d fshr=%d) rootreleases=%d(with-data=%d) evictions=%d\n",
+			t, fu.Offered, fu.Enqueued, fu.SkipDropped, fu.Coalesced,
+			fu.NackQueueFull, fu.NackFSHRBusy, fu.RootReleases, fu.DataWritebacks, d.Writebacks)
+	}
+	l2 := s.L2.Stats()
+	fmt.Printf("l2: acquires=%d rootreleases=%d trivially-skipped=%d probes=%d mem(r=%d w=%d)\n",
+		l2.Acquires, l2.RootReleases, l2.RootReleaseSkips, l2.ProbesSent,
+		l2.MemReads, l2.MemWrites)
+	m := s.Mem.Stats()
+	fmt.Printf("dram: reads=%d writes=%d stalled=%d\n", m.Reads, m.Writes, m.StalledSends)
+}
+
+// runFile assembles and runs a program file on core 0, printing per-
+// instruction timings and the resulting NVMM view of every touched line.
+func runFile(s *sim.System, path string) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := isa.Parse(string(src))
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	progs := make([]*isa.Program, len(s.Cores))
+	progs[0] = prog
+	if _, err := s.Run(progs, 50_000_000); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		log.Fatalf("invariant violation: %v", err)
+	}
+	fmt.Printf("%-4s %-24s %8s %8s %8s %8s\n", "idx", "instr", "disp", "issue", "done", "commit")
+	touched := map[uint64]bool{}
+	for i, in := range prog.Instrs {
+		tm := s.Cores[0].Timing(i)
+		extra := ""
+		if in.Op == isa.OpLoad {
+			extra = fmt.Sprintf("  = %d", tm.LoadValue)
+		}
+		fmt.Printf("%-4d %-24v %8d %8d %8d %8d%s\n",
+			i, in, tm.DispatchedAt, tm.IssuedAt, tm.CompletedAt, tm.CommittedAt, extra)
+		if in.Op != isa.OpNop && in.Op != isa.OpFence {
+			touched[in.Addr&^63] = true
+		}
+	}
+	fmt.Println()
+	for addr := range touched {
+		fmt.Printf("NVMM[%#x] = %d\n", addr, s.Mem.PeekUint64(addr))
+	}
+}

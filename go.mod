@@ -1,0 +1,3 @@
+module skipit
+
+go 1.22

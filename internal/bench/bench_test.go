@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"testing"
+
+	"skipit/internal/ds"
+	"skipit/internal/persist"
+)
+
+// small shrinks every knob for fast tests and restores on cleanup.
+func small(t *testing.T) {
+	t.Helper()
+	savedReps, savedSizes, savedThreads, savedOps := Reps, Sizes, ThreadCounts, PersistOpsPerThr
+	savedList, savedHash, savedTree := ListKeys, HashKeys, TreeKeys
+	Reps = 1
+	Sizes = []uint64{64, 1024}
+	ThreadCounts = []int{1, 2}
+	PersistOpsPerThr = 300
+	ListKeys, HashKeys, TreeKeys = 64, 256, 256
+	t.Cleanup(func() {
+		Reps, Sizes, ThreadCounts, PersistOpsPerThr = savedReps, savedSizes, savedThreads, savedOps
+		ListKeys, HashKeys, TreeKeys = savedList, savedHash, savedTree
+	})
+}
+
+func TestFig9ShapeAndScaling(t *testing.T) {
+	small(t)
+	rows := Fig9(false)
+	if len(rows) != len(Sizes)*len(ThreadCounts) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byKey := map[[2]uint64]float64{}
+	for _, r := range rows {
+		if r.Cycles <= 0 {
+			t.Fatalf("non-positive latency: %+v", r)
+		}
+		byKey[[2]uint64{r.Size, uint64(r.Threads)}] = r.Cycles
+	}
+	// More data takes longer at fixed threads.
+	if byKey[[2]uint64{1024, 1}] <= byKey[[2]uint64{64, 1}] {
+		t.Fatal("latency not increasing with size")
+	}
+	// More threads never slower at the largest size.
+	if byKey[[2]uint64{1024, 2}] > byKey[[2]uint64{1024, 1}] {
+		t.Fatal("two threads slower than one")
+	}
+}
+
+func TestFig9SingleLineBand(t *testing.T) {
+	// §7.2 anchor: one-line CBO.X lands near 100 cycles.
+	lat := SweepOnce(64, 1, false)
+	if lat < 60 || lat > 200 {
+		t.Fatalf("single-line flush latency %.0f, want ~100", lat)
+	}
+	clean := SweepOnce(64, 1, true)
+	// §7.2: clean and flush are equivalent in isolation.
+	if ratio := clean / lat; ratio < 0.8 || ratio > 1.2 {
+		t.Fatalf("clean/flush isolation ratio %.2f, want ~1", ratio)
+	}
+}
+
+func TestFig10CleanBeatsFlush(t *testing.T) {
+	small(t)
+	rows := Fig10([]int{1})
+	var clean, flush float64
+	for _, r := range rows {
+		if r.Size != 1024 {
+			continue
+		}
+		if r.Clean {
+			clean = r.Cycles
+		} else {
+			flush = r.Cycles
+		}
+	}
+	if !(flush > clean) {
+		t.Fatalf("flush (%.0f) not slower than clean (%.0f) on re-read workload", flush, clean)
+	}
+}
+
+func TestFig13SkipItWins(t *testing.T) {
+	small(t)
+	rows := Fig13([]int{1}, 10)
+	var naive, skip float64
+	for _, r := range rows {
+		if r.Size != 1024 {
+			continue
+		}
+		if r.SkipIt {
+			skip = r.Cycles
+		} else {
+			naive = r.Cycles
+		}
+	}
+	gain := (naive - skip) / naive
+	if gain < 0.05 {
+		t.Fatalf("Skip It gain %.1f%% on redundant cleans, want >5%% (paper: 15-30%%)", gain*100)
+	}
+}
+
+func TestFig13FlushVariantFallsBackToL2Skip(t *testing.T) {
+	small(t)
+	rows := Fig13Flush([]int{1}, 4)
+	var naive, skip float64
+	for _, r := range rows {
+		if r.Size != 1024 {
+			continue
+		}
+		if r.SkipIt {
+			skip = r.Cycles
+		} else {
+			naive = r.Cycles
+		}
+	}
+	// After the first flush the line is gone; both modes resolve the
+	// redundant flushes at the L2 — Skip It must not be slower.
+	if skip > naive*1.05 {
+		t.Fatalf("Skip It flush variant slower than naive: %.0f vs %.0f", skip, naive)
+	}
+}
+
+func TestPersistConfigRelationships(t *testing.T) {
+	small(t)
+	base := RunPersistConfig(ds.NameHash, persist.Automatic, PolicyNone, 5, FliTDefaultTable)
+	plain := RunPersistConfig(ds.NameHash, persist.Automatic, PolicyPlain, 5, FliTDefaultTable)
+	skip := RunPersistConfig(ds.NameHash, persist.Automatic, PolicySkipIt, 5, FliTDefaultTable)
+	if !(base.Mops > skip.Mops && skip.Mops > plain.Mops) {
+		t.Fatalf("ordering violated: baseline %.3f, skipit %.3f, plain %.3f",
+			base.Mops, skip.Mops, plain.Mops)
+	}
+	if plain.Flushes == 0 {
+		t.Fatal("plain issued no flushes under automatic mode")
+	}
+	if skip.Elided == 0 {
+		t.Fatal("Skip It elided nothing under automatic mode")
+	}
+}
+
+func TestManualModeNearBaseline(t *testing.T) {
+	small(t)
+	base := RunPersistConfig(ds.NameHash, persist.Manual, PolicyNone, 5, FliTDefaultTable)
+	skip := RunPersistConfig(ds.NameHash, persist.Manual, PolicySkipIt, 5, FliTDefaultTable)
+	if skip.Mops < base.Mops*0.7 {
+		t.Fatalf("manual+skipit %.3f far below baseline %.3f", skip.Mops, base.Mops)
+	}
+}
+
+func TestFig16Runs(t *testing.T) {
+	small(t)
+	rows := Fig16([]uint64{64, 4096})
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Mops <= 0 {
+			t.Fatalf("non-positive throughput: %+v", r)
+		}
+	}
+}
+
+func TestFig14SkipsLAPForBST(t *testing.T) {
+	small(t)
+	// Just verify the sweep's structure without running everything: the
+	// BST x link-and-persist combination must be absent.
+	PersistOpsPerThr = 50
+	ListKeys, HashKeys, TreeKeys = 16, 32, 32
+	rows := Fig14()
+	for _, r := range rows {
+		if r.Structure == ds.NameBST && r.Policy == PolicyLinkAndPersist {
+			t.Fatal("Fig14 ran link-and-persist on the BST (§7.4: inapplicable)")
+		}
+	}
+}

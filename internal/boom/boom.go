@@ -1,0 +1,366 @@
+// Package boom models the SonicBOOM core at the level that matters for the
+// paper's evaluation: the re-order buffer's in-order commit illusion (§3.1)
+// and the load-store unit's firing rules (§3.2) —
+//
+//   - loads fire out of order as soon as they are ready, up to two memory
+//     requests per cycle;
+//   - stores, CBO.X and fences live in the STQ; an STQ request fires only
+//     when the ROB head points at it, so STQ requests execute in program
+//     order;
+//   - loads forward from older STQ stores to the same word and are held
+//     behind older unfinished fences and same-line CBO.X requests (§5.3);
+//   - a fence completes only when every older memory operation is done and
+//     the data cache's flushing signal is low (§5.3);
+//   - a nacked request is retried after a short delay (§3.3).
+//
+// Fetch, decode, rename and the FU pipelines are abstracted away: the §7
+// microbenchmarks measure memory-system latency, which these rules define.
+package boom
+
+import (
+	"fmt"
+
+	"skipit/internal/isa"
+	"skipit/internal/l1"
+)
+
+// Config sets the core's queue sizes and widths to SonicBOOM-like values.
+type Config struct {
+	ROBEntries    int
+	LDQEntries    int
+	STQEntries    int
+	DispatchWidth int
+	CommitWidth   int
+	MemWidth      int // LSU fire width (§3.2: two per cycle)
+	RetryDelay    int // cycles before re-firing after a nack
+}
+
+// DefaultConfig mirrors the SonicBOOM MediumBoom-class configuration used
+// on the paper's FPGA platform.
+func DefaultConfig() Config {
+	return Config{
+		ROBEntries:    64,
+		LDQEntries:    32,
+		STQEntries:    32,
+		DispatchWidth: 2,
+		CommitWidth:   2,
+		MemWidth:      2,
+		RetryDelay:    6,
+	}
+}
+
+// Timing records one instruction's lifecycle; -1 marks events that have not
+// happened. Benches derive all figure measurements from these.
+type Timing struct {
+	DispatchedAt int64
+	IssuedAt     int64
+	CompletedAt  int64
+	CommittedAt  int64
+	LoadValue    uint64
+	Nacks        int
+}
+
+type entryState uint8
+
+const (
+	esWaiting entryState = iota
+	esIssued
+	esDone
+)
+
+// entry is one in-flight instruction: a ROB slot plus its LDQ/STQ view.
+type entry struct {
+	instrIdx  int
+	instr     isa.Instr
+	state     entryState
+	nextTryAt int64
+	reqID     int
+}
+
+// Core drives one program through one L1 data cache.
+type Core struct {
+	cfg Config
+	id  int
+	dc  *l1.DCache
+
+	prog    *isa.Program
+	timings []Timing
+
+	pc       int
+	rob      []*entry // FIFO; index 0 is the ROB head
+	ldqCount int
+	stqCount int
+
+	nextReqID int
+	inflight  map[int]*entry
+
+	done bool
+}
+
+// New builds a core over its private data cache.
+func New(cfg Config, id int, dc *l1.DCache) *Core {
+	return &Core{cfg: cfg, id: id, dc: dc, inflight: make(map[int]*entry)}
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// DCache returns the core's L1.
+func (c *Core) DCache() *l1.DCache { return c.dc }
+
+// SetProgram loads a program and resets execution state.
+func (c *Core) SetProgram(p *isa.Program) {
+	c.prog = p
+	c.timings = make([]Timing, p.Len())
+	for i := range c.timings {
+		c.timings[i] = Timing{DispatchedAt: -1, IssuedAt: -1, CompletedAt: -1, CommittedAt: -1}
+	}
+	c.pc = 0
+	c.rob = c.rob[:0]
+	c.ldqCount = 0
+	c.stqCount = 0
+	c.inflight = make(map[int]*entry)
+	c.done = p.Len() == 0
+}
+
+// Done reports whether every instruction has committed.
+func (c *Core) Done() bool { return c.done }
+
+// Timings returns the per-instruction records (valid once Done).
+func (c *Core) Timings() []Timing { return c.timings }
+
+// Timing returns the record for instruction idx.
+func (c *Core) Timing(idx int) Timing { return c.timings[idx] }
+
+// Tick advances the core one cycle: absorb data cache responses, dispatch,
+// issue, and commit.
+func (c *Core) Tick(now int64) {
+	if c.done || c.prog == nil {
+		return
+	}
+	c.pollResponses(now)
+	c.dispatch(now)
+	c.issue(now)
+	c.commit(now)
+}
+
+func (c *Core) pollResponses(now int64) {
+	for _, resp := range c.dc.PollResponses(now) {
+		e, ok := c.inflight[resp.ID]
+		if !ok {
+			panic(fmt.Sprintf("boom[%d]: response for unknown request %d", c.id, resp.ID))
+		}
+		delete(c.inflight, resp.ID)
+		t := &c.timings[e.instrIdx]
+		if resp.Nack {
+			t.Nacks++
+			e.state = esWaiting
+			e.nextTryAt = now + int64(c.cfg.RetryDelay)
+			continue
+		}
+		e.state = esDone
+		t.CompletedAt = now
+		switch e.instr.Op {
+		case isa.OpLoad, isa.OpAmoAdd, isa.OpAmoSwap:
+			t.LoadValue = resp.Data // AMOs report the old value
+		}
+	}
+}
+
+func (c *Core) dispatch(now int64) {
+	for n := 0; n < c.cfg.DispatchWidth && c.pc < c.prog.Len(); n++ {
+		if len(c.rob) >= c.cfg.ROBEntries {
+			return
+		}
+		in := c.prog.Instrs[c.pc]
+		switch {
+		case in.Op == isa.OpLoad:
+			if c.ldqCount >= c.cfg.LDQEntries {
+				return
+			}
+			c.ldqCount++
+		case in.Op.IsStoreQueue():
+			if c.stqCount >= c.cfg.STQEntries {
+				return
+			}
+			c.stqCount++
+		}
+		e := &entry{instrIdx: c.pc, instr: in}
+		if in.Op == isa.OpNop {
+			e.state = esDone
+			c.timings[c.pc].CompletedAt = now
+		}
+		c.timings[c.pc].DispatchedAt = now
+		c.rob = append(c.rob, e)
+		c.pc++
+	}
+}
+
+// issue fires ready requests into the data cache: any number of ready loads
+// plus the in-order STQ head, bounded by MemWidth and the cache's accept
+// width.
+func (c *Core) issue(now int64) {
+	fired := 0
+
+	// The oldest unfinished STQ entry fires only from the ROB head
+	// position: every older instruction must already be done (§3.2).
+	if e := c.stqHead(); e != nil {
+		switch {
+		case e.instr.Op == isa.OpFence:
+			c.tryCompleteFence(now, e)
+		case e.state == esWaiting && now >= e.nextTryAt:
+			if c.fire(now, e) {
+				fired++
+			}
+		}
+	}
+
+	for _, e := range c.rob {
+		if fired >= c.cfg.MemWidth {
+			return
+		}
+		if e.instr.Op != isa.OpLoad || e.state != esWaiting || now < e.nextTryAt {
+			continue
+		}
+		if v, forwarded, blocked := c.loadForward(e); blocked {
+			continue
+		} else if forwarded {
+			e.state = esDone
+			c.timings[e.instrIdx].CompletedAt = now
+			c.timings[e.instrIdx].LoadValue = v
+			continue
+		}
+		if c.fire(now, e) {
+			fired++
+		}
+	}
+}
+
+// stqHead returns the oldest unfinished STQ entry provided every older
+// instruction is done — i.e. the ROB head effectively points at it (§3.2).
+func (c *Core) stqHead() *entry {
+	for _, e := range c.rob {
+		if e.state == esDone {
+			continue
+		}
+		if e.instr.Op.IsStoreQueue() {
+			return e
+		}
+		return nil // an older load is still in flight
+	}
+	return nil
+}
+
+// tryCompleteFence completes a fence when all older work is done (implied by
+// ROB-head position) and no CBO.X is pending in the flush unit (§5.3).
+func (c *Core) tryCompleteFence(now int64, e *entry) {
+	if c.dc.Flushing() {
+		return
+	}
+	e.state = esDone
+	c.timings[e.instrIdx].CompletedAt = now
+	if c.timings[e.instrIdx].IssuedAt < 0 {
+		c.timings[e.instrIdx].IssuedAt = now
+	}
+}
+
+// loadForward checks the older STQ entries for the §3.2 forwarding and
+// dependency rules. It returns the forwarded value, whether forwarding
+// happened, and whether the load is blocked.
+func (c *Core) loadForward(e *entry) (val uint64, forwarded, blocked bool) {
+	wordAddr := e.instr.Addr &^ 7
+	lineAddr := e.instr.Addr &^ (c.dc.Config().LineBytes - 1)
+	var fwd *entry
+	for _, o := range c.rob {
+		if o == e {
+			break
+		}
+		if !o.instr.Op.IsStoreQueue() {
+			continue
+		}
+		switch o.instr.Op {
+		case isa.OpFence:
+			if o.state != esDone {
+				return 0, false, true
+			}
+		case isa.OpStore:
+			if o.instr.Addr&^7 == wordAddr {
+				fwd = o
+			}
+		case isa.OpAmoAdd, isa.OpAmoSwap:
+			// The value an AMO leaves behind is unknown until it
+			// executes; a younger load to the same word must wait
+			// and then read the cache.
+			if o.instr.Addr&^7 == wordAddr {
+				if o.state != esDone {
+					return 0, false, true
+				}
+				fwd = nil // read the post-AMO value from the cache
+			}
+		case isa.OpCboClean, isa.OpCboFlush:
+			// §5.3: loads dependent on a CBO.X proceed only after
+			// it is buffered (done).
+			if o.state != esDone && o.instr.Addr&^(c.dc.Config().LineBytes-1) == lineAddr {
+				return 0, false, true
+			}
+		}
+	}
+	if fwd != nil {
+		return fwd.instr.Data, true, false
+	}
+	return 0, false, false
+}
+
+// fire submits a request to the data cache.
+func (c *Core) fire(now int64, e *entry) bool {
+	kind := l1.Load
+	switch e.instr.Op {
+	case isa.OpStore:
+		kind = l1.Store
+	case isa.OpCboClean:
+		kind = l1.CboClean
+	case isa.OpCboFlush:
+		kind = l1.CboFlush
+	case isa.OpCflushDL1:
+		kind = l1.CflushDL1
+	case isa.OpAmoAdd:
+		kind = l1.AmoAdd
+	case isa.OpAmoSwap:
+		kind = l1.AmoSwap
+	}
+	req := l1.Req{ID: c.nextReqID, Kind: kind, Addr: e.instr.Addr, Data: e.instr.Data}
+	if !c.dc.Submit(now, req) {
+		return false
+	}
+	c.nextReqID++
+	c.inflight[req.ID] = e
+	e.reqID = req.ID
+	e.state = esIssued
+	if c.timings[e.instrIdx].IssuedAt < 0 {
+		c.timings[e.instrIdx].IssuedAt = now
+	}
+	return true
+}
+
+// commit retires done instructions from the ROB head, in order.
+func (c *Core) commit(now int64) {
+	for n := 0; n < c.cfg.CommitWidth && len(c.rob) > 0; n++ {
+		e := c.rob[0]
+		if e.state != esDone {
+			return
+		}
+		c.timings[e.instrIdx].CommittedAt = now
+		switch {
+		case e.instr.Op == isa.OpLoad:
+			c.ldqCount--
+		case e.instr.Op.IsStoreQueue():
+			c.stqCount--
+		}
+		copy(c.rob, c.rob[1:])
+		c.rob = c.rob[:len(c.rob)-1]
+		if c.pc >= c.prog.Len() && len(c.rob) == 0 {
+			c.done = true
+			return
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package commercial provides analytic writeback-latency models of the
+// commercial CPUs the paper compares against in §7.3: AMD EPYC 7763 and
+// Intel Xeon Gold 6238T (x86: clflush, clflushopt, clwb) and AWS Graviton3
+// (ARMv8: dccvac, dccivac). The real machines are not available here, so
+// each instruction is modeled by the structural parameters that produce the
+// published latency *shapes*:
+//
+//   - Intel clflush is strongly ordered: every flush serializes against the
+//     previous one, so latency explodes once the per-line round trip stops
+//     hiding under fixed overheads (visible ≥4 KiB at 1 thread, ≥16 KiB at
+//     8 threads — Figs. 11/12);
+//   - clflushopt/clwb are weakly ordered and overlap up to the MLP limit;
+//   - AMD executes clflush with clflushopt-like (unordered) performance, so
+//     the two AMD curves coincide;
+//   - Graviton3's dc civac/cvac sustain very high miss-level parallelism, so
+//     latency grows sub-linearly with size and overtakes the SonicBOOM above
+//     ~4 KiB.
+//
+// Latencies are in CPU cycles of each respective machine, like the paper's
+// RDCYCLE-based plots; cross-architecture comparisons are of shape, not
+// absolute time.
+package commercial
+
+import "math"
+
+// Model captures one writeback instruction on one machine.
+type Model struct {
+	Vendor string
+	Instr  string
+	// Setup is the fixed overhead per measurement: loop setup plus the
+	// trailing memory barrier (sfence / dsb).
+	Setup float64
+	// ThreadSetup is the additional per-measurement overhead of running
+	// multi-threaded (barrier synchronization); applied when threads > 1.
+	ThreadSetup float64
+	// Issue is the front-end cost per flushed line.
+	Issue float64
+	// Mem is the memory round-trip a writeback pays before it completes.
+	Mem float64
+	// MLP is the number of writebacks a thread can keep in flight.
+	MLP float64
+	// Serializing marks strongly-ordered flushes (Intel clflush): each
+	// waits for the previous to complete.
+	Serializing bool
+	// Bandwidth is the shared per-line drain cost (cycles per line across
+	// all threads), bounding aggregate throughput.
+	Bandwidth float64
+}
+
+// Latency returns the modeled cycles to write back `bytes` of dirty data
+// split evenly across `threads` threads (64 B lines), including the final
+// barrier — the quantity Figures 11 and 12 plot.
+func (m Model) Latency(bytes uint64, threads int) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	lines := float64((bytes + 63) / 64)
+	perThread := math.Ceil(lines / float64(threads))
+
+	var compute float64
+	if m.Serializing {
+		// Each flush retires before the next issues.
+		compute = perThread * (m.Issue + m.Mem)
+	} else {
+		// One memory latency is exposed; the rest overlap, limited by
+		// issue rate and per-thread MLP.
+		perLine := math.Max(m.Issue, m.Mem/m.MLP)
+		compute = m.Mem + perThread*perLine
+	}
+	shared := lines * m.Bandwidth
+	total := m.Setup + math.Max(compute, shared)
+	if threads > 1 {
+		total += m.ThreadSetup
+	}
+	return total
+}
+
+// Models returns the §7.3 instruction set: two x86 vendors with three
+// instructions each, and Graviton3 with its two DC ops. Parameters are
+// calibrated to the published shapes (see EXPERIMENTS.md).
+func Models() []Model {
+	return []Model{
+		// Intel Xeon Gold 6238T: clflush serializes; clflushopt/clwb
+		// overlap and are the best x86 performers.
+		{Vendor: "Intel", Instr: "clflush", Setup: 160, ThreadSetup: 1200,
+			Issue: 25, Mem: 230, MLP: 1, Serializing: true, Bandwidth: 2},
+		{Vendor: "Intel", Instr: "clflushopt", Setup: 160, ThreadSetup: 1200,
+			Issue: 22, Mem: 230, MLP: 12, Bandwidth: 2},
+		{Vendor: "Intel", Instr: "clwb", Setup: 160, ThreadSetup: 1200,
+			Issue: 20, Mem: 230, MLP: 12, Bandwidth: 2},
+
+		// AMD EPYC 7763: clflush behaves like clflushopt (§7.3: "nearly
+		// identically").
+		{Vendor: "AMD", Instr: "clflush", Setup: 180, ThreadSetup: 1200,
+			Issue: 26, Mem: 260, MLP: 10, Bandwidth: 2},
+		{Vendor: "AMD", Instr: "clflushopt", Setup: 180, ThreadSetup: 1200,
+			Issue: 25, Mem: 260, MLP: 10, Bandwidth: 2},
+		{Vendor: "AMD", Instr: "clwb", Setup: 180, ThreadSetup: 1200,
+			Issue: 24, Mem: 260, MLP: 10, Bandwidth: 2},
+
+		// AWS Graviton3: deep MLP makes growth sub-linear; overtakes the
+		// SonicBOOM above ~4 KiB (§7.3).
+		{Vendor: "Graviton3", Instr: "dccivac", Setup: 140, ThreadSetup: 1000,
+			Issue: 4, Mem: 220, MLP: 40, Bandwidth: 1},
+		{Vendor: "Graviton3", Instr: "dccvac", Setup: 140, ThreadSetup: 1000,
+			Issue: 4, Mem: 220, MLP: 40, Bandwidth: 1},
+	}
+}
+
+// ByName returns the model for a vendor/instruction pair, or false.
+func ByName(vendor, instr string) (Model, bool) {
+	for _, m := range Models() {
+		if m.Vendor == vendor && m.Instr == instr {
+			return m, true
+		}
+	}
+	return Model{}, false
+}

@@ -1,0 +1,149 @@
+package commercial
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func model(t *testing.T, vendor, instr string) Model {
+	t.Helper()
+	m, ok := ByName(vendor, instr)
+	if !ok {
+		t.Fatalf("missing model %s %s", vendor, instr)
+	}
+	return m
+}
+
+func TestAllEightModelsPresent(t *testing.T) {
+	if got := len(Models()); got != 8 {
+		t.Fatalf("Models() returned %d entries, want 8", got)
+	}
+	for _, pair := range [][2]string{
+		{"Intel", "clflush"}, {"Intel", "clflushopt"}, {"Intel", "clwb"},
+		{"AMD", "clflush"}, {"AMD", "clflushopt"}, {"AMD", "clwb"},
+		{"Graviton3", "dccivac"}, {"Graviton3", "dccvac"},
+	} {
+		if _, ok := ByName(pair[0], pair[1]); !ok {
+			t.Errorf("ByName(%s, %s) missing", pair[0], pair[1])
+		}
+	}
+}
+
+// Property: latency is monotonically non-decreasing in size for every model
+// and thread count.
+func TestLatencyMonotoneInSize(t *testing.T) {
+	f := func(kib uint8, threads uint8) bool {
+		size := (uint64(kib%9) + 1) * 1024
+		th := 1 << (threads % 4)
+		for _, m := range Models() {
+			if m.Latency(size*2, th) < m.Latency(size, th) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more threads never increase latency for large non-serializing
+// sweeps (above the sync-overhead floor).
+func TestThreadsHelpLargeSweeps(t *testing.T) {
+	for _, m := range Models() {
+		l1 := m.Latency(32<<10, 1)
+		l8 := m.Latency(32<<10, 8)
+		if m.Serializing {
+			continue // serializing: per-thread chains still shrink, checked below
+		}
+		if l8 > l1 {
+			t.Errorf("%s %s: 8 threads slower (%f) than 1 (%f) at 32 KiB", m.Vendor, m.Instr, l8, l1)
+		}
+	}
+}
+
+func TestIntelClflushDivergesAt4KiBSingleThread(t *testing.T) {
+	// Fig. 11: Intel clflush is significantly worse at 4 KiB and above.
+	flush := model(t, "Intel", "clflush")
+	opt := model(t, "Intel", "clflushopt")
+	if r := flush.Latency(4096, 1) / opt.Latency(4096, 1); r < 3 {
+		t.Errorf("clflush/clflushopt at 4 KiB = %.1fx, want >= 3x divergence", r)
+	}
+	if r := flush.Latency(64, 1) / opt.Latency(64, 1); r > 2 {
+		t.Errorf("clflush/clflushopt at 64 B = %.1fx, want near parity at one line", r)
+	}
+}
+
+func TestIntelClflushDivergesOnlyAbove16KiBWith8Threads(t *testing.T) {
+	// Fig. 12: with 8 threads the gap appears only above 16 KiB.
+	flush := model(t, "Intel", "clflush")
+	opt := model(t, "Intel", "clflushopt")
+	if r := flush.Latency(4096, 8) / opt.Latency(4096, 8); r > 2 {
+		t.Errorf("8T clflush/clflushopt at 4 KiB = %.1fx; sync overhead should hide the gap", r)
+	}
+	if r := flush.Latency(32<<10, 8) / opt.Latency(32<<10, 8); r < 2 {
+		t.Errorf("8T clflush/clflushopt at 32 KiB = %.1fx, want >= 2x divergence", r)
+	}
+}
+
+func TestAMDClflushMatchesClflushopt(t *testing.T) {
+	// §7.3: AMD's clflush and clflushopt perform nearly identically.
+	fl := model(t, "AMD", "clflush")
+	opt := model(t, "AMD", "clflushopt")
+	for _, size := range []uint64{64, 1024, 32 << 10} {
+		r := fl.Latency(size, 1) / opt.Latency(size, 1)
+		if r < 0.9 || r > 1.15 {
+			t.Errorf("AMD clflush/clflushopt at %d B = %.2fx, want ~1x", size, r)
+		}
+	}
+}
+
+func TestGravitonSubLinearGrowth(t *testing.T) {
+	// §7.3: Graviton's flush latency grows sub-linearly with size.
+	g := model(t, "Graviton3", "dccivac")
+	// 64 B -> 32 KiB is a 512x size increase; latency must grow far less.
+	growth := g.Latency(32<<10, 1) / g.Latency(64, 1)
+	if growth > 20 {
+		t.Errorf("Graviton growth over 512x size = %.1fx, want sub-linear (<20x)", growth)
+	}
+	// And it must still grow (not be flat).
+	if growth < 2 {
+		t.Errorf("Graviton latency flat (%.1fx growth); expected visible scaling", growth)
+	}
+}
+
+func TestGravitonBeatsIntelAtLargeSizes(t *testing.T) {
+	g := model(t, "Graviton3", "dccivac")
+	i := model(t, "Intel", "clflushopt")
+	if g.Latency(32<<10, 1) >= i.Latency(32<<10, 1) {
+		t.Error("Graviton not faster than Intel clflushopt at 32 KiB")
+	}
+}
+
+func TestSerializingChainScalesLinearly(t *testing.T) {
+	flush := model(t, "Intel", "clflush")
+	l1 := flush.Latency(1024, 1)
+	l2 := flush.Latency(2048, 1)
+	ratio := (l2 - flush.Setup) / (l1 - flush.Setup)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("serialized chain 2x size ratio = %.2f, want ~2.0", ratio)
+	}
+}
+
+func TestZeroAndTinySizes(t *testing.T) {
+	for _, m := range Models() {
+		if l := m.Latency(0, 1); l < 0 {
+			t.Errorf("%s %s: negative latency for 0 bytes", m.Vendor, m.Instr)
+		}
+		if m.Latency(1, 1) < m.Latency(0, 1) {
+			t.Errorf("%s %s: 1 byte cheaper than 0 bytes", m.Vendor, m.Instr)
+		}
+	}
+}
+
+func TestThreadsClampedToOne(t *testing.T) {
+	m := model(t, "AMD", "clwb")
+	if m.Latency(4096, 0) != m.Latency(4096, 1) {
+		t.Error("threads=0 not clamped to 1")
+	}
+}

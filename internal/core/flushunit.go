@@ -1,0 +1,408 @@
+package core
+
+import (
+	"fmt"
+
+	"skipit/internal/tilelink"
+	"skipit/internal/trace"
+)
+
+// FlushUnit is the microarchitectural unit of §5 (Fig. 6): a flush queue
+// buffering committed CBO.X requests, a set of FSHRs executing them
+// asynchronously, and a flush counter that gates fences. With Skip It
+// enabled it additionally maintains the §6 skip bit and drops redundant
+// writebacks before they are enqueued.
+//
+// The embedding data cache drives the unit once per cycle via Tick, routes
+// RootReleaseAck messages to OnRootReleaseAck, and consults the conflict
+// predicates (LoadConflict, StoreConflict, VictimBlocked) when handling
+// subsequent requests to lines with writebacks in flight (§5.3, §5.4).
+type FlushUnit struct {
+	cfg   Config
+	ports CachePorts
+	tr    trace.Tracer
+	name  string
+
+	queue   []flushReq
+	fshrs   []fshr
+	nextRR  int // round-robin FSHR allocation pointer (§5.2)
+	counter int // flush counter (§5.2): pending CBO.X requests
+
+	stats Stats
+}
+
+// NewFlushUnit builds a flush unit over the given cache ports.
+func NewFlushUnit(cfg Config, ports CachePorts) *FlushUnit {
+	if cfg.QueueDepth <= 0 || cfg.NumFSHRs <= 0 {
+		panic("core: flush unit needs positive queue depth and FSHR count")
+	}
+	if cfg.LineBytes == 0 {
+		panic("core: zero line size")
+	}
+	return &FlushUnit{
+		cfg:   cfg,
+		ports: ports,
+		fshrs: make([]fshr, cfg.NumFSHRs),
+	}
+}
+
+// Config returns the unit's configuration.
+func (u *FlushUnit) Config() Config { return u.cfg }
+
+// SetTracer attaches an event tracer (nil disables tracing).
+func (u *FlushUnit) SetTracer(t trace.Tracer) {
+	u.tr = t
+	u.name = fmt.Sprintf("flush[%d]", u.cfg.Source)
+}
+
+// Stats returns activity counters.
+func (u *FlushUnit) Stats() Stats { return u.stats }
+
+func (u *FlushUnit) lineAddr(addr uint64) uint64 { return addr &^ (u.cfg.LineBytes - 1) }
+
+// Offer presents a committed CBO.X request to the flush unit together with
+// the metadata snapshot the data cache read for it. The result tells the
+// data cache whether the instruction is buffered (complete for the LSU),
+// completed immediately, or must be nacked and retried.
+func (u *FlushUnit) Offer(now int64, addr uint64, clean bool, meta LineMeta) OfferResult {
+	addr = u.lineAddr(addr)
+	u.stats.Offered++
+
+	// §6.1: with Skip It, a request that hits a clean line whose skip bit
+	// is set is provably redundant — the line has no dirty data anywhere
+	// in the hierarchy — and is dropped before entering the queue.
+	if u.cfg.SkipIt && meta.Hit && !meta.Dirty && meta.Skip {
+		u.stats.SkipDropped++
+		trace.Emit(u.tr, now, u.name, "cbo-drop", addr, "redundant: skip bit set (§6.1)")
+		return OfferDropped
+	}
+
+	// §5.3: a CBO.X may coalesce with a pending same-kind request to the
+	// same line, because the intervening nack rules guarantee the line
+	// state is unchanged between the two. Requests already being executed
+	// by an FSHR have begun mutating metadata, so only queued entries are
+	// eligible.
+	if u.cfg.Coalescing {
+		for i := range u.queue {
+			q := &u.queue[i]
+			if q.addr != addr {
+				continue
+			}
+			if q.isClean == clean {
+				u.stats.Coalesced++
+				trace.Emit(u.tr, now, u.name, "cbo-coalesce", addr, "merged with queued "+q.kind())
+				return OfferDropped
+			}
+			if !u.cfg.CoalesceCrossKind {
+				continue
+			}
+			if clean && !q.isClean {
+				// CBO.CLEAN into a queued CBO.FLUSH: the flush
+				// already invalidates and writes back everything
+				// the clean would.
+				u.stats.CoalescedCross++
+				return OfferDropped
+			}
+			// CBO.FLUSH into a queued CBO.CLEAN: upgrade the entry
+			// in place. The snapshot bits remain valid — the line
+			// has been frozen by the §5.3 nack rules since the
+			// clean was enqueued — and the FSHR will now invalidate
+			// instead of just clearing the dirty bit.
+			q.isClean = false
+			u.stats.CoalescedCross++
+			return OfferDropped
+		}
+	}
+
+	// A request to a line an FSHR is actively handling behaves like the
+	// other dependent STQ requests of §5.3: nack and let the LSU retry.
+	if u.fshrFor(addr) != nil {
+		u.stats.NackFSHRBusy++
+		return OfferNack
+	}
+
+	if len(u.queue) >= u.cfg.QueueDepth {
+		u.stats.NackQueueFull++
+		return OfferNack
+	}
+
+	req := flushReq{
+		addr:    addr,
+		isHit:   meta.Hit,
+		isDirty: meta.Hit && meta.Dirty,
+		isClean: clean,
+	}
+	u.queue = append(u.queue, req)
+	u.counter++
+	u.stats.Enqueued++
+	trace.Emit(u.tr, now, u.name, "cbo-enqueue", addr,
+		fmt.Sprintf("%s hit=%v dirty=%v depth=%d", req.kind(), req.isHit, req.isDirty, len(u.queue)))
+	return OfferAccepted
+}
+
+// Flushing mirrors the §5.3 "flushing" output: true while any CBO.X request
+// is pending in the queue or in an FSHR. Fences may commit only while it is
+// low.
+func (u *FlushUnit) Flushing() bool { return u.counter > 0 }
+
+// PendingCount returns the flush counter value, for assertions.
+func (u *FlushUnit) PendingCount() int { return u.counter }
+
+// FlushRdy mirrors the §5.4.1 flush_rdy output: low from FSHR allocation
+// until the FSHR has written metadata and released the line to L2 (i.e.
+// reached root_release_ack). The probe unit must not handle probes and the
+// MSHRs must not evict lines while it is low.
+func (u *FlushUnit) FlushRdy() bool {
+	for i := range u.fshrs {
+		if u.fshrs[i].busyPreAck() {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick advances the unit by one cycle: it first steps every FSHR, then — if
+// the probe unit and writeback unit are quiescent (probe_rdy and wb_rdy
+// high, §5.4) — dequeues at most one request into a free FSHR, allocated
+// round-robin.
+func (u *FlushUnit) Tick(now int64, probeRdy, wbRdy bool) {
+	for i := range u.fshrs {
+		u.stepFSHR(now, &u.fshrs[i])
+	}
+
+	if len(u.queue) == 0 || !probeRdy || !wbRdy {
+		return
+	}
+	// An FSHR may already be handling this line (it stays busy until the
+	// ack arrives); a second concurrent handler would race on metadata.
+	head := u.queue[0]
+	if u.fshrFor(head.addr) != nil {
+		return
+	}
+	for n := 0; n < len(u.fshrs); n++ {
+		i := (u.nextRR + n) % len(u.fshrs)
+		if u.fshrs[i].active() {
+			continue
+		}
+		u.nextRR = (i + 1) % len(u.fshrs)
+		copy(u.queue, u.queue[1:])
+		u.queue = u.queue[:len(u.queue)-1]
+		u.fshrs[i].allocate(head)
+		trace.Emit(u.tr, now, u.name, "fshr-alloc", head.addr,
+			fmt.Sprintf("fshr=%d %s hit=%v dirty=%v", i, head.kind(), head.isHit, head.isDirty))
+		// Give the freshly allocated FSHR its first state's work this
+		// cycle, mirroring hardware where allocation and the first
+		// state action share the dequeue cycle boundary.
+		u.stepFSHR(now, &u.fshrs[i])
+		return
+	}
+}
+
+// OnRootReleaseAck routes a RootReleaseAck from TL-D to the FSHR waiting on
+// that line. On a completed CBO.CLEAN the line — if still resident and
+// clean — is now persisted end-to-end, so with Skip It the skip bit is set;
+// this is the hardware analogue of FliT marking a location flushed.
+func (u *FlushUnit) OnRootReleaseAck(now int64, addr uint64) {
+	addr = u.lineAddr(addr)
+	for i := range u.fshrs {
+		f := &u.fshrs[i]
+		if f.state != FSHRRootReleaseAck || f.req.addr != addr {
+			continue
+		}
+		if u.cfg.SkipIt && f.req.isClean {
+			if m := u.ports.MetaLineState(addr); m.Hit && !m.Dirty {
+				u.ports.MetaSetSkip(addr, true)
+				u.stats.SkipBitsSet++
+			}
+		}
+		trace.Emit(u.tr, now, u.name, "fshr-ack", addr, f.req.kind()+" complete")
+		f.state = FSHRInvalid
+		f.buffer = nil
+		f.bufferFilled = false
+		u.counter--
+		if u.counter < 0 {
+			panic("core: flush counter underflow")
+		}
+		return
+	}
+	panic(fmt.Sprintf("core: RootReleaseAck for %#x with no waiting FSHR", addr))
+}
+
+// ProbeInvalidate implements the §5.4.1 probe_invalidate input: a coherence
+// probe that downgrades the line's permissions updates the snapshot bits of
+// matching queued requests so they execute with valid metadata. A probe to
+// None removes the line (hit and dirty cleared); a probe to Branch extracts
+// dirty data but keeps a readable copy (dirty cleared).
+func (u *FlushUnit) ProbeInvalidate(addr uint64, cap tilelink.Cap) {
+	addr = u.lineAddr(addr)
+	for i := range u.queue {
+		q := &u.queue[i]
+		if q.addr != addr {
+			continue
+		}
+		switch cap {
+		case tilelink.CapToN:
+			if q.isHit || q.isDirty {
+				u.stats.ProbeInvals++
+			}
+			q.isHit = false
+			q.isDirty = false
+		case tilelink.CapToB:
+			if q.isDirty {
+				u.stats.ProbeInvals++
+			}
+			q.isDirty = false
+		}
+	}
+}
+
+// EvictInvalidate implements the §5.4.2 counterpart for cache-line eviction:
+// the writeback unit releases the line to L2, so queued requests for it no
+// longer hit.
+func (u *FlushUnit) EvictInvalidate(addr uint64) {
+	addr = u.lineAddr(addr)
+	for i := range u.queue {
+		q := &u.queue[i]
+		if q.addr != addr {
+			continue
+		}
+		if q.isHit || q.isDirty {
+			u.stats.EvictInvals++
+		}
+		q.isHit = false
+		q.isDirty = false
+	}
+}
+
+// LoadConflict implements the §5.3 load rules for a load that *missed* in
+// the L1. If an FSHR handling the same line has filled its data buffer, the
+// data is forwarded to the load. If an FSHR is handling the line without a
+// filled buffer, the load must be nacked. Entries that are only queued never
+// conflict with loads: a load hit leaves metadata untouched, and a load miss
+// cannot alias a queued hit entry.
+func (u *FlushUnit) LoadConflict(addr uint64) (forward []byte, nack bool) {
+	f := u.fshrFor(addr)
+	if f == nil {
+		return nil, false
+	}
+	if f.bufferFilled {
+		line := make([]byte, len(f.buffer))
+		copy(line, f.buffer)
+		return line, false
+	}
+	return nil, true
+}
+
+// StoreConflict implements the §5.3 store rules: a store to a line with a
+// pending writeback is nacked unless (1) an FSHR is allocated for the line,
+// (2) it is executing a CBO.CLEAN, and (3) the line was not dirty or the
+// FSHR has already captured the dirty data in its buffer. Queued (not yet
+// executing) entries always nack the store, so their snapshot metadata stays
+// valid.
+func (u *FlushUnit) StoreConflict(addr uint64) (nack bool) {
+	addr = u.lineAddr(addr)
+	for _, q := range u.queue {
+		if q.addr == addr {
+			return true
+		}
+	}
+	f := u.fshrFor(addr)
+	if f == nil {
+		return false
+	}
+	if !f.req.isClean {
+		return true
+	}
+	if f.req.isDirty && !f.bufferFilled {
+		return true
+	}
+	return false
+}
+
+// ActiveOn reports whether the unit holds any request for addr's line, in
+// the queue or in an FSHR. The system invariant checker uses it: a stale
+// set skip bit on a clean line whose writeback is still in flight is the
+// one sanctioned exception to the §6.2 equivalence.
+func (u *FlushUnit) ActiveOn(addr uint64) bool {
+	addr = u.lineAddr(addr)
+	if u.fshrFor(addr) != nil {
+		return true
+	}
+	for _, q := range u.queue {
+		if q.addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// QueuedConflict reports whether a request for addr's line is pending in the
+// flush queue. The data cache nacks load misses against such lines: the miss
+// would install the line and invalidate the queued request's metadata
+// snapshot, which §5.3 requires to stay unmodified by the same core.
+func (u *FlushUnit) QueuedConflict(addr uint64) bool {
+	addr = u.lineAddr(addr)
+	for _, q := range u.queue {
+		if q.addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// VictimBlocked reports whether the MSHRs must not evict the given line
+// because the flush unit has a pending request for it. FSHR-active lines are
+// covered by FlushRdy; queued entries are protected here so the eviction's
+// EvictInvalidate and the dequeue cannot race within a cycle.
+func (u *FlushUnit) VictimBlocked(addr uint64) bool {
+	addr = u.lineAddr(addr)
+	for _, q := range u.queue {
+		if q.addr == addr {
+			return true
+		}
+	}
+	return u.fshrFor(addr) != nil
+}
+
+// QueueLen returns the current flush queue occupancy.
+func (u *FlushUnit) QueueLen() int { return len(u.queue) }
+
+// ActiveFSHRs returns the number of FSHRs holding a request.
+func (u *FlushUnit) ActiveFSHRs() int {
+	n := 0
+	for i := range u.fshrs {
+		if u.fshrs[i].active() {
+			n++
+		}
+	}
+	return n
+}
+
+// FSHRStates returns a snapshot of all FSHR states, for tests and tracing.
+func (u *FlushUnit) FSHRStates() []FSHRState {
+	out := make([]FSHRState, len(u.fshrs))
+	for i := range u.fshrs {
+		out[i] = u.fshrs[i].state
+	}
+	return out
+}
+
+// Reset drops all state, e.g. on simulated crash.
+func (u *FlushUnit) Reset() {
+	u.queue = u.queue[:0]
+	for i := range u.fshrs {
+		u.fshrs[i] = fshr{}
+	}
+	u.counter = 0
+	u.nextRR = 0
+}
+
+func (u *FlushUnit) fshrFor(addr uint64) *fshr {
+	addr = u.lineAddr(addr)
+	for i := range u.fshrs {
+		if u.fshrs[i].active() && u.fshrs[i].req.addr == addr {
+			return &u.fshrs[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+package ds
+
+import (
+	"sync/atomic"
+
+	"skipit/internal/memsim"
+	"skipit/internal/persist"
+)
+
+// Sentinel keys above every insertable key (KeyMax), ordered
+// inf0 < inf1 < inf2 as in Natarajan–Mittal.
+const (
+	bstInf0 = KeyMax + 1
+	bstInf1 = KeyMax + 2
+	bstInf2 = KeyMax + 3
+)
+
+// bstEdge is a child pointer with the algorithm's two control bits: flag
+// marks the leaf below the edge as being deleted, tag fixes the edge while
+// its parent internal node is being removed. The triple is swapped
+// atomically behind one pointer — this is the trick that makes
+// link-and-persist inapplicable to the BST (§7.4): the algorithm already
+// owns the pointer's spare bits.
+type bstEdge struct {
+	node *bstNode
+	flag bool
+	tag  bool
+}
+
+type bstNode struct {
+	key    uint64
+	addr   uint64
+	isLeaf bool
+	left   atomic.Pointer[bstEdge]
+	right  atomic.Pointer[bstEdge]
+}
+
+func (n *bstNode) leftAddr() uint64  { return n.addr + 8 }
+func (n *bstNode) rightAddr() uint64 { return n.addr + 16 }
+
+// edgeSel identifies which child edge of a node, for address accounting.
+func (t *BST) edgeField(n *bstNode, key uint64) (*atomic.Pointer[bstEdge], uint64) {
+	if key < n.key {
+		return &n.left, n.leftAddr()
+	}
+	return &n.right, n.rightAddr()
+}
+
+// BST is a lock-free external binary search tree in the style of Natarajan &
+// Mittal [PPoPP'14]: keys live in leaves, internal nodes route, deletion
+// flags the leaf's incoming edge, tags the sibling edge, and splices the
+// sibling into the grandparent with one CAS. Conflicting operations help.
+type BST struct {
+	Common
+	root *bstNode // R, key inf2
+	s    *bstNode // S, key inf1
+}
+
+// NewBST builds the three-sentinel initial tree.
+func NewBST(env *persist.Env, alloc *memsim.Allocator) *BST {
+	t := &BST{Common: NewCommon(env, alloc)}
+	leaf0 := t.newLeaf(bstInf0)
+	leaf1 := t.newLeaf(bstInf1)
+	leaf2 := t.newLeaf(bstInf2)
+	t.s = t.newInternal(bstInf1, leaf0, leaf1)
+	t.root = t.newInternal(bstInf2, t.s, leaf2)
+	return t
+}
+
+// Name identifies the structure in benchmark output.
+func (t *BST) Name() string { return NameBST }
+
+func (t *BST) newLeaf(key uint64) *bstNode {
+	return &bstNode{key: key, addr: t.allocNode(1), isLeaf: true}
+}
+
+func (t *BST) newInternal(key uint64, left, right *bstNode) *bstNode {
+	n := &bstNode{key: key, addr: t.allocNode(3)}
+	n.left.Store(&bstEdge{node: left})
+	n.right.Store(&bstEdge{node: right})
+	return n
+}
+
+// seekRec is the four-pointer record the search returns: ancestor holds the
+// last untagged edge on the path (to successor); parent holds the edge to
+// the leaf.
+type seekRec struct {
+	ancestor  *bstNode
+	successor *bstNode
+	parent    *bstNode
+	leaf      *bstNode
+}
+
+func (t *BST) seek(tid int, key uint64) seekRec {
+	sr := seekRec{ancestor: t.root, successor: t.s, parent: t.s}
+	t.env.ReadTraverse(tid, t.root.leftAddr())
+	edge := t.s.left.Load()
+	t.env.ReadTraverse(tid, t.s.leftAddr())
+	child := edge.node
+	for !child.isLeaf {
+		if !edge.tag {
+			sr.ancestor = sr.parent
+			sr.successor = child
+		}
+		sr.parent = child
+		f, faddr := t.edgeField(child, key)
+		t.env.ReadTraverse(tid, faddr)
+		edge = f.Load()
+		child = edge.node
+	}
+	sr.leaf = child
+	t.env.ReadCritical(tid, sr.leaf.addr)
+	return sr
+}
+
+// Insert adds key; it reports false if already present.
+func (t *BST) Insert(tid int, key uint64) bool {
+	checkKey(key)
+	for {
+		sr := t.seek(tid, key)
+		if sr.leaf.key == key {
+			t.env.EndOp(tid, false)
+			return false
+		}
+		// Build the replacement subtree: a new internal node over the
+		// existing leaf and the new leaf.
+		newLeaf := t.newLeaf(key)
+		var internal *bstNode
+		if key < sr.leaf.key {
+			internal = t.newInternal(sr.leaf.key, newLeaf, sr.leaf)
+		} else {
+			internal = t.newInternal(key, sr.leaf, newLeaf)
+		}
+		t.env.Write(tid, newLeaf.addr)
+		t.env.Write(tid, internal.addr)
+		t.env.Write(tid, internal.leftAddr())
+		t.env.Write(tid, internal.rightAddr())
+		t.env.FlushNew(tid, newLeaf.addr)
+		t.env.FlushNew(tid, internal.addr)
+
+		field, faddr := t.edgeField(sr.parent, key)
+		old := field.Load()
+		if old.node != sr.leaf {
+			continue
+		}
+		if old.flag || old.tag {
+			// A deletion is in progress here; help it finish.
+			t.cleanup(tid, key, sr)
+			continue
+		}
+		if field.CompareAndSwap(old, &bstEdge{node: internal}) {
+			t.env.WriteCommit(tid, faddr)
+			t.env.EndOp(tid, true)
+			return true
+		}
+		cur := field.Load()
+		if cur.node == sr.leaf && (cur.flag || cur.tag) {
+			t.cleanup(tid, key, sr)
+		}
+	}
+}
+
+// Delete removes key; it reports false if absent. It runs the two-mode
+// protocol: injection flags the leaf's edge (the linearization point), then
+// cleanup — possibly helped by others — splices the leaf and its parent out.
+func (t *BST) Delete(tid int, key uint64) bool {
+	checkKey(key)
+	injecting := true
+	var leaf *bstNode
+	for {
+		sr := t.seek(tid, key)
+		if injecting {
+			leaf = sr.leaf
+			if leaf.key != key {
+				t.env.EndOp(tid, false)
+				return false
+			}
+			field, faddr := t.edgeField(sr.parent, key)
+			old := field.Load()
+			if old.node != leaf {
+				continue
+			}
+			if old.flag || old.tag {
+				// Another operation owns this edge; help and retry.
+				t.cleanup(tid, key, sr)
+				continue
+			}
+			if field.CompareAndSwap(old, &bstEdge{node: leaf, flag: true}) {
+				t.env.WriteCommit(tid, faddr)
+				injecting = false
+				if t.cleanup(tid, key, sr) {
+					t.env.EndOp(tid, true)
+					return true
+				}
+				continue
+			}
+			cur := field.Load()
+			if cur.node == leaf && (cur.flag || cur.tag) {
+				t.cleanup(tid, key, sr)
+			}
+			continue
+		}
+		// Cleanup mode: we own the flag; retry until the splice lands or
+		// someone else completes it for us.
+		if sr.leaf != leaf {
+			t.env.EndOp(tid, true)
+			return true // helped to completion
+		}
+		if t.cleanup(tid, key, sr) {
+			t.env.EndOp(tid, true)
+			return true
+		}
+	}
+}
+
+// cleanup splices out sr.parent and the flagged leaf: tag the sibling edge
+// so it cannot change, then swing the ancestor's edge from successor to the
+// sibling (preserving the sibling's own flag). It reports whether the splice
+// CAS succeeded.
+func (t *BST) cleanup(tid int, key uint64, sr seekRec) bool {
+	successorField, sfAddr := t.edgeField(sr.ancestor, key)
+	childField, childAddr := t.edgeField(sr.parent, key)
+	var siblingField *atomic.Pointer[bstEdge]
+	var sibAddr uint64
+	if key < sr.parent.key {
+		siblingField, sibAddr = &sr.parent.right, sr.parent.rightAddr()
+	} else {
+		siblingField, sibAddr = &sr.parent.left, sr.parent.leftAddr()
+	}
+	ce := childField.Load()
+	if !ce.flag {
+		// The deletion being helped flagged the other edge: its victim
+		// is our "sibling"; swap roles.
+		siblingField, sibAddr = childField, childAddr
+	}
+	// Tag the sibling edge so the subtree we are about to promote is
+	// fixed.
+	for {
+		se := siblingField.Load()
+		if se.tag {
+			break
+		}
+		if siblingField.CompareAndSwap(se, &bstEdge{node: se.node, flag: se.flag, tag: true}) {
+			t.env.WriteCommit(tid, sibAddr)
+			break
+		}
+	}
+	se := siblingField.Load()
+	old := successorField.Load()
+	if old.node != sr.successor || old.flag || old.tag {
+		return false
+	}
+	// Promote the sibling subtree, preserving its flag bit (a concurrent
+	// delete of the sibling leaf keeps its claim).
+	if successorField.CompareAndSwap(old, &bstEdge{node: se.node, flag: se.flag}) {
+		t.env.WriteCommit(tid, sfAddr)
+		return true
+	}
+	return false
+}
+
+// Contains reports membership.
+func (t *BST) Contains(tid int, key uint64) bool {
+	checkKey(key)
+	sr := t.seek(tid, key)
+	found := sr.leaf.key == key
+	t.env.EndOp(tid, false)
+	return found
+}

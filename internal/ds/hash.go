@@ -1,0 +1,58 @@
+package ds
+
+import (
+	"skipit/internal/memsim"
+	"skipit/internal/persist"
+)
+
+// HashTable is a fixed-size bucket array of Harris lists, the log-free hash
+// table design of David et al. [ATC'18]. The bucket array itself lives in
+// the simulated heap, so indexing it costs a cache access.
+type HashTable struct {
+	Common
+	buckets    []*LinkedList
+	bucketBase uint64
+	mask       uint64
+}
+
+// NewHashTable builds a table with the given power-of-two bucket count.
+func NewHashTable(env *persist.Env, alloc *memsim.Allocator, buckets int) *HashTable {
+	if buckets <= 0 || buckets&(buckets-1) != 0 {
+		panic("ds: bucket count must be a positive power of two")
+	}
+	h := &HashTable{
+		Common: NewCommon(env, alloc),
+		mask:   uint64(buckets - 1),
+	}
+	h.bucketBase = alloc.Alloc(uint64(buckets) * 8)
+	h.buckets = make([]*LinkedList, buckets)
+	for i := range h.buckets {
+		h.buckets[i] = NewLinkedList(env, alloc)
+	}
+	return h
+}
+
+// Name identifies the structure in benchmark output.
+func (h *HashTable) Name() string { return NameHash }
+
+func (h *HashTable) bucket(tid int, key uint64) *LinkedList {
+	idx := (key * 0x9E3779B97F4A7C15) & h.mask
+	// Reading the bucket array entry is a real access.
+	h.env.ReadTraverse(tid, h.bucketBase+idx*8)
+	return h.buckets[idx]
+}
+
+// Insert adds key; it reports false if already present.
+func (h *HashTable) Insert(tid int, key uint64) bool {
+	return h.bucket(tid, key).Insert(tid, key)
+}
+
+// Delete removes key; it reports false if absent.
+func (h *HashTable) Delete(tid int, key uint64) bool {
+	return h.bucket(tid, key).Delete(tid, key)
+}
+
+// Contains reports membership.
+func (h *HashTable) Contains(tid int, key uint64) bool {
+	return h.bucket(tid, key).Contains(tid, key)
+}

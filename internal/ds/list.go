@@ -1,0 +1,160 @@
+package ds
+
+import (
+	"sync/atomic"
+
+	"skipit/internal/memsim"
+	"skipit/internal/persist"
+)
+
+// listState is the atomically-swapped (next, marked) pair of a Harris list
+// node. Go cannot tag pointer bits portably, so the pair lives behind one
+// atomic pointer, which preserves the algorithm's single-CAS atomicity.
+type listState struct {
+	next   *listNode
+	marked bool
+}
+
+type listNode struct {
+	key   uint64
+	addr  uint64 // simulated heap address; addr+8 is the state word
+	state atomic.Pointer[listState]
+}
+
+func (n *listNode) stateAddr() uint64 { return n.addr + 8 }
+
+// LinkedList is Harris's sorted lock-free linked list with logical deletion
+// marks and physical unlinking during search.
+type LinkedList struct {
+	Common
+	head *listNode
+	tail *listNode
+}
+
+// NewLinkedList builds an empty list with head/tail sentinels.
+func NewLinkedList(env *persist.Env, alloc *memsim.Allocator) *LinkedList {
+	l := &LinkedList{Common: NewCommon(env, alloc)}
+	l.tail = &listNode{key: ^uint64(0), addr: l.allocNode(2)}
+	l.tail.state.Store(&listState{})
+	l.head = &listNode{key: 0, addr: l.allocNode(2)}
+	l.head.state.Store(&listState{next: l.tail})
+	return l
+}
+
+// Name identifies the structure in benchmark output.
+func (l *LinkedList) Name() string { return NameList }
+
+// search returns the first unmarked pair (pred, curr) with curr.key >= key,
+// physically removing marked nodes on the way (Harris's helping).
+func (l *LinkedList) search(tid int, key uint64) (pred, curr *listNode) {
+retry:
+	for {
+		pred = l.head
+		l.env.ReadTraverse(tid, pred.stateAddr())
+		predState := pred.state.Load()
+		curr = predState.next
+		for {
+			l.env.ReadTraverse(tid, curr.stateAddr())
+			currState := curr.state.Load()
+			for currState.marked {
+				// Help unlink the logically deleted node.
+				unlinked := &listState{next: currState.next}
+				if !pred.state.CompareAndSwap(predState, unlinked) {
+					continue retry
+				}
+				l.env.WriteCommit(tid, pred.stateAddr())
+				predState = unlinked
+				curr = currState.next
+				l.env.ReadTraverse(tid, curr.stateAddr())
+				currState = curr.state.Load()
+			}
+			if curr.key >= key {
+				return pred, curr
+			}
+			pred = curr
+			predState = currState
+			curr = currState.next
+		}
+	}
+}
+
+// Insert adds key; it reports false if already present.
+func (l *LinkedList) Insert(tid int, key uint64) bool {
+	checkKey(key)
+	for {
+		pred, curr := l.search(tid, key)
+		l.env.ReadCritical(tid, curr.addr)
+		if curr.key == key {
+			l.env.EndOp(tid, false)
+			return false
+		}
+		node := &listNode{key: key, addr: l.allocNode(2)}
+		node.state.Store(&listState{next: curr})
+		l.env.Write(tid, node.addr)        // key word
+		l.env.Write(tid, node.stateAddr()) // next word
+		l.env.FlushNew(tid, node.addr)
+		predState := pred.state.Load()
+		if predState.marked || predState.next != curr {
+			continue
+		}
+		if pred.state.CompareAndSwap(predState, &listState{next: node}) {
+			l.env.WriteCommit(tid, pred.stateAddr())
+			l.env.EndOp(tid, true)
+			return true
+		}
+	}
+}
+
+// Delete removes key; it reports false if absent.
+func (l *LinkedList) Delete(tid int, key uint64) bool {
+	checkKey(key)
+	for {
+		pred, curr := l.search(tid, key)
+		l.env.ReadCritical(tid, curr.addr)
+		if curr.key != key {
+			l.env.EndOp(tid, false)
+			return false
+		}
+		currState := curr.state.Load()
+		if currState.marked {
+			continue
+		}
+		// Logical deletion: mark the node's state word.
+		if !curr.state.CompareAndSwap(currState, &listState{next: currState.next, marked: true}) {
+			continue
+		}
+		l.env.WriteCommit(tid, curr.stateAddr())
+		// Physical unlink, best effort; search() helps otherwise.
+		predState := pred.state.Load()
+		if !predState.marked && predState.next == curr {
+			if pred.state.CompareAndSwap(predState, &listState{next: currState.next}) {
+				l.env.WriteCommit(tid, pred.stateAddr())
+			}
+		}
+		l.env.EndOp(tid, true)
+		return true
+	}
+}
+
+// Contains reports membership without helping.
+func (l *LinkedList) Contains(tid int, key uint64) bool {
+	checkKey(key)
+	curr := l.head
+	l.env.ReadTraverse(tid, curr.stateAddr())
+	st := curr.state.Load()
+	curr = st.next
+	for curr.key < key {
+		l.env.ReadTraverse(tid, curr.stateAddr())
+		curr = curr.state.Load().next
+	}
+	l.env.ReadCritical(tid, curr.addr)
+	found := curr.key == key && !curr.state.Load().marked
+	l.env.EndOp(tid, false)
+	return found
+}
+
+func checkKey(key uint64) {
+	if key == 0 || key > KeyMax {
+		panic("ds: key out of range")
+	}
+}

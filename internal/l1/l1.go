@@ -1,0 +1,394 @@
+// Package l1 models the SonicBOOM non-blocking L1 data cache (§3.3): a
+// set-associative write-back cache with metadata and data SRAM arrays, miss
+// status holding registers with replay queues, a writeback unit, a probe
+// unit — and, per the paper's Fig. 8, the flush unit of package core wired
+// in with its probe_invalidate / probe_rdy / flush_rdy / wb_rdy signals.
+//
+// The LSU talks to the cache through Submit/PollResponses; the L2 talks to
+// it through the five-channel TileLink port.
+package l1
+
+import (
+	"fmt"
+
+	"skipit/internal/core"
+	"skipit/internal/tilelink"
+	"skipit/internal/trace"
+)
+
+// ReqKind classifies an LSU request into the data cache.
+type ReqKind uint8
+
+const (
+	Load ReqKind = iota
+	Store
+	CboClean
+	CboFlush
+	// CflushDL1 is SiFive's vendor L1-only eviction (§2.6): the line is
+	// released to the L2 through the writeback unit, bypassing the flush
+	// unit entirely — and therefore never reaching main memory.
+	CflushDL1
+	// AmoAdd and AmoSwap are A-extension read-modify-writes: they need
+	// Trunk permission like stores and return the old word value.
+	AmoAdd
+	AmoSwap
+)
+
+func (k ReqKind) String() string {
+	return [...]string{"Load", "Store", "CboClean", "CboFlush", "CflushDL1", "AmoAdd", "AmoSwap"}[k]
+}
+
+// IsAmo reports whether the request is an atomic read-modify-write.
+func (k ReqKind) IsAmo() bool { return k == AmoAdd || k == AmoSwap }
+
+// Req is one LSU request. Load and Store operate on the 8-byte word at Addr
+// (8-byte aligned); CboClean and CboFlush operate on the line containing
+// Addr. ID is echoed in the response.
+type Req struct {
+	ID   int
+	Kind ReqKind
+	Addr uint64
+	Data uint64 // store payload
+}
+
+// Resp completes a Req. Nack means the cache could not accept the request
+// (full flush queue, no MSHR, conflict) and the LSU must retry (§3.3, §5.2).
+type Resp struct {
+	ID   int
+	Nack bool
+	Data uint64 // load result
+}
+
+// Config sets the cache geometry and structural limits.
+type Config struct {
+	Sets       int
+	Ways       int
+	LineBytes  uint64
+	HitLatency int // cycles from processing to load-hit response
+	CboLatency int // cycles from processing to CBO.X accept/drop response
+	NumMSHRs   int
+	RPQDepth   int // replay queue entries per MSHR
+	InputWidth int // requests accepted per cycle (the LSU fires 2, §3.2)
+	InputDepth int // request pipeline buffer
+	Source     int // TileLink source ID / client index
+	Flush      core.Config
+}
+
+// DefaultConfig returns the SonicBOOM L1: 32 KiB, 8-way, 64 B lines
+// (64 sets), with the paper's flush unit configuration.
+func DefaultConfig(source int) Config {
+	f := core.DefaultConfig()
+	f.Source = source
+	return Config{
+		Sets:       64,
+		Ways:       8,
+		LineBytes:  64,
+		HitLatency: 3,
+		CboLatency: 10,
+		NumMSHRs:   4,
+		RPQDepth:   8,
+		InputWidth: 2,
+		InputDepth: 4,
+		Source:     source,
+		Flush:      f,
+	}
+}
+
+// wayMeta is one metadata array entry: tag, coherence state, dirty bit
+// (§3.3) and the Skip It bit (§6.1).
+type wayMeta struct {
+	valid    bool
+	tag      uint64
+	perm     tilelink.Perm
+	dirty    bool
+	skip     bool
+	lastUsed int64
+}
+
+// LineInfo is a read-only metadata snapshot for tests and invariant checks.
+type LineInfo struct {
+	Valid bool
+	Addr  uint64
+	Perm  tilelink.Perm
+	Dirty bool
+	Skip  bool
+}
+
+// Stats counts data cache activity.
+type Stats struct {
+	Loads        uint64
+	Stores       uint64
+	LoadHits     uint64
+	StoreHits    uint64
+	LoadMisses   uint64
+	StoreMisses  uint64
+	Nacks        uint64
+	FSHRForwards uint64 // loads served from an FSHR data buffer (§5.3)
+	ProbesServed uint64
+	Writebacks   uint64 // WBU releases (evictions)
+}
+
+type pendingReq struct {
+	req     Req
+	readyAt int64
+}
+
+type timedResp struct {
+	resp    Resp
+	readyAt int64
+}
+
+// DCache is the L1 data cache.
+type DCache struct {
+	cfg  Config
+	meta [][]wayMeta
+	data [][][]byte
+	port *tilelink.ClientPort
+
+	flush *core.FlushUnit
+	mshrs []mshr
+	wb    wbUnit
+	probe probeUnit
+
+	inQ   []pendingReq
+	respQ []timedResp
+
+	tr   trace.Tracer
+	name string
+
+	acceptedThisCycle int
+	lastAcceptCycle   int64
+
+	stats Stats
+}
+
+// New builds a data cache over the given TileLink port (client side).
+func New(cfg Config, port *tilelink.ClientPort) *DCache {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 || cfg.LineBytes == 0 {
+		panic("l1: bad geometry")
+	}
+	d := &DCache{cfg: cfg, port: port}
+	d.meta = make([][]wayMeta, cfg.Sets)
+	d.data = make([][][]byte, cfg.Sets)
+	for s := 0; s < cfg.Sets; s++ {
+		d.meta[s] = make([]wayMeta, cfg.Ways)
+		d.data[s] = make([][]byte, cfg.Ways)
+		for w := 0; w < cfg.Ways; w++ {
+			d.data[s][w] = make([]byte, cfg.LineBytes)
+		}
+	}
+	d.mshrs = make([]mshr, cfg.NumMSHRs)
+	fcfg := cfg.Flush
+	fcfg.LineBytes = cfg.LineBytes
+	fcfg.Source = cfg.Source
+	d.flush = core.NewFlushUnit(fcfg, (*flushPorts)(d))
+	return d
+}
+
+// Config returns the cache configuration.
+func (d *DCache) Config() Config { return d.cfg }
+
+// Stats returns activity counters.
+func (d *DCache) Stats() Stats { return d.stats }
+
+// FlushUnit exposes the embedded flush unit (for stats and fences).
+func (d *DCache) FlushUnit() *core.FlushUnit { return d.flush }
+
+// SetTracer attaches an event tracer to the cache and its flush unit (nil
+// disables tracing).
+func (d *DCache) SetTracer(t trace.Tracer) {
+	d.tr = t
+	d.name = fmt.Sprintf("l1[%d]", d.cfg.Source)
+	d.flush.SetTracer(t)
+}
+
+// Flushing mirrors the §5.3 fence gate: true while CBO.X requests are
+// pending anywhere in the flush unit.
+func (d *DCache) Flushing() bool { return d.flush.Flushing() }
+
+func (d *DCache) lineAddr(addr uint64) uint64 { return addr &^ (d.cfg.LineBytes - 1) }
+
+func (d *DCache) index(addr uint64) int {
+	return int((addr / d.cfg.LineBytes) % uint64(d.cfg.Sets))
+}
+
+func (d *DCache) tagOf(addr uint64) uint64 {
+	return addr / d.cfg.LineBytes / uint64(d.cfg.Sets)
+}
+
+func (d *DCache) addrOf(set int, tag uint64) uint64 {
+	return (tag*uint64(d.cfg.Sets) + uint64(set)) * d.cfg.LineBytes
+}
+
+// findWay returns the way holding addr, honoring the valid bit when
+// mustBeValid is set. The flush unit's fill_buffer state reads the data
+// array after meta_write invalidated the line, so it looks up by tag alone;
+// the §5.4.2 victim-selection interlock guarantees the way is not reused in
+// that window.
+func (d *DCache) findWay(addr uint64, mustBeValid bool) int {
+	set := d.index(addr)
+	tag := d.tagOf(addr)
+	for w := range d.meta[set] {
+		m := &d.meta[set][w]
+		if m.tag == tag && (m.valid || !mustBeValid) {
+			return w
+		}
+	}
+	return -1
+}
+
+// lookup returns the metadata of addr's line, or nil on miss.
+func (d *DCache) lookup(addr uint64) *wayMeta {
+	set := d.index(addr)
+	tag := d.tagOf(addr)
+	for w := range d.meta[set] {
+		m := &d.meta[set][w]
+		if m.valid && m.tag == tag {
+			return m
+		}
+	}
+	return nil
+}
+
+// LineState snapshots addr's line for tests and invariant checks.
+func (d *DCache) LineState(addr uint64) LineInfo {
+	m := d.lookup(d.lineAddr(addr))
+	if m == nil {
+		return LineInfo{}
+	}
+	return LineInfo{Valid: true, Addr: d.lineAddr(addr), Perm: m.perm, Dirty: m.dirty, Skip: m.skip}
+}
+
+// Lines returns a snapshot of every valid line, for the system-wide
+// invariant checker.
+func (d *DCache) Lines() []LineInfo {
+	var out []LineInfo
+	for s := range d.meta {
+		for w := range d.meta[s] {
+			m := &d.meta[s][w]
+			if m.valid {
+				out = append(out, LineInfo{
+					Valid: true,
+					Addr:  d.addrOf(s, m.tag),
+					Perm:  m.perm,
+					Dirty: m.dirty,
+					Skip:  m.skip,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Busy reports whether any internal machinery is mid-flight; the system
+// drain loop uses it together with link and L2 quiescence.
+func (d *DCache) Busy() bool {
+	if len(d.inQ) > 0 || len(d.respQ) > 0 || d.flush.Flushing() {
+		return true
+	}
+	if !d.wb.idle() || d.probe.busy() {
+		return true
+	}
+	for i := range d.mshrs {
+		if d.mshrs[i].state != mFree {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset drops all volatile state (simulated crash).
+func (d *DCache) Reset() {
+	for s := range d.meta {
+		for w := range d.meta[s] {
+			d.meta[s][w] = wayMeta{}
+			for i := range d.data[s][w] {
+				d.data[s][w][i] = 0
+			}
+		}
+	}
+	for i := range d.mshrs {
+		d.mshrs[i] = mshr{}
+	}
+	d.wb = wbUnit{}
+	d.probe = probeUnit{}
+	d.inQ = d.inQ[:0]
+	d.respQ = d.respQ[:0]
+	d.flush.Reset()
+}
+
+func (d *DCache) readWord(set, way int, addr uint64) uint64 {
+	off := addr & (d.cfg.LineBytes - 1)
+	if off%8 != 0 {
+		panic(fmt.Sprintf("l1: unaligned word access %#x", addr))
+	}
+	line := d.data[set][way]
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(line[off+i]) << (8 * i)
+	}
+	return v
+}
+
+func (d *DCache) writeWord(set, way int, addr uint64, v uint64) {
+	off := addr & (d.cfg.LineBytes - 1)
+	if off%8 != 0 {
+		panic(fmt.Sprintf("l1: unaligned word access %#x", addr))
+	}
+	line := d.data[set][way]
+	for i := uint64(0); i < 8; i++ {
+		line[off+i] = byte(v >> (8 * i))
+	}
+}
+
+// --- core.CachePorts implementation (the Fig. 8 wiring) ---
+
+// flushPorts adapts DCache to the flush unit's port interface without
+// exporting the mutators on DCache itself.
+type flushPorts DCache
+
+func (p *flushPorts) d() *DCache { return (*DCache)(p) }
+
+func (p *flushPorts) MetaInvalidate(addr uint64) {
+	if m := p.d().lookup(addr); m != nil {
+		m.valid = false
+		m.dirty = false
+		m.skip = false
+	}
+}
+
+func (p *flushPorts) MetaClearDirty(addr uint64) {
+	if m := p.d().lookup(addr); m != nil {
+		m.dirty = false
+	}
+}
+
+func (p *flushPorts) MetaLineState(addr uint64) core.LineMeta {
+	m := p.d().lookup(addr)
+	if m == nil {
+		return core.LineMeta{}
+	}
+	return core.LineMeta{Hit: true, Dirty: m.dirty, Perm: m.perm, Skip: m.skip}
+}
+
+func (p *flushPorts) MetaSetSkip(addr uint64, v bool) {
+	if m := p.d().lookup(addr); m != nil {
+		m.skip = v
+	}
+}
+
+func (p *flushPorts) DataRead(addr uint64) []byte {
+	d := p.d()
+	way := d.findWay(addr, false)
+	if way < 0 {
+		panic(fmt.Sprintf("l1: FSHR data read for unknown line %#x", addr))
+	}
+	set := d.index(addr)
+	out := make([]byte, d.cfg.LineBytes)
+	copy(out, d.data[set][way])
+	return out
+}
+
+func (p *flushPorts) SendRootRelease(now int64, m tilelink.Msg) bool {
+	return p.d().port.C.Send(now, m)
+}

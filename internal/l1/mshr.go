@@ -1,0 +1,271 @@
+package l1
+
+import (
+	"fmt"
+
+	"skipit/internal/tilelink"
+	"skipit/internal/trace"
+)
+
+// mState sequences an L1 MSHR: acquire the line from L2, evict a victim if
+// the set is full, install data and metadata, replay the buffered requests
+// in arrival order, and acknowledge the grant (§3.3).
+type mState uint8
+
+const (
+	mFree mState = iota
+	mSendAcquire
+	mWaitGrant
+	mVictim
+	mInstall
+	mReplay
+	mGrantAck
+)
+
+// mshr handles one outstanding line miss. The request that allocated it is
+// the primary request; later requests to the same line piggy-back through
+// the replay queue as secondary requests when their required permissions do
+// not exceed the primary's (§3.3 — the BOOM data cache cannot upgrade an
+// in-flight Acquire because AcquirePerm is unsupported).
+type mshr struct {
+	state mState
+	addr  uint64 // line-aligned
+	grow  tilelink.Grow
+	rpq   []Req
+
+	// Grant payload, held until install.
+	grantData  []byte
+	grantCap   tilelink.Cap
+	grantDirty bool // GrantDataDirty: leave the skip bit unset (§6.1)
+
+	way int
+}
+
+// perm returns the permission level the MSHR is acquiring.
+func (m *mshr) perm() tilelink.Perm { return m.grow.To() }
+
+// canAcceptSecondary applies the §3.3 replay-queue rule: a secondary request
+// may piggy-back only if it needs no more permission than the primary
+// acquired, and only while the MSHR is still waiting (replay order would be
+// violated afterwards).
+func (m *mshr) canAcceptSecondary(req Req, rpqDepth int) bool {
+	if m.state != mSendAcquire && m.state != mWaitGrant {
+		return false
+	}
+	if len(m.rpq) >= rpqDepth {
+		return false
+	}
+	need := tilelink.PermBranch
+	if req.Kind == Store || req.Kind.IsAmo() {
+		need = tilelink.PermTrunk
+	}
+	return need <= m.perm()
+}
+
+// mshrFor returns the active MSHR for addr's line, if any.
+func (d *DCache) mshrFor(addr uint64) *mshr {
+	addr = d.lineAddr(addr)
+	for i := range d.mshrs {
+		m := &d.mshrs[i]
+		if m.state != mFree && m.addr == addr {
+			return m
+		}
+	}
+	return nil
+}
+
+func (d *DCache) freeMSHR() *mshr {
+	for i := range d.mshrs {
+		if d.mshrs[i].state == mFree {
+			return &d.mshrs[i]
+		}
+	}
+	return nil
+}
+
+// allocMSHR sets up a new miss. The growth parameter depends on the request
+// kind and whether a read-only copy is already held (store upgrade).
+func (d *DCache) allocMSHR(m *mshr, req Req) {
+	addr := d.lineAddr(req.Addr)
+	grow := tilelink.GrowNtoB
+	if req.Kind == Store || req.Kind.IsAmo() {
+		grow = tilelink.GrowNtoT
+		if meta := d.lookup(addr); meta != nil && meta.perm == tilelink.PermBranch {
+			grow = tilelink.GrowBtoT
+		}
+	}
+	*m = mshr{state: mSendAcquire, addr: addr, grow: grow, rpq: []Req{req}, way: -1}
+}
+
+// tickMSHRs advances every MSHR one cycle.
+func (d *DCache) tickMSHRs(now int64) {
+	for i := range d.mshrs {
+		d.tickMSHR(now, &d.mshrs[i])
+	}
+}
+
+func (d *DCache) tickMSHR(now int64, m *mshr) {
+	switch m.state {
+	case mFree, mWaitGrant:
+		// Waiting on the LSU or on TL-D; nothing to do.
+
+	case mSendAcquire:
+		if d.port.A.Send(now, tilelink.Msg{
+			Op:     tilelink.OpAcquireBlock,
+			Addr:   m.addr,
+			Source: d.cfg.Source,
+			Grow:   m.grow,
+		}) {
+			m.state = mWaitGrant
+		}
+
+	case mVictim:
+		d.tickVictim(now, m)
+
+	case mInstall:
+		set := d.index(m.addr)
+		meta := &d.meta[set][m.way]
+		*meta = wayMeta{
+			valid:    true,
+			tag:      d.tagOf(m.addr),
+			perm:     m.grantCap.Perm(),
+			dirty:    false,
+			skip:     !m.grantDirty, // GrantData sets, GrantDataDirty unsets (§6.1)
+			lastUsed: now,
+		}
+		copy(d.data[set][m.way], m.grantData)
+		m.grantData = nil
+		m.state = mReplay
+
+	case mReplay:
+		// Drain one replay per cycle, in arrival order (§3.3).
+		if len(m.rpq) == 0 {
+			m.state = mGrantAck
+			return
+		}
+		req := m.rpq[0]
+		copy(m.rpq, m.rpq[1:])
+		m.rpq = m.rpq[:len(m.rpq)-1]
+		d.replay(now, m, req)
+
+	case mGrantAck:
+		if d.port.E.Send(now, tilelink.Msg{Op: tilelink.OpGrantAck, Addr: m.addr, Source: d.cfg.Source}) {
+			*m = mshr{}
+		}
+	}
+}
+
+// onGrant accepts the TL-D grant for an MSHR and begins victim selection.
+func (d *DCache) onGrant(now int64, msg tilelink.Msg) {
+	m := d.mshrFor(msg.Addr)
+	if m == nil || m.state != mWaitGrant {
+		panic(fmt.Sprintf("l1[%d]: stray grant %v", d.cfg.Source, msg))
+	}
+	m.grantData = msg.Data
+	m.grantCap = msg.Cap
+	m.grantDirty = msg.Op == tilelink.OpGrantDataDirty
+	trace.Emit(d.tr, now, d.name, "grant", m.addr,
+		fmt.Sprintf("%v cap=%v (skip=%v)", msg.Op, msg.Cap, !m.grantDirty))
+	m.state = mVictim
+	d.tickVictim(now, m)
+}
+
+// tickVictim finds a way for the granted line, evicting as needed. Victim
+// selection honors the §5.4.2 interlocks: it stalls while flush_rdy is low,
+// never chooses a line the flush unit holds a request for, and uses the
+// writeback unit (one eviction at a time) for the release.
+func (d *DCache) tickVictim(now int64, m *mshr) {
+	set := d.index(m.addr)
+
+	// A store upgrade may find its line still resident (probe races can
+	// also have removed it); reuse the way in place.
+	if w := d.findWay(m.addr, true); w >= 0 {
+		m.way = w
+		m.state = mInstall
+		return
+	}
+
+	// Prefer an invalid way: no eviction needed.
+	for w := range d.meta[set] {
+		if !d.meta[set][w].valid && !d.wayReserved(set, w, m) {
+			m.way = w
+			m.state = mInstall
+			return
+		}
+	}
+
+	// Must evict: §5.4.2 blocks victim selection while any FSHR is
+	// pre-ack, and the WBU handles one release at a time.
+	if !d.flush.FlushRdy() || !d.wb.idle() {
+		return
+	}
+	best, bestUsed := -1, int64(1<<62)
+	for w := range d.meta[set] {
+		meta := &d.meta[set][w]
+		victimAddr := d.addrOf(set, meta.tag)
+		if d.flush.VictimBlocked(victimAddr) || d.wayReserved(set, w, m) {
+			continue
+		}
+		if d.mshrFor(victimAddr) != nil {
+			continue
+		}
+		if meta.lastUsed < bestUsed {
+			best, bestUsed = w, meta.lastUsed
+		}
+	}
+	if best < 0 {
+		return // retry next cycle
+	}
+	meta := &d.meta[set][best]
+	victimAddr := d.addrOf(set, meta.tag)
+	// §5.4.2: the writeback unit invalidates flush queue entries for the
+	// line it evicts.
+	d.flush.EvictInvalidate(victimAddr)
+	d.wb.start(victimAddr, d.data[set][best], meta.dirty, meta.perm)
+	d.stats.Writebacks++
+	trace.Emit(d.tr, now, d.name, "evict", victimAddr,
+		fmt.Sprintf("dirty=%v for refill of %#x", meta.dirty, m.addr))
+	meta.valid = false
+	meta.dirty = false
+	meta.skip = false
+	m.way = best
+	m.state = mInstall
+}
+
+// wayReserved reports whether another MSHR has claimed the way for its own
+// install.
+func (d *DCache) wayReserved(set, way int, self *mshr) bool {
+	for i := range d.mshrs {
+		m := &d.mshrs[i]
+		if m == self || m.state == mFree {
+			continue
+		}
+		if m.way == way && d.index(m.addr) == set {
+			return true
+		}
+	}
+	return false
+}
+
+// replay re-executes a buffered request against the freshly installed line.
+func (d *DCache) replay(now int64, m *mshr, req Req) {
+	set := d.index(m.addr)
+	meta := &d.meta[set][m.way]
+	switch req.Kind {
+	case Load:
+		v := d.readWord(set, m.way, req.Addr)
+		d.respond(now+1, Resp{ID: req.ID, Data: v})
+	case Store:
+		d.writeWord(set, m.way, req.Addr, req.Data)
+		meta.dirty = true
+		// The store was acknowledged to the LSU at acceptance (§3.3:
+		// requests in MSHRs are considered complete); no response now.
+	case AmoAdd, AmoSwap:
+		old := d.amoApply(set, m.way, req)
+		meta.dirty = true
+		d.respond(now+1, Resp{ID: req.ID, Data: old})
+	default:
+		panic("l1: CBO request in an MSHR replay queue")
+	}
+	meta.lastUsed = now
+}

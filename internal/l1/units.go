@@ -1,0 +1,201 @@
+package l1
+
+import (
+	"fmt"
+
+	"skipit/internal/tilelink"
+	"skipit/internal/trace"
+)
+
+// wbUnit is the writeback unit (§3.3): it releases one evicted line at a
+// time to the L2 and holds probes (wb_rdy low) while doing so. Per §5.4.2,
+// wb_rdy low also blocks flush queue dequeues.
+type wbUnit struct {
+	state wbState
+	addr  uint64
+	data  []byte
+	dirty bool
+	perm  tilelink.Perm
+}
+
+type wbState uint8
+
+const (
+	wbIdle wbState = iota
+	wbSendRelease
+	wbWaitAck
+)
+
+func (w *wbUnit) idle() bool { return w.state == wbIdle }
+
+func (w *wbUnit) start(addr uint64, data []byte, dirty bool, perm tilelink.Perm) {
+	if w.state != wbIdle {
+		panic("l1: writeback unit double start")
+	}
+	w.addr = addr
+	w.dirty = dirty
+	w.perm = perm
+	w.data = make([]byte, len(data))
+	copy(w.data, data)
+	w.state = wbSendRelease
+}
+
+func (d *DCache) tickWB(now int64) {
+	w := &d.wb
+	if w.state != wbSendRelease {
+		return
+	}
+	shrink := tilelink.ShrinkFor(w.perm, tilelink.PermNone)
+	msg := tilelink.Msg{Op: tilelink.OpRelease, Addr: w.addr, Source: d.cfg.Source, Shrink: shrink}
+	if w.dirty {
+		msg.Op = tilelink.OpReleaseData
+		msg.Data = w.data
+	}
+	if d.port.C.Send(now, msg) {
+		w.state = wbWaitAck
+	}
+}
+
+// onReleaseAck completes the in-flight eviction.
+func (d *DCache) onReleaseAck(msg tilelink.Msg) {
+	if d.wb.state != wbWaitAck || d.wb.addr != msg.Addr {
+		panic(fmt.Sprintf("l1[%d]: stray ReleaseAck %#x", d.cfg.Source, msg.Addr))
+	}
+	d.wb = wbUnit{}
+}
+
+// probeUnit handles coherence probes from the L2 (§3.3). Exactly one probe
+// is serviced at a time; arrival lowers probe_rdy, which blocks flush queue
+// dequeues until the probe has invalidated conflicting flush queue entries
+// and completed (§5.4.1).
+type probeUnit struct {
+	q     []tilelink.Msg
+	state pState
+	cur   tilelink.Msg
+	resp  tilelink.Msg
+}
+
+type pState uint8
+
+const (
+	pIdle pState = iota
+	pInvalFlushQ
+	pRespond
+)
+
+func (p *probeUnit) busy() bool { return p.state != pIdle || len(p.q) > 0 }
+
+// probeRdy mirrors §5.4.1: low from the moment a probe arrives until the
+// probe unit finishes with it.
+func (d *DCache) probeRdy() bool { return !d.probe.busy() }
+
+func (d *DCache) enqueueProbe(msg tilelink.Msg) {
+	d.probe.q = append(d.probe.q, msg)
+}
+
+func (d *DCache) tickProbe(now int64) {
+	p := &d.probe
+	switch p.state {
+	case pIdle:
+		if len(p.q) == 0 {
+			return
+		}
+		// §5.4.1/§5.4.2: the probe may not start while an FSHR is
+		// mutating line state (flush_rdy low) or the WBU is mid-release
+		// (wb_rdy low). Both windows are bounded, so no deadlock: an
+		// FSHR waiting in root_release_ack keeps flush_rdy high, and
+		// its L2-side transaction is what generates further probes.
+		if !d.flush.FlushRdy() || !d.wb.idle() {
+			return
+		}
+		// An MSHR mid-install/replay on the probed line is the §3.3
+		// mshr_rdy window; hold the probe for those bounded states.
+		if m := d.mshrFor(p.q[0].Addr); m != nil &&
+			(m.state == mVictim || m.state == mInstall || m.state == mReplay) {
+			return
+		}
+		p.cur = p.q[0]
+		copy(p.q, p.q[1:])
+		p.q = p.q[:len(p.q)-1]
+		// First cycle: invalidate conflicting flush queue entries via
+		// the probe_invalidate input (§5.4.1).
+		d.flush.ProbeInvalidate(p.cur.Addr, p.cur.Cap)
+		p.state = pInvalFlushQ
+
+	case pInvalFlushQ:
+		// Second cycle: downgrade the line and build the response.
+		p.resp = d.buildProbeAck(p.cur)
+		p.state = pRespond
+		d.tickProbe2(now)
+
+	case pRespond:
+		d.tickProbe2(now)
+	}
+}
+
+func (d *DCache) tickProbe2(now int64) {
+	p := &d.probe
+	if p.state != pRespond {
+		return
+	}
+	if d.port.C.Send(now, p.resp) {
+		d.stats.ProbesServed++
+		trace.Emit(d.tr, now, d.name, "probe-ack", p.resp.Addr, p.resp.Op.String())
+		p.state = pIdle
+		p.cur = tilelink.Msg{}
+		p.resp = tilelink.Msg{}
+	}
+}
+
+// buildProbeAck applies the permission downgrade a probe demands and
+// constructs the acknowledgement, carrying dirty data when the downgrade
+// surrenders it. Surrendering dirty data to a toB probe leaves our copy
+// clean while making L2 dirty, so the skip bit is cleared to preserve the
+// §6.2 invariant.
+func (d *DCache) buildProbeAck(probe tilelink.Msg) tilelink.Msg {
+	addr := probe.Addr
+	meta := d.lookup(addr)
+	if meta == nil {
+		return tilelink.Msg{
+			Op:     tilelink.OpProbeAck,
+			Addr:   addr,
+			Source: d.cfg.Source,
+			Shrink: tilelink.ShrinkNtoN,
+		}
+	}
+	from := meta.perm
+	to := probe.Cap.Perm()
+	if to >= from {
+		// Report-only: we already hold no more than the cap.
+		return tilelink.Msg{
+			Op:     tilelink.OpProbeAck,
+			Addr:   addr,
+			Source: d.cfg.Source,
+			Shrink: tilelink.ShrinkFor(from, from),
+		}
+	}
+	shrink := tilelink.ShrinkFor(from, to)
+	msg := tilelink.Msg{Op: tilelink.OpProbeAck, Addr: addr, Source: d.cfg.Source, Shrink: shrink}
+	if meta.dirty {
+		way := d.findWay(addr, true)
+		set := d.index(addr)
+		data := make([]byte, d.cfg.LineBytes)
+		copy(data, d.data[set][way])
+		msg.Op = tilelink.OpProbeAckData
+		msg.Data = data
+		meta.dirty = false
+	}
+	switch probe.Cap {
+	case tilelink.CapToN:
+		meta.valid = false
+		meta.skip = false
+	case tilelink.CapToB:
+		meta.perm = tilelink.PermBranch
+		if msg.Op == tilelink.OpProbeAckData {
+			// L2 is now the dirty holder; our clean copy is not
+			// persisted (§6.2 case 3 boundary).
+			meta.skip = false
+		}
+	}
+	return msg
+}

@@ -1,0 +1,241 @@
+// Package l2 models the SiFive inclusive last-level cache generator (§3.4)
+// with the paper's §5.5 modifications: handling of the RootReleaseFlush and
+// RootReleaseClean messages, and — for Skip It (§6) — responding to Acquire
+// with GrantDataDirty whenever the granted line is dirty in L2.
+//
+// The cache is the TileLink manager for the per-core L1 data caches and the
+// client of main memory. Coherence among L1s is enforced with an
+// invalidation-based policy over a full-map directory stored with each
+// line's metadata, exactly as the SiFive inclusive cache does. The moving
+// parts keep their upstream names: SinkC ingests TL-C messages, the
+// ListBuffer holds requests that cannot allocate an MSHR yet, the
+// BankedStore holds line data, and SourceB/SourceD emit probes and
+// responses.
+package l2
+
+import (
+	"fmt"
+
+	"skipit/internal/mem"
+	"skipit/internal/tilelink"
+	"skipit/internal/trace"
+)
+
+// Config sets the cache geometry and structural limits.
+type Config struct {
+	Sets       int
+	Ways       int
+	LineBytes  uint64
+	NumClients int
+	NumMSHRs   int
+	// ListBufferDepth bounds buffered TL-C/TL-A requests waiting for an
+	// MSHR. Overflow stalls ingestion (TileLink back-pressure).
+	ListBufferDepth int
+	// TagLatency is the directory/tag pipeline delay applied between a
+	// request arriving at SinkA/SinkC and its MSHR starting work.
+	TagLatency int
+}
+
+// DefaultConfig returns the paper's L2: 512 KiB, 8-way, 64 B lines
+// (1024 sets), shared by the configured number of clients.
+func DefaultConfig(numClients int) Config {
+	return Config{
+		Sets:            1024,
+		Ways:            8,
+		LineBytes:       64,
+		NumClients:      numClients,
+		NumMSHRs:        16,
+		ListBufferDepth: 32,
+		TagLatency:      8,
+	}
+}
+
+// line is one L2 frame: data (BankedStore row), tag/valid/dirty metadata and
+// the full-map directory of client permissions (Directory in Fig. 4).
+type line struct {
+	valid    bool
+	tag      uint64
+	dirty    bool
+	perms    []tilelink.Perm // indexed by client
+	data     []byte
+	lastUsed int64
+	// reserved marks a way claimed by an in-flight refill so concurrent
+	// misses to the set cannot double-allocate it.
+	reserved bool
+}
+
+// LineState is a read-only snapshot for invariant checks and tests.
+type LineState struct {
+	Present bool
+	Dirty   bool
+	Perms   []tilelink.Perm
+}
+
+// Stats counts L2 activity for the benchmark harness.
+type Stats struct {
+	Acquires          uint64
+	RootReleases      uint64
+	RootReleaseSkips  uint64 // RootReleases that found the line clean (§5.5 trivial skip)
+	GrantsData        uint64
+	GrantsDataDirty   uint64
+	ProbesSent        uint64
+	Evictions         uint64
+	MemReads          uint64
+	MemWrites         uint64
+	VoluntaryReleases uint64
+}
+
+// Cache is the inclusive LLC. Drive it once per cycle with Tick.
+type Cache struct {
+	cfg   Config
+	lines [][]line // [set][way]
+	ports []*tilelink.ClientPort
+	mem   *mem.Memory
+
+	mshrs []mshr
+	// listBuffer holds TL-C and TL-A requests that arrived while their
+	// line had an active MSHR or no MSHR was free (ListBuffer in Fig. 4).
+	listBuffer []buffered
+
+	// outB/outD are SourceB/SourceD staging queues, drained one message
+	// per client per cycle subject to link occupancy.
+	outB [][]tilelink.Msg
+	outD [][]tilelink.Msg
+
+	tr    trace.Tracer
+	stats Stats
+}
+
+type buffered struct {
+	msg     tilelink.Msg
+	client  int
+	readyAt int64
+}
+
+// New builds the L2 over the given client ports and memory. ports[i] is the
+// five-channel bundle shared with client (L1) i, viewed from the client
+// side: the L2 receives on A/C/E and sends on B/D.
+func New(cfg Config, ports []*tilelink.ClientPort, m *mem.Memory) *Cache {
+	if len(ports) != cfg.NumClients {
+		panic(fmt.Sprintf("l2: %d ports for %d clients", len(ports), cfg.NumClients))
+	}
+	if cfg.Sets <= 0 || cfg.Ways <= 0 {
+		panic("l2: bad geometry")
+	}
+	c := &Cache{
+		cfg:   cfg,
+		ports: ports,
+		mem:   m,
+		mshrs: make([]mshr, cfg.NumMSHRs),
+		outB:  make([][]tilelink.Msg, cfg.NumClients),
+		outD:  make([][]tilelink.Msg, cfg.NumClients),
+	}
+	c.lines = make([][]line, cfg.Sets)
+	for s := range c.lines {
+		c.lines[s] = make([]line, cfg.Ways)
+		for w := range c.lines[s] {
+			c.lines[s][w].perms = make([]tilelink.Perm, cfg.NumClients)
+			c.lines[s][w].data = make([]byte, cfg.LineBytes)
+		}
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// SetTracer attaches an event tracer (nil disables tracing).
+func (c *Cache) SetTracer(t trace.Tracer) { c.tr = t }
+
+func (c *Cache) index(addr uint64) int {
+	return int((addr / c.cfg.LineBytes) % uint64(c.cfg.Sets))
+}
+
+func (c *Cache) tag(addr uint64) uint64 {
+	return addr / c.cfg.LineBytes / uint64(c.cfg.Sets)
+}
+
+func (c *Cache) addrOf(set int, tag uint64) uint64 {
+	return (tag*uint64(c.cfg.Sets) + uint64(set)) * c.cfg.LineBytes
+}
+
+// lookup returns the frame holding addr, or nil.
+func (c *Cache) lookup(addr uint64) *line {
+	set := c.index(addr)
+	tag := c.tag(addr)
+	for w := range c.lines[set] {
+		l := &c.lines[set][w]
+		if l.valid && l.tag == tag {
+			return l
+		}
+	}
+	return nil
+}
+
+// LineState snapshots the directory state of addr's line for tests and the
+// system-wide invariant checker.
+func (c *Cache) LineState(addr uint64) LineState {
+	l := c.lookup(addr &^ (c.cfg.LineBytes - 1))
+	if l == nil {
+		return LineState{}
+	}
+	perms := make([]tilelink.Perm, len(l.perms))
+	copy(perms, l.perms)
+	return LineState{Present: true, Dirty: l.dirty, Perms: perms}
+}
+
+// PeekLine returns a copy of the line's data if present in L2.
+func (c *Cache) PeekLine(addr uint64) ([]byte, bool) {
+	l := c.lookup(addr &^ (c.cfg.LineBytes - 1))
+	if l == nil {
+		return nil, false
+	}
+	out := make([]byte, len(l.data))
+	copy(out, l.data)
+	return out, true
+}
+
+// Busy reports whether any MSHR is active or any request is buffered; used
+// by the system drain loop.
+func (c *Cache) Busy() bool {
+	if len(c.listBuffer) > 0 {
+		return true
+	}
+	for i := range c.mshrs {
+		if c.mshrs[i].state != msFree {
+			return true
+		}
+	}
+	for cl := 0; cl < c.cfg.NumClients; cl++ {
+		if len(c.outB[cl]) > 0 || len(c.outD[cl]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset clears all volatile state (simulated crash).
+func (c *Cache) Reset() {
+	for s := range c.lines {
+		for w := range c.lines[s] {
+			l := &c.lines[s][w]
+			l.valid = false
+			l.dirty = false
+			l.reserved = false
+			for i := range l.perms {
+				l.perms[i] = tilelink.PermNone
+			}
+		}
+	}
+	for i := range c.mshrs {
+		c.mshrs[i] = mshr{}
+	}
+	c.listBuffer = c.listBuffer[:0]
+	for cl := range c.outB {
+		c.outB[cl] = nil
+		c.outD[cl] = nil
+	}
+}

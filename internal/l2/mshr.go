@@ -1,0 +1,361 @@
+package l2
+
+import (
+	"fmt"
+
+	"skipit/internal/mem"
+	"skipit/internal/tilelink"
+	"skipit/internal/trace"
+)
+
+// mshrState sequences an L2 transaction. Acquire transactions walk
+// evict->memRead/probe->grant->grantAck; RootRelease transactions walk
+// probe->memWrite->finish (§5.5).
+type msState uint8
+
+const (
+	msFree msState = iota
+	msStart
+	msEvictProbe    // probing owners of the victim line
+	msEvictMemWrite // writing the dirty victim back to DRAM
+	msMemRead       // reading the missing line from DRAM
+	msProbe         // probing owners of the requested line
+	msMemWrite      // RootRelease: writing the dirty line to DRAM
+	msGrant         // Acquire: send Grant*, wait for GrantAck
+	msFinish        // RootRelease: send RootReleaseAck / ReleaseAck
+)
+
+type txnKind uint8
+
+const (
+	txnAcquire txnKind = iota
+	txnRootRelease
+)
+
+// mshr is one L2 miss status holding register.
+type mshr struct {
+	state  msState
+	kind   txnKind
+	addr   uint64
+	client int
+	since  int64 // cycle the MSHR may begin work (tag pipeline latency)
+
+	// Acquire fields.
+	grow tilelink.Grow
+
+	// RootRelease fields.
+	clean bool
+
+	pendingProbes int
+	memSubmitted  bool // current memory request accepted by the controller
+
+	// Victim bookkeeping for Acquire misses.
+	victimSet, victimWay int
+	hasVictim            bool
+}
+
+func (c *Cache) freeMSHR() *mshr {
+	for i := range c.mshrs {
+		if c.mshrs[i].state == msFree {
+			return &c.mshrs[i]
+		}
+	}
+	return nil
+}
+
+// mshrFor returns the active MSHR transacting on addr's line, if any. L2
+// serializes transactions per line.
+func (c *Cache) mshrFor(addr uint64) *mshr {
+	for i := range c.mshrs {
+		m := &c.mshrs[i]
+		if m.state != msFree && m.addr == addr {
+			return m
+		}
+	}
+	return nil
+}
+
+// lineBusy reports whether addr's line is under an active transaction,
+// either directly or as the victim of an in-flight eviction; buffered
+// requests for it must wait.
+func (c *Cache) lineBusy(addr uint64) bool {
+	if c.mshrFor(addr) != nil {
+		return true
+	}
+	for i := range c.mshrs {
+		m := &c.mshrs[i]
+		if m.state != msEvictProbe && m.state != msEvictMemWrite {
+			continue
+		}
+		v := &c.lines[m.victimSet][m.victimWay]
+		if v.valid && c.addrOf(m.victimSet, v.tag) == addr {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cache) mshrIndex(m *mshr) int {
+	for i := range c.mshrs {
+		if &c.mshrs[i] == m {
+			return i
+		}
+	}
+	panic("l2: foreign mshr")
+}
+
+// sendProbe queues a Probe to client via SourceB and counts it against m.
+func (c *Cache) sendProbe(m *mshr, client int, addr uint64, cap tilelink.Cap) {
+	c.outB[client] = append(c.outB[client], tilelink.Msg{
+		Op:   tilelink.OpProbe,
+		Addr: addr,
+		Cap:  cap,
+	})
+	m.pendingProbes++
+	c.stats.ProbesSent++
+}
+
+// startAcquire begins serving an Acquire that has an allocated MSHR.
+func (c *Cache) startAcquire(now int64, m *mshr) {
+	l := c.lookup(m.addr)
+	if l == nil {
+		// Miss: evict a victim if the set is full, then read from DRAM.
+		set := c.index(m.addr)
+		way := c.pickVictim(set)
+		if way < 0 {
+			return // all ways under transaction; stay in msStart
+		}
+		v := &c.lines[set][way]
+		v.reserved = true
+		if v.valid {
+			m.victimSet, m.victimWay = set, way
+			m.hasVictim = true
+			victimAddr := c.addrOf(set, v.tag)
+			// Inclusive policy: revoke all client copies of the
+			// victim before dropping it (§3.4).
+			probed := false
+			for cl, p := range v.perms {
+				if p != tilelink.PermNone {
+					c.sendProbe(m, cl, victimAddr, tilelink.CapToN)
+					probed = true
+				}
+			}
+			c.stats.Evictions++
+			if probed {
+				m.state = msEvictProbe
+				return
+			}
+			c.finishEvict(now, m)
+			return
+		}
+		m.victimSet, m.victimWay = set, way
+		m.hasVictim = false
+		c.submitMemRead(now, m)
+		return
+	}
+
+	// Hit: revoke or downgrade other owners as the requested growth
+	// demands.
+	c.probeForAcquire(m, l)
+	if m.pendingProbes > 0 {
+		m.state = msProbe
+		return
+	}
+	c.sendGrant(now, m)
+}
+
+// probeForAcquire issues the probes an Acquire hit requires: exclusive
+// growth revokes every other copy; shared growth downgrades a foreign trunk
+// to branch (extracting its dirty data).
+func (c *Cache) probeForAcquire(m *mshr, l *line) {
+	switch m.grow {
+	case tilelink.GrowNtoT, tilelink.GrowBtoT:
+		for cl, p := range l.perms {
+			if cl != m.client && p != tilelink.PermNone {
+				c.sendProbe(m, cl, m.addr, tilelink.CapToN)
+			}
+		}
+	case tilelink.GrowNtoB:
+		for cl, p := range l.perms {
+			if cl != m.client && p == tilelink.PermTrunk {
+				c.sendProbe(m, cl, m.addr, tilelink.CapToB)
+			}
+		}
+	}
+}
+
+// startRootRelease begins serving a RootRelease (§5.5). The carried dirty
+// data, if any, was already applied to the BankedStore at SinkC. Probing and
+// revocation happen even if the requesting core did not possess the line.
+func (c *Cache) startRootRelease(now int64, m *mshr) {
+	c.stats.RootReleases++
+	kind := "flush"
+	if m.clean {
+		kind = "clean"
+	}
+	trace.Emit(c.tr, now, "l2", "root-release", m.addr,
+		fmt.Sprintf("%s from client %d", kind, m.client))
+	l := c.lookup(m.addr)
+	if l == nil {
+		// Inclusive L2 without the line: no cached copy exists
+		// anywhere, so DRAM already holds the authoritative data.
+		// Acknowledge immediately (the §5.5 trivial skip).
+		c.stats.RootReleaseSkips++
+		m.state = msFinish
+		return
+	}
+
+	if m.clean {
+		// RootReleaseClean: extract dirty data from a foreign trunk
+		// owner, if one exists; copies stay readable.
+		for cl, p := range l.perms {
+			if cl != m.client && p == tilelink.PermTrunk {
+				c.sendProbe(m, cl, m.addr, tilelink.CapToB)
+			}
+		}
+	} else {
+		// RootReleaseFlush: revoke every copy, including any stale
+		// registration of the requester (its L1 already invalidated
+		// its own copy in the FSHR meta_write state and reported so
+		// in the RootRelease).
+		l.perms[m.client] = tilelink.PermNone
+		for cl, p := range l.perms {
+			if cl != m.client && p != tilelink.PermNone {
+				c.sendProbe(m, cl, m.addr, tilelink.CapToN)
+			}
+		}
+	}
+	if m.pendingProbes > 0 {
+		m.state = msProbe
+		return
+	}
+	c.rootReleaseWriteback(now, m)
+}
+
+// rootReleaseWriteback writes the line to DRAM if it is dirty anywhere in
+// the L2's domain, then finishes. The LLC's trivial skip (§5.5, §7.4) lives
+// here: a clean line means no DRAM write and an immediate acknowledgement.
+func (c *Cache) rootReleaseWriteback(now int64, m *mshr) {
+	l := c.lookup(m.addr)
+	if l == nil || !l.dirty {
+		c.stats.RootReleaseSkips++
+		trace.Emit(c.tr, now, "l2", "trivial-skip", m.addr, "line clean in LLC (§5.5)")
+		c.finishRootRelease(m)
+		return
+	}
+	data := make([]byte, c.cfg.LineBytes)
+	copy(data, l.data)
+	m.state = msMemWrite
+	if c.mem.Submit(now, mem.Request{Kind: mem.Write, Addr: m.addr, Data: data, Tag: c.mshrIndex(m)}) {
+		c.stats.MemWrites++
+		m.memSubmitted = true
+	} else {
+		// Memory controller busy: retry from Tick next cycle.
+		m.memSubmitted = false
+	}
+}
+
+// finishRootRelease invalidates the L2 copy for flushes and queues the
+// RootReleaseAck.
+func (c *Cache) finishRootRelease(m *mshr) {
+	if !m.clean {
+		if l := c.lookup(m.addr); l != nil {
+			l.valid = false
+			l.dirty = false
+			for i := range l.perms {
+				l.perms[i] = tilelink.PermNone
+			}
+		}
+	}
+	m.state = msFinish
+}
+
+// finishEvict runs after the victim's probes are answered: write back the
+// victim if dirty, then read the requested line.
+func (c *Cache) finishEvict(now int64, m *mshr) {
+	v := &c.lines[m.victimSet][m.victimWay]
+	if v.dirty {
+		victimAddr := c.addrOf(m.victimSet, v.tag)
+		data := make([]byte, c.cfg.LineBytes)
+		copy(data, v.data)
+		m.state = msEvictMemWrite
+		if c.mem.Submit(now, mem.Request{Kind: mem.Write, Addr: victimAddr, Data: data, Tag: c.mshrIndex(m)}) {
+			c.stats.MemWrites++
+			m.memSubmitted = true
+		} else {
+			m.memSubmitted = false
+		}
+		return
+	}
+	v.valid = false
+	c.submitMemRead(now, m)
+}
+
+// submitMemRead issues the DRAM read for an Acquire miss (retrying while the
+// controller is busy).
+func (c *Cache) submitMemRead(now int64, m *mshr) {
+	m.state = msMemRead
+	if c.mem.Submit(now, mem.Request{Kind: mem.Read, Addr: m.addr, Tag: c.mshrIndex(m)}) {
+		c.stats.MemReads++
+		m.memSubmitted = true
+	} else {
+		m.memSubmitted = false
+	}
+}
+
+// sendGrant queues the Grant* for a completed Acquire. GrantDataDirty is
+// selected when the line is dirty in L2, telling the L1 to leave the skip
+// bit unset (§6.1).
+func (c *Cache) sendGrant(now int64, m *mshr) {
+	l := c.lookup(m.addr)
+	if l == nil {
+		panic(fmt.Sprintf("l2: grant for absent line %#x", m.addr))
+	}
+	op := tilelink.OpGrantData
+	if l.dirty {
+		op = tilelink.OpGrantDataDirty
+		c.stats.GrantsDataDirty++
+	} else {
+		c.stats.GrantsData++
+	}
+	trace.Emit(c.tr, now, "l2", "grant", m.addr,
+		fmt.Sprintf("%v to client %d", op, m.client))
+	capTo := tilelink.CapToT
+	if m.grow == tilelink.GrowNtoB {
+		capTo = tilelink.CapToB
+	}
+	data := make([]byte, c.cfg.LineBytes)
+	copy(data, l.data)
+	c.outD[m.client] = append(c.outD[m.client], tilelink.Msg{
+		Op:   op,
+		Addr: m.addr,
+		Cap:  capTo,
+		Data: data,
+	})
+	l.perms[m.client] = capTo.Perm()
+	l.lastUsed = now
+	m.state = msGrant
+}
+
+// pickVictim chooses an invalid way if one exists, else the LRU way that is
+// not under an active transaction.
+func (c *Cache) pickVictim(set int) int {
+	for w := range c.lines[set] {
+		if !c.lines[set][w].valid && !c.lines[set][w].reserved {
+			return w
+		}
+	}
+	best, bestUsed := -1, int64(1<<62)
+	for w := range c.lines[set] {
+		l := &c.lines[set][w]
+		if l.reserved || c.mshrFor(c.addrOf(set, l.tag)) != nil {
+			continue
+		}
+		if l.lastUsed < bestUsed {
+			best, bestUsed = w, l.lastUsed
+		}
+	}
+	// best is -1 when every way is under an active transaction; the
+	// caller stalls and retries next cycle.
+	return best
+}

@@ -1,0 +1,273 @@
+package litmus
+
+import (
+	"testing"
+
+	"skipit/internal/isa"
+	"skipit/internal/sim"
+)
+
+// contains reports whether outcome o appears in seen.
+func contains(seen []Outcome, o Outcome) bool {
+	k := o.key()
+	for _, s := range seen {
+		if s.key() == k {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFig5aStoreOrderNotDurableOrder(t *testing.T) {
+	// Fig. 5(a): x = 1; y = 1 with no writebacks — neither value is
+	// guaranteed durable; after running to completion and crashing, both
+	// are in fact still cached, so NVMM shows zeros.
+	seen, err := Run(Test{
+		Name: "fig5a",
+		Programs: []*isa.Program{
+			isa.NewBuilder().Store(0x1000, 1).Store(0x2000, 1).Fence().Build(),
+		},
+		Observe: []Observation{
+			{Name: "x", Addr: 0x1000},
+			{Name: "y", Addr: 0x2000},
+		},
+		Allowed: []Outcome{
+			{"x": 0, "y": 0}, {"x": 1, "y": 0}, {"x": 0, "y": 1}, {"x": 1, "y": 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a tiny working set nothing evicts: the all-volatile outcome
+	// must be observed.
+	if !contains(seen, Outcome{"x": 0, "y": 0}) {
+		t.Fatalf("never observed the all-volatile outcome; seen %v", seen)
+	}
+}
+
+func TestFig5bWritebackOrdersOnlyItsOwnLine(t *testing.T) {
+	// Fig. 5(b): x = 1; writeback(&x); y = 1; fence. x must be durable;
+	// y must not be (it was never written back).
+	seen, err := Run(Test{
+		Name: "fig5b",
+		Programs: []*isa.Program{
+			isa.NewBuilder().
+				Store(0x1000, 1).
+				CboFlush(0x1000).
+				Store(0x2000, 1).
+				Fence().
+				Build(),
+		},
+		Observe: []Observation{
+			{Name: "x", Addr: 0x1000},
+			{Name: "y", Addr: 0x2000},
+		},
+		Allowed: []Outcome{{"x": 1, "y": 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = seen
+}
+
+func TestFig5cWritebackPlusFenceIsDurable(t *testing.T) {
+	// Fig. 5(c): x = 1; writeback(&x); fence; y = x. The loaded y must be
+	// 1 and x must be durable by the fence.
+	seen, err := Run(Test{
+		Name: "fig5c",
+		Programs: []*isa.Program{
+			isa.NewBuilder().
+				Store(0x1000, 1).
+				CboFlush(0x1000).
+				Fence().
+				Load(0x1000).
+				Fence().
+				Build(),
+		},
+		Observe: []Observation{
+			{Name: "x", Addr: 0x1000},
+			{Name: "y", FromLoad: true, Core: 0, Instr: 3},
+		},
+		Allowed: []Outcome{{"x": 1, "y": 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = seen
+}
+
+func TestWritebacksUnorderedAcrossLines(t *testing.T) {
+	// §4: writeback(c1); writeback(c2) imposes no cross-line durability
+	// order; after crashing mid-flight either, both or neither may be
+	// durable — but values are never corrupted.
+	_, err := RunCrash(CrashTest{
+		Name: "wb-unordered",
+		Program: isa.NewBuilder().
+			Store(0x1000, 1).
+			Store(0x2000, 2).
+			CboFlush(0x1000).
+			CboFlush(0x2000).
+			Fence().
+			Build(),
+		CrashCycles: []int64{10, 30, 50, 80, 120, 200, 400, 10_000},
+		Observe: []Observation{
+			{Name: "x", Addr: 0x1000},
+			{Name: "y", Addr: 0x2000},
+		},
+		Allowed: []Outcome{
+			{"x": 0, "y": 0}, {"x": 1, "y": 0}, {"x": 0, "y": 2}, {"x": 1, "y": 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashSweepEventuallyDurable(t *testing.T) {
+	// Crashing after completion must always show both values.
+	seen, err := RunCrash(CrashTest{
+		Name: "wb-complete",
+		Program: isa.NewBuilder().
+			Store(0x1000, 1).
+			Store(0x2000, 2).
+			CboClean(0x1000).
+			CboClean(0x2000).
+			Fence().
+			Build(),
+		CrashCycles: []int64{1_000_000},
+		Observe: []Observation{
+			{Name: "x", Addr: 0x1000},
+			{Name: "y", Addr: 0x2000},
+		},
+		Allowed: []Outcome{{"x": 1, "y": 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 {
+		t.Fatalf("seen %v", seen)
+	}
+}
+
+func TestMessagePassingWithWritebacks(t *testing.T) {
+	// Two cores, durable message passing: core 0 publishes data then a
+	// durable flag (each with flush+fence). Whatever the interleaving,
+	// flag==durable implies data==durable.
+	seen, err := Run(Test{
+		Name: "mp-durable",
+		Programs: []*isa.Program{
+			isa.NewBuilder().
+				Store(0x1000, 42). // data
+				CboFlush(0x1000).
+				Fence().
+				Store(0x2000, 1). // flag
+				CboFlush(0x2000).
+				Fence().
+				Build(),
+			isa.NewBuilder(). // an innocent bystander doing reads
+						Load(0x1000).
+						Load(0x2000).
+						Fence().
+						Build(),
+		},
+		Observe: []Observation{
+			{Name: "data", Addr: 0x1000},
+			{Name: "flag", Addr: 0x2000},
+		},
+		Allowed: []Outcome{{"data": 42, "flag": 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = seen
+}
+
+func TestCoherentLoadSeesRemoteStore(t *testing.T) {
+	// Coherence litmus: core 1's load of a line dirtied by core 0 must
+	// return the new value once core 0's store is ordered first (core 1
+	// is skewed to run after via a long nop prefix inside the suite's
+	// skew variations; the outcome set admits both orders but never a
+	// torn or stale third value).
+	seen, err := Run(Test{
+		Name: "coherent-load",
+		Programs: []*isa.Program{
+			isa.NewBuilder().Store(0x1000, 7).Fence().Build(),
+			isa.NewBuilder().Load(0x1000).Fence().Build(),
+		},
+		Observe: []Observation{
+			{Name: "r1", FromLoad: true, Core: 1, Instr: 0},
+		},
+		Allowed: []Outcome{{"r1": 0}, {"r1": 7}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Across skews both orders must actually be observable.
+	if !contains(seen, Outcome{"r1": 7}) {
+		t.Fatalf("remote store never observed; seen %v", seen)
+	}
+	if !contains(seen, Outcome{"r1": 0}) {
+		t.Logf("note: load never ran before the remote store (seen %v)", seen)
+	}
+}
+
+func TestRemoteFlushPersistsForeignDirtyLine(t *testing.T) {
+	// §5.5 cross-core writeback: core 1 flushes a line dirty only in
+	// core 0's cache; the flush+fence must make core 0's data durable.
+	seen, err := Run(Test{
+		Name: "remote-flush",
+		Programs: []*isa.Program{
+			isa.NewBuilder().Store(0x1000, 9).Fence().Build(),
+			isa.NewBuilder().Nops(60).CboFlush(0x1000).Fence().Build(),
+		},
+		Observe: []Observation{{Name: "x", Addr: 0x1000}},
+		Allowed: []Outcome{{"x": 9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = seen
+}
+
+func TestCleanKeepsLineFlushEvicts(t *testing.T) {
+	// The residency difference behind Fig. 10, as a two-program litmus:
+	// a re-read after clean is a fast hit; after flush it pays a refetch.
+	lat := func(clean bool) int64 {
+		b := isa.NewBuilder().Store(0x1000, 1).Cbo(0x1000, clean).Fence()
+		idx := b.Mark()
+		b.Load(0x1000)
+		p := b.Build()
+		seenSys := mustRunSingle(p)
+		tm := seenSys.Cores[0].Timing(idx)
+		return tm.CompletedAt - tm.IssuedAt
+	}
+	cleanLat, flushLat := lat(true), lat(false)
+	if cleanLat >= flushLat {
+		t.Fatalf("re-read after clean (%d) not faster than after flush (%d)", cleanLat, flushLat)
+	}
+}
+
+// mustRunSingle runs a one-core program to completion.
+func mustRunSingle(p *isa.Program) *sim.System {
+	s := sim.New(sim.DefaultConfig(1))
+	if _, err := s.Run([]*isa.Program{p}, 5_000_000); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestFenceWithoutWritebackIsNotDurability(t *testing.T) {
+	// A fence alone orders but persists nothing — the §2.6 pitfall.
+	seen, err := Run(Test{
+		Name: "fence-not-durable",
+		Programs: []*isa.Program{
+			isa.NewBuilder().Store(0x1000, 5).Fence().Fence().Fence().Build(),
+		},
+		Observe: []Observation{{Name: "x", Addr: 0x1000}},
+		Allowed: []Outcome{{"x": 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = seen
+}

@@ -1,0 +1,261 @@
+// Package mem models main memory for the simulated SoC: a fixed-latency,
+// bandwidth-limited DRAM controller in the style of FASED's default model,
+// fronting a byte store that doubles as the persistence domain (NVMM).
+//
+// Everything held in this package survives a simulated crash; everything in
+// caches and links does not. A write is durable once the controller has
+// acknowledged it — the same point at which the paper's L2 receives the
+// ReleaseAck from memory and forwards a RootReleaseAck to the requesting core
+// (§5.5). Writes that were accepted but not yet acknowledged at crash time
+// may or may not survive, which crash tests exercise both ways.
+package mem
+
+import "fmt"
+
+// Config sets the controller's timing and geometry.
+type Config struct {
+	LineBytes      uint64
+	ReadLatency    int // cycles from acceptance to data response
+	WriteLatency   int // cycles from acceptance to acknowledgement
+	AcceptInterval int // minimum cycles between accepted requests (bandwidth)
+	MaxOutstanding int // controller queue depth
+}
+
+// DefaultConfig mirrors the calibration in DESIGN.md §3: ~60-cycle read
+// latency, posted writes acknowledged from the controller's ADR-protected
+// write queue after a short acceptance delay, and one 64 B transfer accepted
+// per cycle, which bounds flush throughput the way FASED's DRAM model bounds
+// the paper's.
+func DefaultConfig() Config {
+	return Config{
+		LineBytes:      64,
+		ReadLatency:    60,
+		WriteLatency:   8,
+		AcceptInterval: 1,
+		MaxOutstanding: 32,
+	}
+}
+
+// Kind distinguishes line reads from line writes.
+type Kind uint8
+
+const (
+	Read Kind = iota
+	Write
+)
+
+func (k Kind) String() string {
+	if k == Read {
+		return "Read"
+	}
+	return "Write"
+}
+
+// Request is a full-line memory operation. Tag is echoed in the response so
+// the L2 can match completions to its MSHRs.
+type Request struct {
+	Kind Kind
+	Addr uint64
+	Data []byte // nil for reads
+	Tag  int
+}
+
+// Response completes a Request. Data is the line contents for reads and nil
+// for write acknowledgements.
+type Response struct {
+	Kind Kind
+	Addr uint64
+	Data []byte
+	Tag  int
+}
+
+type pending struct {
+	req     Request
+	readyAt int64
+}
+
+// Stats counts controller traffic for the benchmark harness.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	StalledSends uint64
+}
+
+// Memory is the DRAM controller plus backing store. The zero value is not
+// usable; construct with New.
+type Memory struct {
+	cfg        Config
+	data       map[uint64][]byte // durable contents, line granular
+	inflight   []pending
+	done       []Response
+	nextAccept int64
+	stats      Stats
+}
+
+// New returns an empty memory with the given configuration.
+func New(cfg Config) *Memory {
+	if cfg.LineBytes == 0 {
+		panic("mem: zero line size")
+	}
+	if cfg.MaxOutstanding <= 0 {
+		cfg.MaxOutstanding = 1
+	}
+	return &Memory{cfg: cfg, data: make(map[uint64][]byte)}
+}
+
+// Config returns the controller configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// CanAccept reports whether a request submitted at cycle now would be
+// accepted.
+func (m *Memory) CanAccept(now int64) bool {
+	return now >= m.nextAccept && len(m.inflight) < m.cfg.MaxOutstanding
+}
+
+// Submit offers a request to the controller at cycle now. It reports false
+// when bandwidth or queue limits reject the request; the caller retries.
+func (m *Memory) Submit(now int64, req Request) bool {
+	if !m.CanAccept(now) {
+		m.stats.StalledSends++
+		return false
+	}
+	if req.Addr%m.cfg.LineBytes != 0 {
+		panic(fmt.Sprintf("mem: unaligned %v to %#x", req.Kind, req.Addr))
+	}
+	var lat int
+	switch req.Kind {
+	case Read:
+		lat = m.cfg.ReadLatency
+		if req.Data != nil {
+			panic("mem: read with payload")
+		}
+		m.stats.Reads++
+	case Write:
+		lat = m.cfg.WriteLatency
+		if uint64(len(req.Data)) != m.cfg.LineBytes {
+			panic(fmt.Sprintf("mem: write payload %d bytes, want %d", len(req.Data), m.cfg.LineBytes))
+		}
+		m.stats.Writes++
+	}
+	m.inflight = append(m.inflight, pending{req: req, readyAt: now + int64(lat)})
+	m.nextAccept = now + int64(m.cfg.AcceptInterval)
+	return true
+}
+
+// Tick retires requests whose latency has elapsed at cycle now, applying
+// writes to the durable store and queueing responses.
+func (m *Memory) Tick(now int64) {
+	kept := m.inflight[:0]
+	for _, p := range m.inflight {
+		if p.readyAt > now {
+			kept = append(kept, p)
+			continue
+		}
+		switch p.req.Kind {
+		case Read:
+			line := make([]byte, m.cfg.LineBytes)
+			copy(line, m.line(p.req.Addr))
+			m.done = append(m.done, Response{Kind: Read, Addr: p.req.Addr, Data: line, Tag: p.req.Tag})
+		case Write:
+			copy(m.line(p.req.Addr), p.req.Data)
+			m.done = append(m.done, Response{Kind: Write, Addr: p.req.Addr, Tag: p.req.Tag})
+		}
+	}
+	m.inflight = kept
+}
+
+// PollResponse returns the oldest completed response, if any.
+func (m *Memory) PollResponse() (Response, bool) {
+	if len(m.done) == 0 {
+		return Response{}, false
+	}
+	r := m.done[0]
+	copy(m.done, m.done[1:])
+	m.done = m.done[:len(m.done)-1]
+	return r, true
+}
+
+// Outstanding returns the number of accepted-but-incomplete requests plus
+// undelivered responses; zero means the controller is quiescent.
+func (m *Memory) Outstanding() int { return len(m.inflight) + len(m.done) }
+
+// Stats returns traffic counters.
+func (m *Memory) Stats() Stats { return m.stats }
+
+func (m *Memory) line(addr uint64) []byte {
+	l, ok := m.data[addr]
+	if !ok {
+		l = make([]byte, m.cfg.LineBytes)
+		m.data[addr] = l
+	}
+	return l
+}
+
+// --- Persistence-domain (NVMM) inspection and crash injection ---
+
+// PeekLine returns a copy of the durable contents of the line containing
+// addr. Unwritten memory reads as zero.
+func (m *Memory) PeekLine(addr uint64) []byte {
+	base := addr &^ (m.cfg.LineBytes - 1)
+	line := make([]byte, m.cfg.LineBytes)
+	copy(line, m.line(base))
+	return line
+}
+
+// PeekUint64 returns the durable 8-byte little-endian value at addr, which
+// must be 8-byte aligned.
+func (m *Memory) PeekUint64(addr uint64) uint64 {
+	if addr%8 != 0 {
+		panic("mem: unaligned PeekUint64")
+	}
+	line := m.line(addr &^ (m.cfg.LineBytes - 1))
+	off := addr & (m.cfg.LineBytes - 1)
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(line[off+i]) << (8 * i)
+	}
+	return v
+}
+
+// PokeUint64 writes an 8-byte value directly into the durable store,
+// bypassing timing. It is intended for test and benchmark initialization.
+func (m *Memory) PokeUint64(addr uint64, v uint64) {
+	if addr%8 != 0 {
+		panic("mem: unaligned PokeUint64")
+	}
+	line := m.line(addr &^ (m.cfg.LineBytes - 1))
+	off := addr & (m.cfg.LineBytes - 1)
+	for i := uint64(0); i < 8; i++ {
+		line[off+i] = byte(v >> (8 * i))
+	}
+}
+
+// PokeLine writes a full line directly into the durable store, bypassing
+// timing. Intended for initialization.
+func (m *Memory) PokeLine(addr uint64, data []byte) {
+	if addr%m.cfg.LineBytes != 0 {
+		panic("mem: unaligned PokeLine")
+	}
+	if uint64(len(data)) != m.cfg.LineBytes {
+		panic("mem: PokeLine payload size")
+	}
+	copy(m.line(addr), data)
+}
+
+// Crash simulates power loss at the memory controller. In-flight writes that
+// were accepted but not yet acknowledged either all drain (drainInflight
+// true: the controller's write queue sits inside the ADR persistence domain)
+// or are all lost (false). Acknowledged writes always survive; queued
+// responses and in-flight reads are always discarded.
+func (m *Memory) Crash(drainInflight bool) {
+	if drainInflight {
+		for _, p := range m.inflight {
+			if p.req.Kind == Write {
+				copy(m.line(p.req.Addr), p.req.Data)
+			}
+		}
+	}
+	m.inflight = m.inflight[:0]
+	m.done = m.done[:0]
+	m.nextAccept = 0
+}

@@ -1,0 +1,115 @@
+package persist
+
+// Mode selects the persistence algorithm the data structures run under
+// (§7.4): where flushes and fences are inserted around each operation.
+type Mode uint8
+
+const (
+	// Automatic is the general linearizability transform [Izraelevitz et
+	// al., DISC'16]: every shared-memory read and write is followed by a
+	// writeback, and every operation ends with a fence. Correct for any
+	// linearizable structure, and maximally redundant — the case elision
+	// schemes exist for.
+	Automatic Mode = iota
+	// NVTraverse [Friedman et al., PLDI'20] splits operations into a
+	// traversal phase that needs no writebacks and a critical phase whose
+	// reads and writes are persisted.
+	NVTraverse
+	// Manual is the hand-tuned algorithm [David et al., ATC'18]: only the
+	// modified locations are written back, once, before the fence.
+	Manual
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Automatic:
+		return "automatic"
+	case NVTraverse:
+		return "nvtraverse"
+	case Manual:
+		return "manual"
+	}
+	return "Mode(?)"
+}
+
+// Modes lists the three algorithms in figure order.
+func Modes() []Mode { return []Mode{Automatic, NVTraverse, Manual} }
+
+// Env is what a data structure operation threads through its shared-memory
+// accesses: a policy (how flushes execute) plus a mode (where they are
+// inserted). The hooks encode the three algorithms' rules so structure code
+// stays algorithm-agnostic.
+type Env struct {
+	Pol  Policy
+	Mode Mode
+	// NonPersistent disables all writebacks and fences: the dark-green
+	// baseline of Figures 14–15.
+	NonPersistent bool
+}
+
+// ReadTraverse is a shared read in the traversal phase (list/tree walking).
+// Automatic persists everything it reads; NVTraverse and manual do not.
+func (e *Env) ReadTraverse(tid int, addr uint64) {
+	e.Pol.Load(tid, addr)
+	if e.NonPersistent {
+		return
+	}
+	if e.Mode == Automatic {
+		e.Pol.Flush(tid, addr)
+	}
+}
+
+// ReadCritical is a shared read in the critical phase (the nodes an update
+// decides over, or a lookup's final node). NVTraverse persists these.
+func (e *Env) ReadCritical(tid int, addr uint64) {
+	e.Pol.Load(tid, addr)
+	if e.NonPersistent {
+		return
+	}
+	if e.Mode == Automatic || e.Mode == NVTraverse {
+		e.Pol.Flush(tid, addr)
+	}
+}
+
+// Write is a shared write that is not the linearization point (node
+// initialization before publication).
+func (e *Env) Write(tid int, addr uint64) {
+	e.Pol.Store(tid, addr)
+	if e.NonPersistent {
+		return
+	}
+	if e.Mode == Automatic {
+		e.Pol.Flush(tid, addr)
+	}
+}
+
+// WriteCommit is the linearizing write (the publishing CAS). Every
+// persistence algorithm writes it back.
+func (e *Env) WriteCommit(tid int, addr uint64) {
+	e.Pol.Store(tid, addr)
+	if e.NonPersistent {
+		return
+	}
+	e.Pol.Flush(tid, addr)
+}
+
+// FlushNew persists a freshly initialized object before it is published
+// (NVTraverse and manual flush it once; automatic already flushed each
+// word).
+func (e *Env) FlushNew(tid int, addr uint64) {
+	if e.NonPersistent || e.Mode == Automatic {
+		return
+	}
+	e.Pol.Flush(tid, addr)
+}
+
+// EndOp closes an operation. Automatic fences every operation; NVTraverse
+// and manual fence only operations that wrote.
+func (e *Env) EndOp(tid int, wrote bool) {
+	if e.NonPersistent {
+		return
+	}
+	if e.Mode == Automatic || wrote {
+		e.Pol.Fence(tid)
+	}
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"skipit/internal/isa"
+)
+
+// goldenRun executes a single-core program under trivially-correct
+// sequential semantics: every load returns the last preceding store to its
+// word, and a flush+fence chain determines durable values.
+type goldenModel struct {
+	mem map[uint64]uint64 // architectural values per word
+}
+
+func (g *goldenModel) run(p *isa.Program) (loads []uint64) {
+	g.mem = map[uint64]uint64{}
+	for _, in := range p.Instrs {
+		switch in.Op {
+		case isa.OpStore:
+			g.mem[in.Addr&^7] = in.Data
+		case isa.OpLoad:
+			loads = append(loads, g.mem[in.Addr&^7])
+		}
+	}
+	return loads
+}
+
+// TestDifferentialGoldenModel runs hundreds of random single-core programs
+// on the cycle simulator and compares every load's value against the
+// sequential golden model. Single-core RISC-V requires program-order load
+// values regardless of the microarchitecture's reordering, so any
+// divergence is a simulator bug (this is the check that would have caught
+// the replay-window write reordering found by cmd/crashtest).
+func TestDifferentialGoldenModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	words := []uint64{0x1000, 0x1008, 0x1040, 0x2000, 0x10000, 0x10040}
+	for run := 0; run < 200; run++ {
+		b := isa.NewBuilder()
+		n := 20 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			w := words[rng.Intn(len(words))]
+			switch rng.Intn(8) {
+			case 0, 1, 2:
+				b.Store(w, uint64(rng.Intn(1_000_000))+1)
+			case 3, 4:
+				b.Load(w)
+			case 5:
+				b.Cbo(w, rng.Intn(2) == 0)
+			case 6:
+				b.Fence()
+			case 7:
+				b.CflushDL1(w)
+			}
+		}
+		b.Fence()
+		p := b.Build()
+
+		want := (&goldenModel{}).run(p)
+
+		cfg := DefaultConfig(1)
+		// Vary knobs across runs so the whole matrix sees traffic.
+		cfg.L1.Flush.SkipIt = run%2 == 0
+		cfg.L1.Flush.NumFSHRs = 1 + run%8
+		cfg.L1.Flush.QueueDepth = 1 + run%8
+		s := New(cfg)
+		if _, err := s.Run([]*isa.Program{p}, 2_000_000); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+
+		li := 0
+		for idx, in := range p.Instrs {
+			if in.Op != isa.OpLoad {
+				continue
+			}
+			got := s.Cores[0].Timing(idx).LoadValue
+			if got != want[li] {
+				t.Fatalf("run %d: load #%d (instr %d, addr %#x) = %d, golden %d\nprogram: %v",
+					run, li, idx, in.Addr, got, want[li], p.Instrs)
+			}
+			li++
+		}
+	}
+}
+
+// TestDifferentialGoldenModelDisjointCores extends the differential check to
+// multiple cores with disjoint address spaces, where per-core sequential
+// semantics still fully determine every load.
+func TestDifferentialGoldenModelDisjointCores(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const cores = 3
+	for run := 0; run < 40; run++ {
+		progs := make([]*isa.Program, cores)
+		wants := make([][]uint64, cores)
+		for c := 0; c < cores; c++ {
+			base := uint64(c+1) << 20
+			b := isa.NewBuilder()
+			for i := 0; i < 50; i++ {
+				w := base + uint64(rng.Intn(4))*64
+				switch rng.Intn(7) {
+				case 0, 1, 2:
+					b.Store(w, uint64(rng.Intn(1000))+1)
+				case 3, 4:
+					b.Load(w)
+				case 5:
+					b.Cbo(w, rng.Intn(2) == 0)
+				case 6:
+					b.Fence()
+				}
+			}
+			b.Fence()
+			progs[c] = b.Build()
+			wants[c] = (&goldenModel{}).run(progs[c])
+		}
+		s := New(DefaultConfig(cores))
+		if _, err := s.Run(progs, 3_000_000); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		for c := 0; c < cores; c++ {
+			li := 0
+			for idx, in := range progs[c].Instrs {
+				if in.Op != isa.OpLoad {
+					continue
+				}
+				if got := s.Cores[c].Timing(idx).LoadValue; got != wants[c][li] {
+					t.Fatalf("run %d core %d load #%d = %d, golden %d", run, c, li, got, wants[c][li])
+				}
+				li++
+			}
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package sim assembles and clocks the full simulated SoC: N BOOM-style
+// cores with private L1 data caches (each embedding the paper's flush unit),
+// a shared SiFive-style inclusive L2, and a DRAM controller whose backing
+// store is the persistence domain. It corresponds to the paper's FireSim /
+// Enzian FPGA platforms (§7.1), with a deterministic global cycle clock in
+// place of RDCYCLE.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"skipit/internal/boom"
+	"skipit/internal/isa"
+	"skipit/internal/l1"
+	"skipit/internal/l2"
+	"skipit/internal/mem"
+	"skipit/internal/tilelink"
+	"skipit/internal/trace"
+)
+
+// Config describes the SoC. Zero values are filled from the defaults.
+type Config struct {
+	NumCores    int
+	Core        boom.Config
+	L1          l1.Config // template; Source is overridden per core
+	L2          l2.Config
+	Mem         mem.Config
+	BeatBytes   uint64 // system bus width (§3.3: 16 B)
+	LinkLatency int    // wire cycles per channel hop
+}
+
+// DefaultConfig mirrors the paper's platform: 32 KiB 8-way L1s, a shared
+// 512 KiB 8-way inclusive L2, a 16-byte system bus, and the flush unit of
+// §5 with Skip It enabled.
+func DefaultConfig(numCores int) Config {
+	return Config{
+		NumCores:    numCores,
+		Core:        boom.DefaultConfig(),
+		L1:          l1.DefaultConfig(0),
+		L2:          l2.DefaultConfig(numCores),
+		Mem:         mem.DefaultConfig(),
+		BeatBytes:   16,
+		LinkLatency: 1,
+	}
+}
+
+// System is one assembled SoC.
+type System struct {
+	cfg   Config
+	Cores []*boom.Core
+	L1s   []*l1.DCache
+	L2    *l2.Cache
+	Mem   *mem.Memory
+	ports []*tilelink.ClientPort
+
+	now int64
+}
+
+// New assembles a system.
+func New(cfg Config) *System {
+	if cfg.NumCores <= 0 {
+		panic("sim: need at least one core")
+	}
+	s := &System{cfg: cfg}
+	s.Mem = mem.New(cfg.Mem)
+	s.ports = make([]*tilelink.ClientPort, cfg.NumCores)
+	s.L1s = make([]*l1.DCache, cfg.NumCores)
+	s.Cores = make([]*boom.Core, cfg.NumCores)
+	for i := 0; i < cfg.NumCores; i++ {
+		s.ports[i] = tilelink.NewClientPort(
+			fmt.Sprintf("l1[%d]<->l2", i), cfg.BeatBytes, cfg.L1.LineBytes, cfg.LinkLatency)
+		l1cfg := cfg.L1
+		l1cfg.Source = i
+		s.L1s[i] = l1.New(l1cfg, s.ports[i])
+		s.Cores[i] = boom.New(cfg.Core, i, s.L1s[i])
+	}
+	l2cfg := cfg.L2
+	l2cfg.NumClients = cfg.NumCores
+	s.L2 = l2.New(l2cfg, s.ports, s.Mem)
+	return s
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// SetTracer attaches an event tracer to every component (nil disables).
+func (s *System) SetTracer(t trace.Tracer) {
+	for _, d := range s.L1s {
+		d.SetTracer(t)
+	}
+	s.L2.SetTracer(t)
+}
+
+// Now returns the current cycle.
+func (s *System) Now() int64 { return s.now }
+
+// Step advances the whole SoC by one cycle.
+func (s *System) Step() {
+	s.Mem.Tick(s.now)
+	s.L2.Tick(s.now)
+	for _, d := range s.L1s {
+		d.Tick(s.now)
+	}
+	for _, c := range s.Cores {
+		c.Tick(s.now)
+	}
+	s.now++
+}
+
+// ErrTimeout reports a run that exceeded its cycle limit.
+var ErrTimeout = errors.New("sim: cycle limit exceeded")
+
+// Run loads one program per core (nil entries idle the core) and steps until
+// every program has committed and the memory system is quiescent. It returns
+// the cycle at which the last core finished.
+func (s *System) Run(progs []*isa.Program, limit int64) (int64, error) {
+	if len(progs) != len(s.Cores) {
+		return 0, fmt.Errorf("sim: %d programs for %d cores", len(progs), len(s.Cores))
+	}
+	for i, p := range progs {
+		if p == nil {
+			p = isa.NewBuilder().Build()
+		}
+		s.Cores[i].SetProgram(p)
+	}
+	deadline := s.now + limit
+	coresDone := int64(-1)
+	for s.now < deadline {
+		s.Step()
+		if coresDone < 0 {
+			all := true
+			for _, c := range s.Cores {
+				if !c.Done() {
+					all = false
+					break
+				}
+			}
+			if all {
+				coresDone = s.now
+			}
+		} else if s.Quiescent() {
+			return coresDone, nil
+		}
+	}
+	return 0, fmt.Errorf("%w (limit %d): %s", ErrTimeout, limit, s.describeStall())
+}
+
+// Quiescent reports whether no transaction is in flight anywhere.
+func (s *System) Quiescent() bool {
+	if s.Mem.Outstanding() != 0 || s.L2.Busy() {
+		return false
+	}
+	for _, d := range s.L1s {
+		if d.Busy() {
+			return false
+		}
+	}
+	for _, p := range s.ports {
+		if p.Pending() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Drain steps until quiescence or the limit elapses.
+func (s *System) Drain(limit int64) error {
+	deadline := s.now + limit
+	for s.now < deadline {
+		if s.Quiescent() {
+			return nil
+		}
+		s.Step()
+	}
+	return fmt.Errorf("%w while draining: %s", ErrTimeout, s.describeStall())
+}
+
+func (s *System) describeStall() string {
+	out := fmt.Sprintf("cycle %d:", s.now)
+	for i, c := range s.Cores {
+		out += fmt.Sprintf(" core%d(done=%v)", i, c.Done())
+	}
+	for i, d := range s.L1s {
+		st := d.FlushUnit()
+		out += fmt.Sprintf(" l1[%d](busy=%v flushQ=%d fshr=%d)", i, d.Busy(), st.QueueLen(), st.ActiveFSHRs())
+	}
+	out += fmt.Sprintf(" l2(busy=%v) mem(out=%d)", s.L2.Busy(), s.Mem.Outstanding())
+	return out
+}
+
+// Crash simulates power loss: all volatile state — cores, L1s, links, L2 —
+// is destroyed; only the memory's durable contents survive. drainADR
+// controls whether writes already accepted by the memory controller drain
+// into the persistence domain (ADR) or are lost.
+func (s *System) Crash(drainADR bool) {
+	for _, c := range s.Cores {
+		c.SetProgram(isa.NewBuilder().Build())
+	}
+	for _, d := range s.L1s {
+		d.Reset()
+	}
+	for _, p := range s.ports {
+		p.Reset()
+	}
+	s.L2.Reset()
+	s.Mem.Crash(drainADR)
+}

@@ -1,0 +1,86 @@
+// Package stats provides the small set of summary statistics the paper's
+// evaluation reports: medians with standard deviations over repeated
+// microbenchmark runs (§7.1 reports the median of 50 repetitions), plus
+// means and speedups for the throughput studies.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Median returns the median of xs; it panics on an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: median of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Mean returns the arithmetic mean of xs; it panics on an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: mean of empty slice")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Sigma returns the population standard deviation of xs.
+func Sigma(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: sigma of empty slice")
+	}
+	m := Mean(xs)
+	v := 0.0
+	for _, x := range xs {
+		d := x - m
+		v += d * d
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}
+
+// Min returns the smallest element of xs; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Speedup returns base/opt, the conventional "x times faster" ratio.
+func Speedup(base, opt float64) float64 {
+	if opt == 0 {
+		return math.Inf(1)
+	}
+	return base / opt
+}

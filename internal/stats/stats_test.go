@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedianOddEven(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %f", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median = %f", got)
+	}
+	if got := Median([]float64{7}); got != 7 {
+		t.Fatalf("singleton median = %f", got)
+	}
+}
+
+func TestMedianDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("median sorted the caller's slice")
+	}
+}
+
+func TestMeanSigma(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("mean = %f", got)
+	}
+	if got := Sigma(xs); got != 2 {
+		t.Fatalf("sigma = %f", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{5, -1, 3}
+	if Min(xs) != -1 || Max(xs) != 5 {
+		t.Fatalf("min/max = %f/%f", Min(xs), Max(xs))
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(100, 50); got != 2 {
+		t.Fatalf("speedup = %f", got)
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Fatal("speedup by zero not +Inf")
+	}
+}
+
+func TestPanicsOnEmpty(t *testing.T) {
+	for name, f := range map[string]func(){
+		"median": func() { Median(nil) },
+		"mean":   func() { Mean(nil) },
+		"sigma":  func() { Sigma(nil) },
+		"min":    func() { Min(nil) },
+		"max":    func() { Max(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(nil) did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Properties: min <= median <= max and min <= mean <= max; sigma >= 0.
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, int(n%50)+1)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		lo, hi := Min(xs), Max(xs)
+		med, mean := Median(xs), Mean(xs)
+		return lo <= med && med <= hi && lo <= mean && mean <= hi && Sigma(xs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package tilelink
+
+import "fmt"
+
+// Link is one unidirectional TileLink channel between two agents. It models
+// occupancy in beats: a message with a data payload occupies the channel for
+// lineBytes/beatBytes consecutive cycles (4 cycles for a 64 B line on the
+// SonicBOOM's 16 B system bus, §3.3/Fig. 3), a data-less message for one
+// cycle, and delivery additionally incurs a fixed wire latency.
+//
+// Links are driven by the simulation clock: producers call Send with the
+// current cycle, consumers call Recv with the current cycle. A message sent
+// at cycle t is never receivable before t+1, which keeps the component tick
+// order of the system loop free of zero-cycle combinational paths.
+type Link struct {
+	Name      string
+	BeatBytes uint64
+	LineBytes uint64
+	Latency   int // wire cycles added after the final beat
+
+	busyUntil int64 // last cycle at which the channel is occupied
+	q         []inflight
+}
+
+type inflight struct {
+	msg     Msg
+	readyAt int64 // first cycle at which Recv may return the message
+}
+
+// NewLink returns a link with the given occupancy parameters. latency is the
+// number of cycles between the last beat leaving the sender and the message
+// becoming receivable.
+func NewLink(name string, beatBytes, lineBytes uint64, latency int) *Link {
+	if beatBytes == 0 || lineBytes%beatBytes != 0 {
+		panic(fmt.Sprintf("tilelink: link %s: line %d not a multiple of beat %d", name, lineBytes, beatBytes))
+	}
+	return &Link{Name: name, BeatBytes: beatBytes, LineBytes: lineBytes, Latency: latency}
+}
+
+// Beats returns the number of beats the message occupies on this link.
+func (l *Link) Beats(m Msg) int64 {
+	if m.Op.HasData() {
+		return int64(l.LineBytes / l.BeatBytes)
+	}
+	return 1
+}
+
+// CanSend reports whether the channel can accept the first beat of a new
+// message at cycle now.
+func (l *Link) CanSend(now int64) bool { return l.busyUntil <= now }
+
+// Send enqueues a message at cycle now. It reports false without side
+// effects when the channel is occupied; the caller must retry on a later
+// cycle, as hardware would hold valid high until ready.
+func (l *Link) Send(now int64, m Msg) bool {
+	if !l.CanSend(now) {
+		return false
+	}
+	if err := m.Validate(l.LineBytes); err != nil {
+		panic(err)
+	}
+	beats := l.Beats(m)
+	l.busyUntil = now + beats
+	l.q = append(l.q, inflight{msg: m, readyAt: now + beats + int64(l.Latency)})
+	return true
+}
+
+// Recv returns the oldest message that has fully arrived by cycle now, or
+// ok=false. Messages are delivered strictly in send order.
+func (l *Link) Recv(now int64) (Msg, bool) {
+	if len(l.q) == 0 || l.q[0].readyAt > now {
+		return Msg{}, false
+	}
+	m := l.q[0].msg
+	// Shift rather than re-slice so the backing array does not grow
+	// without bound over long simulations.
+	copy(l.q, l.q[1:])
+	l.q = l.q[:len(l.q)-1]
+	return m, true
+}
+
+// Peek is Recv without consuming the message.
+func (l *Link) Peek(now int64) (Msg, bool) {
+	if len(l.q) == 0 || l.q[0].readyAt > now {
+		return Msg{}, false
+	}
+	return l.q[0].msg, true
+}
+
+// Pending returns the number of in-flight messages (sent, not yet received).
+func (l *Link) Pending() int { return len(l.q) }
+
+// Reset drops all in-flight messages, e.g. when simulating a crash that
+// destroys volatile state.
+func (l *Link) Reset() {
+	l.q = l.q[:0]
+	l.busyUntil = 0
+}
+
+// ClientPort bundles the five channels of one client<->manager link, from the
+// client's perspective: A, C, E are outbound; B, D are inbound.
+type ClientPort struct {
+	A, C, E *Link // client -> manager
+	B, D    *Link // manager -> client
+}
+
+// NewClientPort builds a five-channel link bundle. All channels share beat
+// and line geometry; only C and D can carry data in our protocol subset, but
+// uniform geometry keeps the model simple and matches the shared system bus.
+func NewClientPort(name string, beatBytes, lineBytes uint64, latency int) *ClientPort {
+	mk := func(ch string) *Link {
+		return NewLink(name+"."+ch, beatBytes, lineBytes, latency)
+	}
+	return &ClientPort{A: mk("A"), B: mk("B"), C: mk("C"), D: mk("D"), E: mk("E")}
+}
+
+// Pending returns the total number of in-flight messages across all five
+// channels; zero means the link bundle is quiescent.
+func (p *ClientPort) Pending() int {
+	return p.A.Pending() + p.B.Pending() + p.C.Pending() + p.D.Pending() + p.E.Pending()
+}
+
+// Reset drops in-flight messages on all five channels.
+func (p *ClientPort) Reset() {
+	p.A.Reset()
+	p.B.Reset()
+	p.C.Reset()
+	p.D.Reset()
+	p.E.Reset()
+}

@@ -1,0 +1,189 @@
+// Package tilelink models the subset of the TileLink cached (TL-C) protocol
+// used by the BOOM L1 data cache and the SiFive inclusive L2: the five
+// unidirectional channels A–E, the Acquire/Grant/GrantAck, Probe/ProbeAck and
+// Release/ReleaseAck transactions of Fig. 1 in the paper, and the two message
+// extensions the paper introduces (RootRelease on C, RootReleaseAck and
+// GrantDataDirty on D).
+//
+// Links account for beat timing: the SonicBOOM system bus is 16 bytes wide, so
+// a 64-byte cache line message occupies a channel for four cycles while
+// data-less messages occupy it for one.
+package tilelink
+
+import "fmt"
+
+// Perm is the permission a client agent holds on a cache line. TileLink names
+// the levels after tree positions: a Trunk holds read/write (exclusive)
+// permissions, a Branch holds read (possibly shared) permissions, and None
+// holds nothing. These correspond to the MESI M/E, S and I states.
+type Perm uint8
+
+const (
+	PermNone Perm = iota
+	PermBranch
+	PermTrunk
+)
+
+func (p Perm) String() string {
+	switch p {
+	case PermNone:
+		return "None"
+	case PermBranch:
+		return "Branch"
+	case PermTrunk:
+		return "Trunk"
+	}
+	return fmt.Sprintf("Perm(%d)", uint8(p))
+}
+
+// CanRead reports whether the permission level allows reading the line.
+func (p Perm) CanRead() bool { return p != PermNone }
+
+// CanWrite reports whether the permission level allows writing the line.
+func (p Perm) CanWrite() bool { return p == PermTrunk }
+
+// Grow is the permission transition requested by an Acquire message.
+type Grow uint8
+
+const (
+	GrowNtoB Grow = iota // none -> branch (read)
+	GrowNtoT             // none -> trunk (read/write)
+	GrowBtoT             // branch -> trunk (upgrade)
+)
+
+func (g Grow) String() string {
+	switch g {
+	case GrowNtoB:
+		return "NtoB"
+	case GrowNtoT:
+		return "NtoT"
+	case GrowBtoT:
+		return "BtoT"
+	}
+	return fmt.Sprintf("Grow(%d)", uint8(g))
+}
+
+// From returns the permission level the client must currently hold for the
+// grow transition to be legal.
+func (g Grow) From() Perm {
+	if g == GrowBtoT {
+		return PermBranch
+	}
+	return PermNone
+}
+
+// To returns the permission level the client holds after the grant.
+func (g Grow) To() Perm {
+	if g == GrowNtoB {
+		return PermBranch
+	}
+	return PermTrunk
+}
+
+// Cap is the ceiling a Probe or Grant imposes on a client's permissions.
+type Cap uint8
+
+const (
+	CapToN Cap = iota // demote to None (invalidate)
+	CapToB            // demote to Branch (keep a read-only copy)
+	CapToT            // grant Trunk
+)
+
+func (c Cap) String() string {
+	switch c {
+	case CapToN:
+		return "toN"
+	case CapToB:
+		return "toB"
+	case CapToT:
+		return "toT"
+	}
+	return fmt.Sprintf("Cap(%d)", uint8(c))
+}
+
+// Perm returns the permission level the cap corresponds to.
+func (c Cap) Perm() Perm {
+	switch c {
+	case CapToB:
+		return PermBranch
+	case CapToT:
+		return PermTrunk
+	}
+	return PermNone
+}
+
+// Shrink reports a client-side permission downgrade carried by a ProbeAck or
+// Release message: the level held before and after.
+type Shrink uint8
+
+const (
+	ShrinkTtoB Shrink = iota
+	ShrinkTtoN
+	ShrinkBtoN
+	ShrinkTtoT // report: no change, held trunk
+	ShrinkBtoB // report: no change, held branch
+	ShrinkNtoN // report: no change, held nothing
+)
+
+func (s Shrink) String() string {
+	switch s {
+	case ShrinkTtoB:
+		return "TtoB"
+	case ShrinkTtoN:
+		return "TtoN"
+	case ShrinkBtoN:
+		return "BtoN"
+	case ShrinkTtoT:
+		return "TtoT"
+	case ShrinkBtoB:
+		return "BtoB"
+	case ShrinkNtoN:
+		return "NtoN"
+	}
+	return fmt.Sprintf("Shrink(%d)", uint8(s))
+}
+
+// From returns the permission held before the downgrade.
+func (s Shrink) From() Perm {
+	switch s {
+	case ShrinkTtoB, ShrinkTtoN, ShrinkTtoT:
+		return PermTrunk
+	case ShrinkBtoN, ShrinkBtoB:
+		return PermBranch
+	}
+	return PermNone
+}
+
+// To returns the permission held after the downgrade.
+func (s Shrink) To() Perm {
+	switch s {
+	case ShrinkTtoB:
+		return PermBranch
+	case ShrinkTtoT:
+		return PermTrunk
+	case ShrinkBtoB:
+		return PermBranch
+	}
+	return PermNone
+}
+
+// ShrinkFor builds the Shrink parameter for a client moving between the two
+// given permission levels. It panics if the transition would be an upgrade,
+// which is illegal on channel C.
+func ShrinkFor(from, to Perm) Shrink {
+	switch {
+	case from == PermTrunk && to == PermBranch:
+		return ShrinkTtoB
+	case from == PermTrunk && to == PermNone:
+		return ShrinkTtoN
+	case from == PermBranch && to == PermNone:
+		return ShrinkBtoN
+	case from == PermTrunk && to == PermTrunk:
+		return ShrinkTtoT
+	case from == PermBranch && to == PermBranch:
+		return ShrinkBtoB
+	case from == PermNone && to == PermNone:
+		return ShrinkNtoN
+	}
+	panic(fmt.Sprintf("tilelink: illegal shrink %v -> %v", from, to))
+}

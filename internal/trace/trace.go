@@ -1,0 +1,156 @@
+// Package trace is the simulator's event-tracing facility: components emit
+// typed events (flush-unit state transitions, cache misses, probes, grants,
+// commits) to a Tracer, and tools render them as a timeline. Tracing is
+// opt-in and nil-safe: a nil Tracer costs one branch per would-be event, so
+// benchmarks run untraced at full speed.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Event is one timestamped simulator occurrence.
+type Event struct {
+	Cycle  int64
+	Source string // component instance, e.g. "l1[0]", "flush[1]", "l2"
+	Kind   string // event class, e.g. "cbo-offer", "fshr", "probe", "grant"
+	Addr   uint64 // line address, 0 when not applicable
+	Detail string // free-form specifics
+}
+
+func (e Event) String() string {
+	if e.Addr != 0 {
+		return fmt.Sprintf("%8d  %-8s %-12s %#10x  %s", e.Cycle, e.Source, e.Kind, e.Addr, e.Detail)
+	}
+	return fmt.Sprintf("%8d  %-8s %-12s %10s  %s", e.Cycle, e.Source, e.Kind, "", e.Detail)
+}
+
+// Tracer receives events. Implementations must tolerate concurrent Emit
+// calls only if they are shared across goroutines; the cycle simulator is
+// single-goroutine, but the Ring is safe either way.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Ring is a bounded in-memory tracer keeping the most recent events.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	count int
+	total uint64
+}
+
+// NewRing returns a tracer retaining the last n events.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		panic("trace: ring size must be positive")
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Emit records an event, evicting the oldest when full.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.count)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Total returns the number of events ever emitted (including evicted ones).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Filter returns the retained events whose Kind or Source contains the
+// given substring.
+func (r *Ring) Filter(substr string) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if strings.Contains(e.Kind, substr) || strings.Contains(e.Source, substr) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ForAddr returns the retained events for one line address — the life story
+// of a cache line.
+func (r *Ring) ForAddr(addr uint64) []Event {
+	line := addr &^ 63
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Addr&^63 == line && e.Addr != 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes the retained events to w, oldest first.
+func (r *Ring) Dump(w io.Writer) error {
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Writer streams every event to an io.Writer as it is emitted.
+type Writer struct {
+	mu sync.Mutex
+	W  io.Writer
+}
+
+// NewWriter returns a streaming tracer.
+func NewWriter(w io.Writer) *Writer { return &Writer{W: w} }
+
+// Emit writes the event immediately.
+func (t *Writer) Emit(e Event) {
+	t.mu.Lock()
+	fmt.Fprintln(t.W, e)
+	t.mu.Unlock()
+}
+
+// Multi fans events out to several tracers.
+type Multi []Tracer
+
+// Emit forwards to every tracer.
+func (m Multi) Emit(e Event) {
+	for _, t := range m {
+		t.Emit(e)
+	}
+}
+
+// Emit is the nil-safe helper components call: a nil tracer is a no-op.
+func Emit(t Tracer, cycle int64, source, kind string, addr uint64, detail string) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Cycle: cycle, Source: source, Kind: kind, Addr: addr, Detail: detail})
+}

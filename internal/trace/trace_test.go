@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func ev(cycle int64, kind string, addr uint64) Event {
+	return Event{Cycle: cycle, Source: "t", Kind: kind, Addr: addr}
+}
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	r := NewRing(3)
+	for i := int64(0); i < 5; i++ {
+		r.Emit(ev(i, "x", 0))
+	}
+	got := r.Events()
+	if len(got) != 3 {
+		t.Fatalf("retained %d, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.Cycle != int64(2+i) {
+			t.Fatalf("event %d has cycle %d, want %d (oldest-first)", i, e.Cycle, 2+i)
+		}
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total %d, want 5", r.Total())
+	}
+}
+
+func TestRingPartial(t *testing.T) {
+	r := NewRing(8)
+	r.Emit(ev(1, "a", 0))
+	r.Emit(ev(2, "b", 0))
+	got := r.Events()
+	if len(got) != 2 || got[0].Kind != "a" || got[1].Kind != "b" {
+		t.Fatalf("events = %v", got)
+	}
+}
+
+func TestRingPanicsOnZeroSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestFilter(t *testing.T) {
+	r := NewRing(8)
+	r.Emit(ev(1, "cbo-drop", 64))
+	r.Emit(ev(2, "grant", 64))
+	r.Emit(ev(3, "cbo-enqueue", 128))
+	if got := r.Filter("cbo"); len(got) != 2 {
+		t.Fatalf("Filter(cbo) = %d events, want 2", len(got))
+	}
+	if got := r.Filter("grant"); len(got) != 1 {
+		t.Fatalf("Filter(grant) = %d events, want 1", len(got))
+	}
+}
+
+func TestForAddrMatchesLine(t *testing.T) {
+	r := NewRing(8)
+	r.Emit(ev(1, "a", 0x1000))
+	r.Emit(ev(2, "b", 0x1008)) // same line
+	r.Emit(ev(3, "c", 0x2000))
+	if got := r.ForAddr(0x1010); len(got) != 2 {
+		t.Fatalf("ForAddr = %d events, want 2 (line-granular)", len(got))
+	}
+}
+
+func TestWriterStreams(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Emit(ev(7, "probe", 0x40))
+	if !strings.Contains(sb.String(), "probe") || !strings.Contains(sb.String(), "0x40") {
+		t.Fatalf("stream output %q", sb.String())
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := NewRing(4), NewRing(4)
+	m := Multi{a, b}
+	m.Emit(ev(1, "x", 0))
+	if a.Total() != 1 || b.Total() != 1 {
+		t.Fatal("multi did not fan out")
+	}
+}
+
+func TestEmitNilTracerIsNoop(t *testing.T) {
+	Emit(nil, 1, "s", "k", 0, "") // must not panic
+}
+
+func TestDump(t *testing.T) {
+	r := NewRing(4)
+	r.Emit(ev(1, "a", 0x40))
+	r.Emit(ev(2, "b", 0))
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("dumped %d lines, want 2", len(lines))
+	}
+}
