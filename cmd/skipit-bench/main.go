@@ -5,27 +5,84 @@
 // Usage:
 //
 //	skipit-bench [-fig 9|10|11|12|13|14|15|16|all] [-quick] [-csv]
+//	             [-metrics-dir DIR]
 //
 // -quick shrinks sweep sizes and operation counts so the full set completes
 // in well under a minute; -csv emits machine-readable rows (figure,series,
-// x,y) for plotting instead of the human-readable tables.
+// x,y) for plotting instead of the human-readable tables. -metrics-dir
+// writes one figNN.metrics.json sidecar per cycle-accurate figure (9-13)
+// holding the labeled telemetry snapshot of every measurement run, so
+// figure-level latencies can be cross-examined against hardware counters
+// (skip rates, stall attribution, DRAM traffic) without re-running.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"skipit/internal/bench"
 	"skipit/internal/commercial"
+	"skipit/internal/metrics"
 )
+
+// sidecar accumulates the labeled snapshots of one figure's measurement runs
+// and writes them as a JSON sidecar file. A nil sidecar is a no-op.
+type sidecar struct {
+	dir, fig string
+	snaps    []labeledSnapshot
+}
+
+type labeledSnapshot struct {
+	Label    string           `json:"label"`
+	Snapshot metrics.Snapshot `json:"snapshot"`
+}
+
+// begin installs the collector as the bench snapshot sink.
+func newSidecar(dir, fig string) *sidecar {
+	if dir == "" {
+		return nil
+	}
+	sc := &sidecar{dir: dir, fig: fig}
+	bench.SnapshotSink = func(label string, snap metrics.Snapshot) {
+		sc.snaps = append(sc.snaps, labeledSnapshot{Label: label, Snapshot: snap})
+	}
+	return sc
+}
+
+// close detaches the sink and writes DIR/figNN.metrics.json.
+func (sc *sidecar) close() {
+	if sc == nil {
+		return
+	}
+	bench.SnapshotSink = nil
+	path := filepath.Join(sc.dir, sc.fig+".metrics.json")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(sc.snaps); err != nil {
+		log.Fatalf("writing %s: %v", path, err)
+	}
+}
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 9..16 or all")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
 	csv := flag.Bool("csv", false, "emit figure,series,x,y rows for plotting")
+	metricsDir := flag.String("metrics-dir", "", "write per-figure metrics sidecar JSON files into this directory")
 	flag.Parse()
+	if *metricsDir != "" {
+		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *csv {
 		fmt.Println("figure,series,x,y")
 	}
@@ -46,7 +103,9 @@ func main() {
 
 	if all || want["9"] {
 		ran = true
+		sc := newSidecar(*metricsDir, "fig9")
 		rows := bench.Fig9(false)
+		sc.close()
 		if *csv {
 			for _, r := range rows {
 				fmt.Printf("9,%dT,%d,%.0f\n", r.Threads, r.Size, r.Cycles)
@@ -61,7 +120,9 @@ func main() {
 	}
 	if all || want["10"] {
 		ran = true
+		sc := newSidecar(*metricsDir, "fig10")
 		rows := bench.Fig10(bench.ThreadCounts)
+		sc.close()
 		if *csv {
 			for _, r := range rows {
 				op := "flush"
@@ -88,6 +149,7 @@ func main() {
 				continue
 			}
 			figNo := map[int]int{1: 11, 8: 12}[threads]
+			sc := newSidecar(*metricsDir, fmt.Sprintf("fig%d", figNo))
 			if *csv {
 				for _, clean := range []bool{false, true} {
 					op := "CBO.FLUSH"
@@ -103,6 +165,7 @@ func main() {
 						fmt.Printf("%d,%s-%s,%d,%.0f\n", figNo, m.Vendor, m.Instr, size, m.Latency(size, threads))
 					}
 				}
+				sc.close()
 				continue
 			}
 			header(fmt.Sprintf("Figure %d — comparative writeback latency, %d thread(s) (cycles)",
@@ -132,11 +195,14 @@ func main() {
 				}
 				fmt.Println()
 			}
+			sc.close()
 		}
 	}
 	if all || want["13"] {
 		ran = true
+		sc := newSidecar(*metricsDir, "fig13")
 		rows := bench.Fig13(bench.ThreadCounts, 10)
+		sc.close()
 		if *csv {
 			for _, r := range rows {
 				mode := "naive"

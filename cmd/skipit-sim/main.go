@@ -5,17 +5,25 @@
 // Usage:
 //
 //	skipit-sim [-cores N] [-size BYTES] [-op clean|flush] [-redundant K]
-//	           [-skipit=true|false] [-trace]
+//	           [-skipit=true|false] [-trace] [-trace-format text|chrome]
+//	           [-trace-out FILE] [-metrics FILE] [-sample-interval K]
 //	skipit-sim -file prog.s [-skipit=...] [-trace]
 //
 // With -file, the program is read from an assembly file (one instruction per
 // line: sd/ld/cbo.clean/cbo.flush/cflush.d.l1/fence/nop; see isa.Parse) and
 // run on a single core; per-instruction timings are printed.
+//
+// -metrics writes the system's aggregated telemetry snapshot (every
+// counter, gauge and histogram, plus derived rates and sampled time
+// series) as JSON. -trace-format=chrome writes the event trace in Chrome
+// trace_event format, loadable in Perfetto.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -30,7 +38,11 @@ func main() {
 	op := flag.String("op", "flush", "writeback instruction: clean or flush")
 	redundant := flag.Int("redundant", 0, "redundant CBO.X per line after the first")
 	skipIt := flag.Bool("skipit", true, "enable the Skip It optimization")
-	doTrace := flag.Bool("trace", false, "stream component events to stderr")
+	doTrace := flag.Bool("trace", false, "trace component events")
+	traceFormat := flag.String("trace-format", "text", "trace output format: text or chrome (Perfetto-compatible)")
+	traceOut := flag.String("trace-out", "", "trace output file (default stderr; chrome format writes on exit)")
+	metricsOut := flag.String("metrics", "", "write the aggregated metrics snapshot as JSON to this file (- for stdout)")
+	sampleInterval := flag.Int64("sample-interval", 0, "sample all counters into time series every K cycles (0 disables)")
 	file := flag.String("file", "", "run an assembly file instead of the built-in sweep")
 	flag.Parse()
 
@@ -46,9 +58,12 @@ func main() {
 	cfg := sim.DefaultConfig(*cores)
 	cfg.L1.Flush.SkipIt = *skipIt
 	s := sim.New(cfg)
-	if *doTrace {
-		s.SetTracer(trace.NewWriter(os.Stderr))
+	finishTrace := setupTracer(s, *doTrace, *traceFormat, *traceOut)
+	defer finishTrace()
+	if *sampleInterval > 0 {
+		s.EnableSampling(*sampleInterval)
 	}
+	defer writeMetrics(s, *metricsOut)
 
 	if *file != "" {
 		runFile(s, *file)
@@ -116,6 +131,59 @@ func main() {
 		l2.MemReads, l2.MemWrites)
 	m := s.Mem.Stats()
 	fmt.Printf("dram: reads=%d writes=%d stalled=%d\n", m.Reads, m.Writes, m.StalledSends)
+}
+
+// setupTracer attaches the requested tracer and returns a cleanup that
+// flushes buffered formats.
+func setupTracer(s *sim.System, enabled bool, format, out string) func() {
+	if !enabled {
+		return func() {}
+	}
+	var w io.Writer = os.Stderr
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w = f
+	}
+	switch format {
+	case "text":
+		s.SetTracer(trace.NewWriter(w))
+		return func() {}
+	case "chrome":
+		ct := trace.NewChromeTracer(w)
+		s.SetTracer(ct)
+		return func() {
+			if err := ct.Close(); err != nil {
+				log.Fatalf("writing chrome trace: %v", err)
+			}
+		}
+	default:
+		log.Fatalf("unknown -trace-format %q (want text or chrome)", format)
+		return nil
+	}
+}
+
+// writeMetrics serializes the system snapshot when -metrics is given.
+func writeMetrics(s *sim.System, path string) {
+	if path == "" {
+		return
+	}
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.Snapshot()); err != nil {
+		log.Fatalf("writing metrics: %v", err)
+	}
 }
 
 // runFile assembles and runs a program file on core 0, printing per-

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"skipit/internal/isa"
+	"skipit/internal/metrics"
 	"skipit/internal/sim"
 	"skipit/internal/stats"
 )
@@ -28,6 +29,21 @@ const lineBytes = 64
 
 // runLimit bounds every simulated program.
 const runLimit = 20_000_000
+
+// SnapshotSink, when non-nil, receives the metrics snapshot of every
+// completed cycle-accurate measurement run, labeled by the measurement's
+// parameters. cmd/skipit-bench installs one to write per-figure metrics
+// sidecar files; the figures that run on the analytic memsim model (14-16)
+// produce no snapshots.
+var SnapshotSink func(label string, snap metrics.Snapshot)
+
+// emitSnapshot forwards a finished system's snapshot to the sink.
+func emitSnapshot(s *sim.System, format string, args ...any) {
+	if SnapshotSink == nil {
+		return
+	}
+	SnapshotSink(fmt.Sprintf(format, args...), s.Snapshot())
+}
 
 // Sizes is the writeback-size sweep of Figures 9–13: 64 B to 32 KiB.
 var Sizes = []uint64{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
@@ -90,6 +106,7 @@ func measureSweep(cfg sim.Config, total uint64, threads int, clean bool, rep int
 	if _, err := s.Run(progs, runLimit); err != nil {
 		panic(err)
 	}
+	emitSnapshot(s, "sweep_size%d_threads%d_clean%v_rep%d", total, threads, clean, rep)
 	var begin, end int64 = 1 << 62, 0
 	for t := 0; t < threads; t++ {
 		tm := s.Cores[t].Timings()
@@ -197,6 +214,7 @@ func measureWriteCboFenceRead(total uint64, threads int, clean bool) float64 {
 	if _, err := s.Run(progs, runLimit); err != nil {
 		panic(err)
 	}
+	emitSnapshot(s, "wcfr_size%d_threads%d_clean%v", total, threads, clean)
 	var begin, end int64 = 1 << 62, 0
 	for t := 0; t < threads; t++ {
 		tm := s.Cores[t].Timings()
@@ -299,6 +317,7 @@ func measureRedundant(total uint64, threads, redundant int, skipIt, clean bool) 
 	if _, err := s.Run(progs, runLimit); err != nil {
 		panic(err)
 	}
+	emitSnapshot(s, "redundant_size%d_threads%d_red%d_skipit%v_clean%v", total, threads, redundant, skipIt, clean)
 	var begin, end int64 = 1 << 62, 0
 	for t := 0; t < threads; t++ {
 		tm := s.Cores[t].Timings()

@@ -22,6 +22,7 @@ import (
 
 	"skipit/internal/isa"
 	"skipit/internal/l1"
+	"skipit/internal/metrics"
 )
 
 // Config sets the core's queue sizes and widths to SonicBOOM-like values.
@@ -33,6 +34,9 @@ type Config struct {
 	CommitWidth   int
 	MemWidth      int // LSU fire width (§3.2: two per cycle)
 	RetryDelay    int // cycles before re-firing after a nack
+	// Metrics is the registry the core registers its counters with, under
+	// the instance name "core[id]". Nil gets a private registry.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig mirrors the SonicBOOM MediumBoom-class configuration used
@@ -77,11 +81,32 @@ type entry struct {
 	reqID     int
 }
 
+// coreCounters holds the core's registry-backed instruments.
+type coreCounters struct {
+	committed *metrics.Counter
+	// fenceDrainStalls counts cycles the ROB-head fence waited for the
+	// flush unit to drain (§5.3 fence gating).
+	fenceDrainStalls *metrics.Counter
+	// nackRetries counts data-cache nacks absorbed by the LSU replay logic.
+	nackRetries  *metrics.Counter
+	robOccupancy *metrics.Gauge
+}
+
+func newCoreCounters(reg *metrics.Registry, name string) coreCounters {
+	return coreCounters{
+		committed:        reg.Counter(name, "committed"),
+		fenceDrainStalls: reg.Counter(name, "fence_drain_stall_cycles"),
+		nackRetries:      reg.Counter(name, "nack_retries"),
+		robOccupancy:     reg.Gauge(name, "rob_occupancy"),
+	}
+}
+
 // Core drives one program through one L1 data cache.
 type Core struct {
 	cfg Config
 	id  int
 	dc  *l1.DCache
+	ctr coreCounters
 
 	prog    *isa.Program
 	timings []Timing
@@ -99,7 +124,12 @@ type Core struct {
 
 // New builds a core over its private data cache.
 func New(cfg Config, id int, dc *l1.DCache) *Core {
-	return &Core{cfg: cfg, id: id, dc: dc, inflight: make(map[int]*entry)}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	name := fmt.Sprintf("core[%d]", id)
+	return &Core{cfg: cfg, id: id, dc: dc, ctr: newCoreCounters(reg, name), inflight: make(map[int]*entry)}
 }
 
 // ID returns the core's index.
@@ -142,6 +172,7 @@ func (c *Core) Tick(now int64) {
 	c.dispatch(now)
 	c.issue(now)
 	c.commit(now)
+	c.ctr.robOccupancy.Set(int64(len(c.rob)))
 }
 
 func (c *Core) pollResponses(now int64) {
@@ -154,6 +185,7 @@ func (c *Core) pollResponses(now int64) {
 		t := &c.timings[e.instrIdx]
 		if resp.Nack {
 			t.Nacks++
+			c.ctr.nackRetries.Inc()
 			e.state = esWaiting
 			e.nextTryAt = now + int64(c.cfg.RetryDelay)
 			continue
@@ -255,6 +287,7 @@ func (c *Core) stqHead() *entry {
 // ROB-head position) and no CBO.X is pending in the flush unit (§5.3).
 func (c *Core) tryCompleteFence(now int64, e *entry) {
 	if c.dc.Flushing() {
+		c.ctr.fenceDrainStalls.Inc()
 		return
 	}
 	e.state = esDone
@@ -350,6 +383,7 @@ func (c *Core) commit(now int64) {
 			return
 		}
 		c.timings[e.instrIdx].CommittedAt = now
+		c.ctr.committed.Inc()
 		switch {
 		case e.instr.Op == isa.OpLoad:
 			c.ldqCount--

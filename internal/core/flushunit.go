@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"skipit/internal/metrics"
 	"skipit/internal/tilelink"
 	"skipit/internal/trace"
 )
@@ -28,7 +29,48 @@ type FlushUnit struct {
 	nextRR  int // round-robin FSHR allocation pointer (§5.2)
 	counter int // flush counter (§5.2): pending CBO.X requests
 
-	stats Stats
+	ctr counters
+}
+
+// counters holds the unit's registry-backed instruments. Increment sites use
+// these directly; Stats() reads them back into the legacy struct view.
+type counters struct {
+	offered, enqueued, skipDropped *metrics.Counter
+	coalesced, coalescedCross      *metrics.Counter
+	nackQueueFull, nackFSHRBusy    *metrics.Counter
+	rootReleases, dataWritebacks   *metrics.Counter
+	probeInvals, evictInvals       *metrics.Counter
+	skipBitsSet                    *metrics.Counter
+	stallWBRdy, stallProbeRdy      *metrics.Counter
+	stallFSHRFull, stallSameLine   *metrics.Counter
+	stallLinkBusy                  *metrics.Counter
+	queueDepth, fshrOccupancy      *metrics.Gauge
+	flushLatency                   *metrics.Histogram
+}
+
+func newCounters(reg *metrics.Registry, name string) counters {
+	return counters{
+		offered:        reg.Counter(name, "offered"),
+		enqueued:       reg.Counter(name, "enqueued"),
+		skipDropped:    reg.Counter(name, "skip_dropped"),
+		coalesced:      reg.Counter(name, "coalesced"),
+		coalescedCross: reg.Counter(name, "coalesced_cross"),
+		nackQueueFull:  reg.Counter(name, "nack_queue_full"),
+		nackFSHRBusy:   reg.Counter(name, "nack_fshr_busy"),
+		rootReleases:   reg.Counter(name, "root_releases"),
+		dataWritebacks: reg.Counter(name, "data_writebacks"),
+		probeInvals:    reg.Counter(name, "probe_invals"),
+		evictInvals:    reg.Counter(name, "evict_invals"),
+		skipBitsSet:    reg.Counter(name, "skip_bits_set"),
+		stallWBRdy:     reg.Counter(name, "stall_wb_rdy_cycles"),
+		stallProbeRdy:  reg.Counter(name, "stall_probe_rdy_cycles"),
+		stallFSHRFull:  reg.Counter(name, "stall_fshr_full_cycles"),
+		stallSameLine:  reg.Counter(name, "stall_same_line_cycles"),
+		stallLinkBusy:  reg.Counter(name, "stall_link_busy_cycles"),
+		queueDepth:     reg.Gauge(name, "queue_depth"),
+		fshrOccupancy:  reg.Gauge(name, "fshr_occupancy"),
+		flushLatency:   reg.Histogram(name, "flush_latency_cycles", nil),
+	}
 }
 
 // NewFlushUnit builds a flush unit over the given cache ports.
@@ -39,24 +81,53 @@ func NewFlushUnit(cfg Config, ports CachePorts) *FlushUnit {
 	if cfg.LineBytes == 0 {
 		panic("core: zero line size")
 	}
-	return &FlushUnit{
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	u := &FlushUnit{
 		cfg:   cfg,
 		ports: ports,
 		fshrs: make([]fshr, cfg.NumFSHRs),
+		name:  fmt.Sprintf("flush[%d]", cfg.Source),
 	}
+	u.ctr = newCounters(reg, u.name)
+	return u
 }
 
 // Config returns the unit's configuration.
 func (u *FlushUnit) Config() Config { return u.cfg }
 
 // SetTracer attaches an event tracer (nil disables tracing).
-func (u *FlushUnit) SetTracer(t trace.Tracer) {
-	u.tr = t
-	u.name = fmt.Sprintf("flush[%d]", u.cfg.Source)
+func (u *FlushUnit) SetTracer(t trace.Tracer) { u.tr = t }
+
+// Stats returns the activity counters as one struct, read back from the
+// metrics registry (thin view; see package metrics).
+func (u *FlushUnit) Stats() Stats {
+	return Stats{
+		Offered:        u.ctr.offered.Value(),
+		Enqueued:       u.ctr.enqueued.Value(),
+		SkipDropped:    u.ctr.skipDropped.Value(),
+		Coalesced:      u.ctr.coalesced.Value(),
+		CoalescedCross: u.ctr.coalescedCross.Value(),
+		NackQueueFull:  u.ctr.nackQueueFull.Value(),
+		NackFSHRBusy:   u.ctr.nackFSHRBusy.Value(),
+		RootReleases:   u.ctr.rootReleases.Value(),
+		DataWritebacks: u.ctr.dataWritebacks.Value(),
+		ProbeInvals:    u.ctr.probeInvals.Value(),
+		EvictInvals:    u.ctr.evictInvals.Value(),
+		SkipBitsSet:    u.ctr.skipBitsSet.Value(),
+		StallWBRdy:     u.ctr.stallWBRdy.Value(),
+		StallProbeRdy:  u.ctr.stallProbeRdy.Value(),
+		StallFSHRFull:  u.ctr.stallFSHRFull.Value(),
+		StallSameLine:  u.ctr.stallSameLine.Value(),
+		StallLinkBusy:  u.ctr.stallLinkBusy.Value(),
+	}
 }
 
-// Stats returns activity counters.
-func (u *FlushUnit) Stats() Stats { return u.stats }
+// FlushLatency exposes the per-request completion-latency histogram
+// (FSHR allocation to RootReleaseAck), for P95/P99 reporting.
+func (u *FlushUnit) FlushLatency() *metrics.Histogram { return u.ctr.flushLatency }
 
 func (u *FlushUnit) lineAddr(addr uint64) uint64 { return addr &^ (u.cfg.LineBytes - 1) }
 
@@ -66,13 +137,13 @@ func (u *FlushUnit) lineAddr(addr uint64) uint64 { return addr &^ (u.cfg.LineByt
 // completed immediately, or must be nacked and retried.
 func (u *FlushUnit) Offer(now int64, addr uint64, clean bool, meta LineMeta) OfferResult {
 	addr = u.lineAddr(addr)
-	u.stats.Offered++
+	u.ctr.offered.Inc()
 
 	// §6.1: with Skip It, a request that hits a clean line whose skip bit
 	// is set is provably redundant — the line has no dirty data anywhere
 	// in the hierarchy — and is dropped before entering the queue.
 	if u.cfg.SkipIt && meta.Hit && !meta.Dirty && meta.Skip {
-		u.stats.SkipDropped++
+		u.ctr.skipDropped.Inc()
 		trace.Emit(u.tr, now, u.name, "cbo-drop", addr, "redundant: skip bit set (§6.1)")
 		return OfferDropped
 	}
@@ -89,7 +160,7 @@ func (u *FlushUnit) Offer(now int64, addr uint64, clean bool, meta LineMeta) Off
 				continue
 			}
 			if q.isClean == clean {
-				u.stats.Coalesced++
+				u.ctr.coalesced.Inc()
 				trace.Emit(u.tr, now, u.name, "cbo-coalesce", addr, "merged with queued "+q.kind())
 				return OfferDropped
 			}
@@ -100,7 +171,7 @@ func (u *FlushUnit) Offer(now int64, addr uint64, clean bool, meta LineMeta) Off
 				// CBO.CLEAN into a queued CBO.FLUSH: the flush
 				// already invalidates and writes back everything
 				// the clean would.
-				u.stats.CoalescedCross++
+				u.ctr.coalescedCross.Inc()
 				return OfferDropped
 			}
 			// CBO.FLUSH into a queued CBO.CLEAN: upgrade the entry
@@ -109,7 +180,7 @@ func (u *FlushUnit) Offer(now int64, addr uint64, clean bool, meta LineMeta) Off
 			// clean was enqueued — and the FSHR will now invalidate
 			// instead of just clearing the dirty bit.
 			q.isClean = false
-			u.stats.CoalescedCross++
+			u.ctr.coalescedCross.Inc()
 			return OfferDropped
 		}
 	}
@@ -117,12 +188,12 @@ func (u *FlushUnit) Offer(now int64, addr uint64, clean bool, meta LineMeta) Off
 	// A request to a line an FSHR is actively handling behaves like the
 	// other dependent STQ requests of §5.3: nack and let the LSU retry.
 	if u.fshrFor(addr) != nil {
-		u.stats.NackFSHRBusy++
+		u.ctr.nackFSHRBusy.Inc()
 		return OfferNack
 	}
 
 	if len(u.queue) >= u.cfg.QueueDepth {
-		u.stats.NackQueueFull++
+		u.ctr.nackQueueFull.Inc()
 		return OfferNack
 	}
 
@@ -134,7 +205,7 @@ func (u *FlushUnit) Offer(now int64, addr uint64, clean bool, meta LineMeta) Off
 	}
 	u.queue = append(u.queue, req)
 	u.counter++
-	u.stats.Enqueued++
+	u.ctr.enqueued.Inc()
 	trace.Emit(u.tr, now, u.name, "cbo-enqueue", addr,
 		fmt.Sprintf("%s hit=%v dirty=%v depth=%d", req.kind(), req.isHit, req.isDirty, len(u.queue)))
 	return OfferAccepted
@@ -170,13 +241,28 @@ func (u *FlushUnit) Tick(now int64, probeRdy, wbRdy bool) {
 		u.stepFSHR(now, &u.fshrs[i])
 	}
 
-	if len(u.queue) == 0 || !probeRdy || !wbRdy {
+	u.ctr.queueDepth.Set(int64(len(u.queue)))
+	u.ctr.fshrOccupancy.Set(int64(u.ActiveFSHRs()))
+
+	if len(u.queue) == 0 {
+		return
+	}
+	// Stall attribution (§5.4): record why the queue head cannot dequeue
+	// this cycle. wb_rdy takes priority in the report, matching the
+	// arbitration order of Fig. 8.
+	if !wbRdy {
+		u.ctr.stallWBRdy.Inc()
+		return
+	}
+	if !probeRdy {
+		u.ctr.stallProbeRdy.Inc()
 		return
 	}
 	// An FSHR may already be handling this line (it stays busy until the
 	// ack arrives); a second concurrent handler would race on metadata.
 	head := u.queue[0]
 	if u.fshrFor(head.addr) != nil {
+		u.ctr.stallSameLine.Inc()
 		return
 	}
 	for n := 0; n < len(u.fshrs); n++ {
@@ -187,7 +273,7 @@ func (u *FlushUnit) Tick(now int64, probeRdy, wbRdy bool) {
 		u.nextRR = (i + 1) % len(u.fshrs)
 		copy(u.queue, u.queue[1:])
 		u.queue = u.queue[:len(u.queue)-1]
-		u.fshrs[i].allocate(head)
+		u.fshrs[i].allocate(head, now)
 		trace.Emit(u.tr, now, u.name, "fshr-alloc", head.addr,
 			fmt.Sprintf("fshr=%d %s hit=%v dirty=%v", i, head.kind(), head.isHit, head.isDirty))
 		// Give the freshly allocated FSHR its first state's work this
@@ -196,6 +282,7 @@ func (u *FlushUnit) Tick(now int64, probeRdy, wbRdy bool) {
 		u.stepFSHR(now, &u.fshrs[i])
 		return
 	}
+	u.ctr.stallFSHRFull.Inc()
 }
 
 // OnRootReleaseAck routes a RootReleaseAck from TL-D to the FSHR waiting on
@@ -212,10 +299,11 @@ func (u *FlushUnit) OnRootReleaseAck(now int64, addr uint64) {
 		if u.cfg.SkipIt && f.req.isClean {
 			if m := u.ports.MetaLineState(addr); m.Hit && !m.Dirty {
 				u.ports.MetaSetSkip(addr, true)
-				u.stats.SkipBitsSet++
+				u.ctr.skipBitsSet.Inc()
 			}
 		}
 		trace.Emit(u.tr, now, u.name, "fshr-ack", addr, f.req.kind()+" complete")
+		u.ctr.flushLatency.Observe(uint64(now - f.allocAt))
 		f.state = FSHRInvalid
 		f.buffer = nil
 		f.bufferFilled = false
@@ -243,13 +331,13 @@ func (u *FlushUnit) ProbeInvalidate(addr uint64, cap tilelink.Cap) {
 		switch cap {
 		case tilelink.CapToN:
 			if q.isHit || q.isDirty {
-				u.stats.ProbeInvals++
+				u.ctr.probeInvals.Inc()
 			}
 			q.isHit = false
 			q.isDirty = false
 		case tilelink.CapToB:
 			if q.isDirty {
-				u.stats.ProbeInvals++
+				u.ctr.probeInvals.Inc()
 			}
 			q.isDirty = false
 		}
@@ -267,7 +355,7 @@ func (u *FlushUnit) EvictInvalidate(addr uint64) {
 			continue
 		}
 		if q.isHit || q.isDirty {
-			u.stats.EvictInvals++
+			u.ctr.evictInvals.Inc()
 		}
 		q.isHit = false
 		q.isDirty = false

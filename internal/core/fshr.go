@@ -52,6 +52,9 @@ func (s FSHRState) String() string {
 type fshr struct {
 	state FSHRState
 	req   flushReq
+	// allocAt is the cycle the request was dequeued into this FSHR; the
+	// flush unit observes completion latency against it at the ack.
+	allocAt int64
 
 	// buffer is the per-FSHR data buffer (§5.2) holding the dirty line
 	// being written back.
@@ -80,11 +83,12 @@ func (r flushReq) kind() string {
 
 // allocate loads a dequeued request into a free FSHR and sets up the
 // execution plan (the invalid-state action of Fig. 7).
-func (f *fshr) allocate(req flushReq) {
+func (f *fshr) allocate(req flushReq, now int64) {
 	if f.state != FSHRInvalid {
 		panic("core: allocating busy FSHR")
 	}
 	f.req = req
+	f.allocAt = now
 	f.bufferFilled = false
 	switch {
 	case req.isHit && req.isDirty:
@@ -160,10 +164,12 @@ func (u *FlushUnit) stepFSHR(now int64, f *fshr) {
 			Data:   f.buffer,
 		}
 		if u.ports.SendRootRelease(now, m) {
-			u.stats.RootReleases++
-			u.stats.DataWritebacks++
+			u.ctr.rootReleases.Inc()
+			u.ctr.dataWritebacks.Inc()
 			trace.Emit(u.tr, now, u.name, "root-release", f.req.addr, m.Op.String())
 			f.state = FSHRRootReleaseAck
+		} else {
+			u.ctr.stallLinkBusy.Inc()
 		}
 
 	case FSHRRootRelease:
@@ -174,9 +180,11 @@ func (u *FlushUnit) stepFSHR(now int64, f *fshr) {
 			Source: u.cfg.Source,
 		}
 		if u.ports.SendRootRelease(now, m) {
-			u.stats.RootReleases++
+			u.ctr.rootReleases.Inc()
 			trace.Emit(u.tr, now, u.name, "root-release", f.req.addr, m.Op.String())
 			f.state = FSHRRootReleaseAck
+		} else {
+			u.ctr.stallLinkBusy.Inc()
 		}
 	}
 }

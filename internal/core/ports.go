@@ -9,7 +9,10 @@
 // L1 exactly as Fig. 8 wires it into the SonicBOOM data cache.
 package core
 
-import "skipit/internal/tilelink"
+import (
+	"skipit/internal/metrics"
+	"skipit/internal/tilelink"
+)
 
 // LineMeta is the cache-line bookkeeping a CBO.X request snapshots when it
 // enters the data cache (§5.2, "Flush Queue"): whether the line hits, whether
@@ -75,6 +78,11 @@ type Config struct {
 	WideDataArray bool
 	// Source is the TileLink source ID stamped on RootRelease messages.
 	Source int
+	// Metrics is the registry the unit registers its counters with, under
+	// the instance name "flush[Source]". Nil gets a private registry, so
+	// standalone units (unit tests) work unchanged; the system simulator
+	// injects one shared registry for the whole SoC.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the paper's configuration: 8-entry queue, 8 FSHRs,
@@ -119,7 +127,9 @@ func (r OfferResult) String() string {
 	return "OfferResult(?)"
 }
 
-// Stats counts flush-unit activity for the benchmark harness.
+// Stats is the flush unit's counter set, read back as one struct for the
+// benchmark harness. The counters live in the metrics registry (under
+// "flush[N].*"); Stats() materializes this view from them.
 type Stats struct {
 	Offered        uint64 // CBO.X requests presented by the LSU
 	Enqueued       uint64 // requests buffered in the flush queue
@@ -133,4 +143,12 @@ type Stats struct {
 	ProbeInvals    uint64 // queue entries adjusted by probes (§5.4.1)
 	EvictInvals    uint64 // queue entries adjusted by evictions (§5.4.2)
 	SkipBitsSet    uint64 // lines marked persisted on CBO.CLEAN completion
+
+	// Stall attribution (§5.4): cycles the flush queue head could not
+	// dequeue, by cause, plus TL-C backpressure on RootRelease sends.
+	StallWBRdy    uint64 // writeback unit busy (wb_rdy low)
+	StallProbeRdy uint64 // probe unit busy (probe_rdy low)
+	StallFSHRFull uint64 // every FSHR occupied
+	StallSameLine uint64 // head's line already held by an active FSHR
+	StallLinkBusy uint64 // RootRelease held by TL-C channel occupancy
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"skipit/internal/core"
+	"skipit/internal/metrics"
 	"skipit/internal/tilelink"
 	"skipit/internal/trace"
 )
@@ -72,6 +73,10 @@ type Config struct {
 	InputDepth int // request pipeline buffer
 	Source     int // TileLink source ID / client index
 	Flush      core.Config
+	// Metrics is the registry the cache registers its counters with, under
+	// the instance name "l1[Source]"; the embedded flush unit inherits it
+	// as "flush[Source]". Nil gets a private registry.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the SonicBOOM L1: 32 KiB, 8-way, 64 B lines
@@ -114,7 +119,9 @@ type LineInfo struct {
 	Skip  bool
 }
 
-// Stats counts data cache activity.
+// Stats is the data cache's counter set, read back as one struct. The
+// counters live in the metrics registry (under "l1[N].*"); Stats()
+// materializes this view from them.
 type Stats struct {
 	Loads        uint64
 	Stores       uint64
@@ -126,6 +133,44 @@ type Stats struct {
 	FSHRForwards uint64 // loads served from an FSHR data buffer (§5.3)
 	ProbesServed uint64
 	Writebacks   uint64 // WBU releases (evictions)
+
+	// Nack attribution: every Nacks increment is also counted under
+	// exactly one cause below.
+	NackMSHRFull       uint64 // no free MSHR, or replay queue full
+	NackMSHRBusy       uint64 // line has an in-flight miss (CBO/cflush hazard)
+	NackFlushConflict  uint64 // §5.3 flush-unit conflict rules
+	NackProbeTransient uint64 // line mid-probe-downgrade
+}
+
+// l1Counters holds the cache's registry-backed instruments.
+type l1Counters struct {
+	loads, stores              *metrics.Counter
+	loadHits, storeHits        *metrics.Counter
+	loadMisses, storeMisses    *metrics.Counter
+	nacks, fshrForwards        *metrics.Counter
+	probesServed, writebacks   *metrics.Counter
+	nackMSHRFull, nackMSHRBusy *metrics.Counter
+	nackFlushConflict          *metrics.Counter
+	nackProbeTransient         *metrics.Counter
+}
+
+func newL1Counters(reg *metrics.Registry, name string) l1Counters {
+	return l1Counters{
+		loads:              reg.Counter(name, "loads"),
+		stores:             reg.Counter(name, "stores"),
+		loadHits:           reg.Counter(name, "load_hits"),
+		storeHits:          reg.Counter(name, "store_hits"),
+		loadMisses:         reg.Counter(name, "load_misses"),
+		storeMisses:        reg.Counter(name, "store_misses"),
+		nacks:              reg.Counter(name, "nacks"),
+		fshrForwards:       reg.Counter(name, "fshr_forwards"),
+		probesServed:       reg.Counter(name, "probes_served"),
+		writebacks:         reg.Counter(name, "writebacks"),
+		nackMSHRFull:       reg.Counter(name, "nack_mshr_full"),
+		nackMSHRBusy:       reg.Counter(name, "nack_mshr_busy"),
+		nackFlushConflict:  reg.Counter(name, "nack_flush_conflict"),
+		nackProbeTransient: reg.Counter(name, "nack_probe_transient"),
+	}
 }
 
 type pendingReq struct {
@@ -159,7 +204,7 @@ type DCache struct {
 	acceptedThisCycle int
 	lastAcceptCycle   int64
 
-	stats Stats
+	ctr l1Counters
 }
 
 // New builds a data cache over the given TileLink port (client side).
@@ -167,7 +212,12 @@ func New(cfg Config, port *tilelink.ClientPort) *DCache {
 	if cfg.Sets <= 0 || cfg.Ways <= 0 || cfg.LineBytes == 0 {
 		panic("l1: bad geometry")
 	}
-	d := &DCache{cfg: cfg, port: port}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	d := &DCache{cfg: cfg, port: port, name: fmt.Sprintf("l1[%d]", cfg.Source)}
+	d.ctr = newL1Counters(reg, d.name)
 	d.meta = make([][]wayMeta, cfg.Sets)
 	d.data = make([][][]byte, cfg.Sets)
 	for s := 0; s < cfg.Sets; s++ {
@@ -181,6 +231,7 @@ func New(cfg Config, port *tilelink.ClientPort) *DCache {
 	fcfg := cfg.Flush
 	fcfg.LineBytes = cfg.LineBytes
 	fcfg.Source = cfg.Source
+	fcfg.Metrics = reg
 	d.flush = core.NewFlushUnit(fcfg, (*flushPorts)(d))
 	return d
 }
@@ -188,8 +239,26 @@ func New(cfg Config, port *tilelink.ClientPort) *DCache {
 // Config returns the cache configuration.
 func (d *DCache) Config() Config { return d.cfg }
 
-// Stats returns activity counters.
-func (d *DCache) Stats() Stats { return d.stats }
+// Stats returns the activity counters as one struct, read back from the
+// metrics registry (thin view; see package metrics).
+func (d *DCache) Stats() Stats {
+	return Stats{
+		Loads:              d.ctr.loads.Value(),
+		Stores:             d.ctr.stores.Value(),
+		LoadHits:           d.ctr.loadHits.Value(),
+		StoreHits:          d.ctr.storeHits.Value(),
+		LoadMisses:         d.ctr.loadMisses.Value(),
+		StoreMisses:        d.ctr.storeMisses.Value(),
+		Nacks:              d.ctr.nacks.Value(),
+		FSHRForwards:       d.ctr.fshrForwards.Value(),
+		ProbesServed:       d.ctr.probesServed.Value(),
+		Writebacks:         d.ctr.writebacks.Value(),
+		NackMSHRFull:       d.ctr.nackMSHRFull.Value(),
+		NackMSHRBusy:       d.ctr.nackMSHRBusy.Value(),
+		NackFlushConflict:  d.ctr.nackFlushConflict.Value(),
+		NackProbeTransient: d.ctr.nackProbeTransient.Value(),
+	}
+}
 
 // FlushUnit exposes the embedded flush unit (for stats and fences).
 func (d *DCache) FlushUnit() *core.FlushUnit { return d.flush }
@@ -198,7 +267,6 @@ func (d *DCache) FlushUnit() *core.FlushUnit { return d.flush }
 // disables tracing).
 func (d *DCache) SetTracer(t trace.Tracer) {
 	d.tr = t
-	d.name = fmt.Sprintf("l1[%d]", d.cfg.Source)
 	d.flush.SetTracer(t)
 }
 

@@ -222,7 +222,7 @@ func (d *DCache) tickVictim(now int64, m *mshr) {
 	// line it evicts.
 	d.flush.EvictInvalidate(victimAddr)
 	d.wb.start(victimAddr, d.data[set][best], meta.dirty, meta.perm)
-	d.stats.Writebacks++
+	d.ctr.writebacks.Inc()
 	trace.Emit(d.tr, now, d.name, "evict", victimAddr,
 		fmt.Sprintf("dirty=%v for refill of %#x", meta.dirty, m.addr))
 	meta.valid = false

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"skipit/internal/core"
+	"skipit/internal/metrics"
 	"skipit/internal/tilelink"
 	"skipit/internal/trace"
 )
@@ -122,7 +123,7 @@ func (d *DCache) process(now int64, req Req) {
 	// A probe mid-downgrade on this line makes its state transient; nack
 	// and let the LSU retry, as the blocked metadata port would.
 	if d.probe.state != pIdle && d.lineAddr(d.probe.cur.Addr) == lineAddr {
-		d.nack(now, req)
+		d.nack(now, req, d.ctr.nackProbeTransient)
 		return
 	}
 
@@ -144,9 +145,9 @@ func (d *DCache) process(now int64, req Req) {
 // conflict rules as a store, but the old word value is returned and the
 // response waits for the data (no early MSHR acknowledgement).
 func (d *DCache) processAmo(now int64, req Req, lineAddr uint64) {
-	d.stats.Stores++
+	d.ctr.stores.Inc()
 	if d.flush.StoreConflict(lineAddr) {
-		d.nack(now, req)
+		d.nack(now, req, d.ctr.nackFlushConflict)
 		return
 	}
 	if d.mshrFor(lineAddr) != nil {
@@ -159,11 +160,11 @@ func (d *DCache) processAmo(now int64, req Req, lineAddr uint64) {
 		old := d.amoApply(set, way, req)
 		meta.dirty = true
 		meta.lastUsed = now
-		d.stats.StoreHits++
+		d.ctr.storeHits.Inc()
 		d.respond(now+int64(d.cfg.HitLatency), Resp{ID: req.ID, Data: old})
 		return
 	}
-	d.stats.StoreMisses++
+	d.ctr.storeMisses.Inc()
 	d.missPath(now, req, lineAddr)
 }
 
@@ -190,7 +191,7 @@ func (d *DCache) processCflushDL1(now int64, req Req, lineAddr uint64) {
 	// An in-flight miss will install the line after us; wait for it so
 	// the eviction actually evicts (same hazard as processCbo).
 	if d.mshrFor(lineAddr) != nil {
-		d.nack(now, req)
+		d.nack(now, req, d.ctr.nackMSHRBusy)
 		return
 	}
 	meta := d.lookup(lineAddr)
@@ -201,14 +202,14 @@ func (d *DCache) processCflushDL1(now int64, req Req, lineAddr uint64) {
 		return
 	}
 	if d.flush.QueuedConflict(lineAddr) || !d.flush.FlushRdy() || !d.wb.idle() {
-		d.nack(now, req)
+		d.nack(now, req, d.ctr.nackFlushConflict)
 		return
 	}
 	d.flush.EvictInvalidate(lineAddr)
 	way := d.findWay(lineAddr, true)
 	set := d.index(lineAddr)
 	d.wb.start(lineAddr, d.data[set][way], meta.dirty, meta.perm)
-	d.stats.Writebacks++
+	d.ctr.writebacks.Inc()
 	meta.valid = false
 	meta.dirty = false
 	meta.skip = false
@@ -220,7 +221,7 @@ func (d *DCache) processCbo(now int64, req Req, lineAddr uint64) {
 	// metadata (the MSHR's install and replays have not happened yet);
 	// nack until the miss completes.
 	if d.mshrFor(lineAddr) != nil {
-		d.nack(now, req)
+		d.nack(now, req, d.ctr.nackMSHRBusy)
 		return
 	}
 	meta := core.LineMeta{}
@@ -235,12 +236,12 @@ func (d *DCache) processCbo(now int64, req Req, lineAddr uint64) {
 		// arbitration path before success is signaled.
 		d.respond(now+int64(d.cfg.CboLatency), Resp{ID: req.ID})
 	case core.OfferNack:
-		d.nack(now, req)
+		d.nack(now, req, d.ctr.nackFlushConflict)
 	}
 }
 
 func (d *DCache) processLoad(now int64, req Req, lineAddr uint64) {
-	d.stats.Loads++
+	d.ctr.loads.Inc()
 	// A line with an active MSHR must be accessed through it: older
 	// buffered requests (e.g. the store of a BtoT upgrade) replay in
 	// arrival order, and a direct hit on the still-valid old copy would
@@ -254,7 +255,7 @@ func (d *DCache) processLoad(now int64, req Req, lineAddr uint64) {
 		set := d.index(lineAddr)
 		way := d.findWay(lineAddr, true)
 		meta.lastUsed = now
-		d.stats.LoadHits++
+		d.ctr.loadHits.Inc()
 		d.respond(now+int64(d.cfg.HitLatency), Resp{ID: req.ID, Data: d.readWord(set, way, req.Addr)})
 		return
 	}
@@ -263,11 +264,11 @@ func (d *DCache) processLoad(now int64, req Req, lineAddr uint64) {
 	// queued snapshot; nack until the request executes. A filled FSHR
 	// buffer forwards; an unfilled one nacks.
 	if d.flush.QueuedConflict(lineAddr) {
-		d.nack(now, req)
+		d.nack(now, req, d.ctr.nackFlushConflict)
 		return
 	}
 	if fwd, mustNack := d.flush.LoadConflict(lineAddr); mustNack {
-		d.nack(now, req)
+		d.nack(now, req, d.ctr.nackFlushConflict)
 		return
 	} else if fwd != nil {
 		off := req.Addr & (d.cfg.LineBytes - 1)
@@ -275,21 +276,21 @@ func (d *DCache) processLoad(now int64, req Req, lineAddr uint64) {
 		for i := uint64(0); i < 8; i++ {
 			v |= uint64(fwd[off+i]) << (8 * i)
 		}
-		d.stats.FSHRForwards++
+		d.ctr.fshrForwards.Inc()
 		d.respond(now+int64(d.cfg.HitLatency), Resp{ID: req.ID, Data: v})
 		return
 	}
-	d.stats.LoadMisses++
+	d.ctr.loadMisses.Inc()
 	trace.Emit(d.tr, now, d.name, "load-miss", lineAddr, "")
 	d.missPath(now, req, lineAddr)
 }
 
 func (d *DCache) processStore(now int64, req Req, lineAddr uint64) {
-	d.stats.Stores++
+	d.ctr.stores.Inc()
 	// §5.3 store rules come first: even a would-be hit must nack while the
 	// flush unit holds a conflicting request.
 	if d.flush.StoreConflict(lineAddr) {
-		d.nack(now, req)
+		d.nack(now, req, d.ctr.nackFlushConflict)
 		return
 	}
 	// Same MSHR-serialization rule as loads (§3.3: consecutive writes
@@ -304,11 +305,11 @@ func (d *DCache) processStore(now int64, req Req, lineAddr uint64) {
 		d.writeWord(set, way, req.Addr, req.Data)
 		meta.dirty = true
 		meta.lastUsed = now
-		d.stats.StoreHits++
+		d.ctr.storeHits.Inc()
 		d.respond(now+int64(d.cfg.HitLatency), Resp{ID: req.ID})
 		return
 	}
-	d.stats.StoreMisses++
+	d.ctr.storeMisses.Inc()
 	trace.Emit(d.tr, now, d.name, "store-miss", lineAddr, "")
 	d.missPath(now, req, lineAddr)
 }
@@ -319,7 +320,7 @@ func (d *DCache) processStore(now int64, req Req, lineAddr uint64) {
 func (d *DCache) missPath(now int64, req Req, lineAddr uint64) {
 	if m := d.mshrFor(lineAddr); m != nil {
 		if !m.canAcceptSecondary(req, d.cfg.RPQDepth) {
-			d.nack(now, req)
+			d.nack(now, req, d.ctr.nackMSHRFull)
 			return
 		}
 		m.rpq = append(m.rpq, req)
@@ -332,7 +333,7 @@ func (d *DCache) missPath(now int64, req Req, lineAddr uint64) {
 	}
 	m := d.freeMSHR()
 	if m == nil {
-		d.nack(now, req)
+		d.nack(now, req, d.ctr.nackMSHRFull)
 		return
 	}
 	d.allocMSHR(m, req)
@@ -341,7 +342,9 @@ func (d *DCache) missPath(now int64, req Req, lineAddr uint64) {
 	}
 }
 
-func (d *DCache) nack(now int64, req Req) {
-	d.stats.Nacks++
+// nack rejects a request, attributing it to exactly one cause counter.
+func (d *DCache) nack(now int64, req Req, cause *metrics.Counter) {
+	d.ctr.nacks.Inc()
+	cause.Inc()
 	d.respond(now+1, Resp{ID: req.ID, Nack: true})
 }

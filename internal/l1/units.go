@@ -139,7 +139,7 @@ func (d *DCache) tickProbe2(now int64) {
 		return
 	}
 	if d.port.C.Send(now, p.resp) {
-		d.stats.ProbesServed++
+		d.ctr.probesServed.Inc()
 		trace.Emit(d.tr, now, d.name, "probe-ack", p.resp.Addr, p.resp.Op.String())
 		p.state = pIdle
 		p.cur = tilelink.Msg{}

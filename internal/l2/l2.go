@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"skipit/internal/mem"
+	"skipit/internal/metrics"
 	"skipit/internal/tilelink"
 	"skipit/internal/trace"
 )
@@ -34,6 +35,9 @@ type Config struct {
 	// TagLatency is the directory/tag pipeline delay applied between a
 	// request arriving at SinkA/SinkC and its MSHR starting work.
 	TagLatency int
+	// Metrics is the registry the cache registers its counters with, under
+	// the instance name "l2". Nil gets a private registry.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the paper's L2: 512 KiB, 8-way, 64 B lines
@@ -71,7 +75,9 @@ type LineState struct {
 	Perms   []tilelink.Perm
 }
 
-// Stats counts L2 activity for the benchmark harness.
+// Stats is the L2's counter set, read back as one struct for the benchmark
+// harness. The counters live in the metrics registry (under "l2.*"); Stats()
+// materializes this view from them.
 type Stats struct {
 	Acquires          uint64
 	RootReleases      uint64
@@ -83,6 +89,44 @@ type Stats struct {
 	MemReads          uint64
 	MemWrites         uint64
 	VoluntaryReleases uint64
+
+	// Stall attribution: backpressure seen at the L2's boundaries.
+	LinkBackpressureB uint64 // SourceB send deferred by TL-B occupancy
+	LinkBackpressureD uint64 // SourceD send deferred by TL-D occupancy
+	ListBufferStalls  uint64 // TL-A/TL-C ingestion deferred by a full ListBuffer
+	MSHRFullDefers    uint64 // buffered requests deferred because no MSHR was free
+}
+
+// l2Counters holds the cache's registry-backed instruments.
+type l2Counters struct {
+	acquires, rootReleases, rootReleaseSkips *metrics.Counter
+	grantsData, grantsDataDirty              *metrics.Counter
+	probesSent, evictions                    *metrics.Counter
+	memReads, memWrites                      *metrics.Counter
+	voluntaryReleases                        *metrics.Counter
+	linkBackpressureB, linkBackpressureD     *metrics.Counter
+	listBufferStalls, mshrFullDefers         *metrics.Counter
+	listBufferDepth                          *metrics.Gauge
+}
+
+func newL2Counters(reg *metrics.Registry, name string) l2Counters {
+	return l2Counters{
+		acquires:          reg.Counter(name, "acquires"),
+		rootReleases:      reg.Counter(name, "root_releases"),
+		rootReleaseSkips:  reg.Counter(name, "root_release_skips"),
+		grantsData:        reg.Counter(name, "grants_data"),
+		grantsDataDirty:   reg.Counter(name, "grants_data_dirty"),
+		probesSent:        reg.Counter(name, "probes_sent"),
+		evictions:         reg.Counter(name, "evictions"),
+		memReads:          reg.Counter(name, "mem_reads"),
+		memWrites:         reg.Counter(name, "mem_writes"),
+		voluntaryReleases: reg.Counter(name, "voluntary_releases"),
+		linkBackpressureB: reg.Counter(name, "link_backpressure_b_cycles"),
+		linkBackpressureD: reg.Counter(name, "link_backpressure_d_cycles"),
+		listBufferStalls:  reg.Counter(name, "listbuffer_stall_cycles"),
+		mshrFullDefers:    reg.Counter(name, "mshr_full_defer_cycles"),
+		listBufferDepth:   reg.Gauge(name, "listbuffer_depth"),
+	}
 }
 
 // Cache is the inclusive LLC. Drive it once per cycle with Tick.
@@ -102,8 +146,8 @@ type Cache struct {
 	outB [][]tilelink.Msg
 	outD [][]tilelink.Msg
 
-	tr    trace.Tracer
-	stats Stats
+	tr  trace.Tracer
+	ctr l2Counters
 }
 
 type buffered struct {
@@ -122,6 +166,10 @@ func New(cfg Config, ports []*tilelink.ClientPort, m *mem.Memory) *Cache {
 	if cfg.Sets <= 0 || cfg.Ways <= 0 {
 		panic("l2: bad geometry")
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	c := &Cache{
 		cfg:   cfg,
 		ports: ports,
@@ -129,6 +177,7 @@ func New(cfg Config, ports []*tilelink.ClientPort, m *mem.Memory) *Cache {
 		mshrs: make([]mshr, cfg.NumMSHRs),
 		outB:  make([][]tilelink.Msg, cfg.NumClients),
 		outD:  make([][]tilelink.Msg, cfg.NumClients),
+		ctr:   newL2Counters(reg, "l2"),
 	}
 	c.lines = make([][]line, cfg.Sets)
 	for s := range c.lines {
@@ -144,8 +193,26 @@ func New(cfg Config, ports []*tilelink.ClientPort, m *mem.Memory) *Cache {
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
-// Stats returns activity counters.
-func (c *Cache) Stats() Stats { return c.stats }
+// Stats returns the activity counters as one struct, read back from the
+// metrics registry (thin view; see package metrics).
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Acquires:          c.ctr.acquires.Value(),
+		RootReleases:      c.ctr.rootReleases.Value(),
+		RootReleaseSkips:  c.ctr.rootReleaseSkips.Value(),
+		GrantsData:        c.ctr.grantsData.Value(),
+		GrantsDataDirty:   c.ctr.grantsDataDirty.Value(),
+		ProbesSent:        c.ctr.probesSent.Value(),
+		Evictions:         c.ctr.evictions.Value(),
+		MemReads:          c.ctr.memReads.Value(),
+		MemWrites:         c.ctr.memWrites.Value(),
+		VoluntaryReleases: c.ctr.voluntaryReleases.Value(),
+		LinkBackpressureB: c.ctr.linkBackpressureB.Value(),
+		LinkBackpressureD: c.ctr.linkBackpressureD.Value(),
+		ListBufferStalls:  c.ctr.listBufferStalls.Value(),
+		MSHRFullDefers:    c.ctr.mshrFullDefers.Value(),
+	}
+}
 
 // SetTracer attaches an event tracer (nil disables tracing).
 func (c *Cache) SetTracer(t trace.Tracer) { c.tr = t }

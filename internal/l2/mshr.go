@@ -112,7 +112,7 @@ func (c *Cache) sendProbe(m *mshr, client int, addr uint64, cap tilelink.Cap) {
 		Cap:  cap,
 	})
 	m.pendingProbes++
-	c.stats.ProbesSent++
+	c.ctr.probesSent.Inc()
 }
 
 // startAcquire begins serving an Acquire that has an allocated MSHR.
@@ -140,7 +140,7 @@ func (c *Cache) startAcquire(now int64, m *mshr) {
 					probed = true
 				}
 			}
-			c.stats.Evictions++
+			c.ctr.evictions.Inc()
 			if probed {
 				m.state = msEvictProbe
 				return
@@ -188,7 +188,7 @@ func (c *Cache) probeForAcquire(m *mshr, l *line) {
 // data, if any, was already applied to the BankedStore at SinkC. Probing and
 // revocation happen even if the requesting core did not possess the line.
 func (c *Cache) startRootRelease(now int64, m *mshr) {
-	c.stats.RootReleases++
+	c.ctr.rootReleases.Inc()
 	kind := "flush"
 	if m.clean {
 		kind = "clean"
@@ -200,7 +200,7 @@ func (c *Cache) startRootRelease(now int64, m *mshr) {
 		// Inclusive L2 without the line: no cached copy exists
 		// anywhere, so DRAM already holds the authoritative data.
 		// Acknowledge immediately (the §5.5 trivial skip).
-		c.stats.RootReleaseSkips++
+		c.ctr.rootReleaseSkips.Inc()
 		m.state = msFinish
 		return
 	}
@@ -238,7 +238,7 @@ func (c *Cache) startRootRelease(now int64, m *mshr) {
 func (c *Cache) rootReleaseWriteback(now int64, m *mshr) {
 	l := c.lookup(m.addr)
 	if l == nil || !l.dirty {
-		c.stats.RootReleaseSkips++
+		c.ctr.rootReleaseSkips.Inc()
 		trace.Emit(c.tr, now, "l2", "trivial-skip", m.addr, "line clean in LLC (§5.5)")
 		c.finishRootRelease(m)
 		return
@@ -247,7 +247,7 @@ func (c *Cache) rootReleaseWriteback(now int64, m *mshr) {
 	copy(data, l.data)
 	m.state = msMemWrite
 	if c.mem.Submit(now, mem.Request{Kind: mem.Write, Addr: m.addr, Data: data, Tag: c.mshrIndex(m)}) {
-		c.stats.MemWrites++
+		c.ctr.memWrites.Inc()
 		m.memSubmitted = true
 	} else {
 		// Memory controller busy: retry from Tick next cycle.
@@ -280,7 +280,7 @@ func (c *Cache) finishEvict(now int64, m *mshr) {
 		copy(data, v.data)
 		m.state = msEvictMemWrite
 		if c.mem.Submit(now, mem.Request{Kind: mem.Write, Addr: victimAddr, Data: data, Tag: c.mshrIndex(m)}) {
-			c.stats.MemWrites++
+			c.ctr.memWrites.Inc()
 			m.memSubmitted = true
 		} else {
 			m.memSubmitted = false
@@ -296,7 +296,7 @@ func (c *Cache) finishEvict(now int64, m *mshr) {
 func (c *Cache) submitMemRead(now int64, m *mshr) {
 	m.state = msMemRead
 	if c.mem.Submit(now, mem.Request{Kind: mem.Read, Addr: m.addr, Tag: c.mshrIndex(m)}) {
-		c.stats.MemReads++
+		c.ctr.memReads.Inc()
 		m.memSubmitted = true
 	} else {
 		m.memSubmitted = false
@@ -314,9 +314,9 @@ func (c *Cache) sendGrant(now int64, m *mshr) {
 	op := tilelink.OpGrantData
 	if l.dirty {
 		op = tilelink.OpGrantDataDirty
-		c.stats.GrantsDataDirty++
+		c.ctr.grantsDataDirty.Inc()
 	} else {
-		c.stats.GrantsData++
+		c.ctr.grantsData.Inc()
 	}
 	trace.Emit(c.tr, now, "l2", "grant", m.addr,
 		fmt.Sprintf("%v to client %d", op, m.client))

@@ -24,19 +24,28 @@ func (c *Cache) Tick(now int64) {
 	}
 	c.retryListBuffer(now)
 	c.advanceMSHRs(now)
+	c.ctr.listBufferDepth.Set(int64(len(c.listBuffer)))
 }
 
 // drainSources moves staged B and D messages onto their links as occupancy
 // allows, preserving per-client order.
 func (c *Cache) drainSources(now int64) {
 	for cl := 0; cl < c.cfg.NumClients; cl++ {
-		if q := c.outB[cl]; len(q) > 0 && c.ports[cl].B.Send(now, q[0]) {
-			copy(q, q[1:])
-			c.outB[cl] = q[:len(q)-1]
+		if q := c.outB[cl]; len(q) > 0 {
+			if c.ports[cl].B.Send(now, q[0]) {
+				copy(q, q[1:])
+				c.outB[cl] = q[:len(q)-1]
+			} else {
+				c.ctr.linkBackpressureB.Inc()
+			}
 		}
-		if q := c.outD[cl]; len(q) > 0 && c.ports[cl].D.Send(now, q[0]) {
-			copy(q, q[1:])
-			c.outD[cl] = q[:len(q)-1]
+		if q := c.outD[cl]; len(q) > 0 {
+			if c.ports[cl].D.Send(now, q[0]) {
+				copy(q, q[1:])
+				c.outD[cl] = q[:len(q)-1]
+			} else {
+				c.ctr.linkBackpressureD.Inc()
+			}
 		}
 	}
 }
@@ -125,6 +134,7 @@ func (c *Cache) sinkC(now int64, cl int) {
 		case tilelink.OpRootReleaseFlush, tilelink.OpRootReleaseClean,
 			tilelink.OpRootReleaseFlushData, tilelink.OpRootReleaseCleanData:
 			if len(c.listBuffer) >= c.cfg.ListBufferDepth {
+				c.ctr.listBufferStalls.Inc()
 				return // back-pressure: leave the message on the link
 			}
 			c.ports[cl].C.Recv(now)
@@ -210,7 +220,7 @@ func (c *Cache) probeOwner(addr uint64) *mshr {
 // the releasing client's probe acknowledgement is ordered after the release
 // on its C channel, and the MSHR's grant must see the released data.
 func (c *Cache) onRelease(now int64, cl int, msg tilelink.Msg) {
-	c.stats.VoluntaryReleases++
+	c.ctr.voluntaryReleases.Inc()
 	l := c.lookup(msg.Addr)
 	if l == nil {
 		panic(fmt.Sprintf("l2: Release for absent line %#x (inclusion violated)", msg.Addr))
@@ -238,10 +248,11 @@ func (c *Cache) sinkA(now int64, cl int) {
 			panic(fmt.Sprintf("l2: %v on channel A", msg.Op))
 		}
 		if len(c.listBuffer) >= c.cfg.ListBufferDepth {
+			c.ctr.listBufferStalls.Inc()
 			return
 		}
 		c.ports[cl].A.Recv(now)
-		c.stats.Acquires++
+		c.ctr.acquires.Inc()
 		c.listBuffer = append(c.listBuffer, buffered{msg: msg, client: cl, readyAt: now + int64(c.cfg.TagLatency)})
 	}
 }
@@ -260,6 +271,7 @@ func (c *Cache) retryListBuffer(now int64) {
 		}
 		m := c.freeMSHR()
 		if m == nil {
+			c.ctr.mshrFullDefers.Inc()
 			blocked[b.msg.Addr] = true
 			kept = append(kept, b)
 			continue
@@ -346,7 +358,7 @@ func (c *Cache) resubmitWrite(now int64, m *mshr) {
 	data := make([]byte, c.cfg.LineBytes)
 	copy(data, l.data)
 	if c.mem.Submit(now, mem.Request{Kind: mem.Write, Addr: addr, Data: data, Tag: c.mshrIndex(m)}) {
-		c.stats.MemWrites++
+		c.ctr.memWrites.Inc()
 		m.memSubmitted = true
 	}
 }

@@ -10,7 +10,11 @@
 // may or may not survive, which crash tests exercise both ways.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"skipit/internal/metrics"
+)
 
 // Config sets the controller's timing and geometry.
 type Config struct {
@@ -19,6 +23,9 @@ type Config struct {
 	WriteLatency   int // cycles from acceptance to acknowledgement
 	AcceptInterval int // minimum cycles between accepted requests (bandwidth)
 	MaxOutstanding int // controller queue depth
+	// Metrics is the registry the controller registers its counters with,
+	// under the instance name "mem". Nil gets a private registry.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig mirrors the calibration in DESIGN.md §3: ~60-cycle read
@@ -74,11 +81,28 @@ type pending struct {
 	readyAt int64
 }
 
-// Stats counts controller traffic for the benchmark harness.
+// Stats is the controller's counter set, read back as one struct for the
+// benchmark harness. The counters live in the metrics registry (under
+// "mem.*"); Stats() materializes this view from them.
 type Stats struct {
 	Reads        uint64
 	Writes       uint64
 	StalledSends uint64
+}
+
+// memCounters holds the controller's registry-backed instruments.
+type memCounters struct {
+	reads, writes, stalledSends *metrics.Counter
+	inflightDepth               *metrics.Gauge
+}
+
+func newMemCounters(reg *metrics.Registry, name string) memCounters {
+	return memCounters{
+		reads:         reg.Counter(name, "reads"),
+		writes:        reg.Counter(name, "writes"),
+		stalledSends:  reg.Counter(name, "stalled_sends"),
+		inflightDepth: reg.Gauge(name, "inflight_depth"),
+	}
 }
 
 // Memory is the DRAM controller plus backing store. The zero value is not
@@ -89,7 +113,7 @@ type Memory struct {
 	inflight   []pending
 	done       []Response
 	nextAccept int64
-	stats      Stats
+	ctr        memCounters
 }
 
 // New returns an empty memory with the given configuration.
@@ -100,7 +124,11 @@ func New(cfg Config) *Memory {
 	if cfg.MaxOutstanding <= 0 {
 		cfg.MaxOutstanding = 1
 	}
-	return &Memory{cfg: cfg, data: make(map[uint64][]byte)}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Memory{cfg: cfg, data: make(map[uint64][]byte), ctr: newMemCounters(reg, "mem")}
 }
 
 // Config returns the controller configuration.
@@ -116,7 +144,7 @@ func (m *Memory) CanAccept(now int64) bool {
 // when bandwidth or queue limits reject the request; the caller retries.
 func (m *Memory) Submit(now int64, req Request) bool {
 	if !m.CanAccept(now) {
-		m.stats.StalledSends++
+		m.ctr.stalledSends.Inc()
 		return false
 	}
 	if req.Addr%m.cfg.LineBytes != 0 {
@@ -129,16 +157,17 @@ func (m *Memory) Submit(now int64, req Request) bool {
 		if req.Data != nil {
 			panic("mem: read with payload")
 		}
-		m.stats.Reads++
+		m.ctr.reads.Inc()
 	case Write:
 		lat = m.cfg.WriteLatency
 		if uint64(len(req.Data)) != m.cfg.LineBytes {
 			panic(fmt.Sprintf("mem: write payload %d bytes, want %d", len(req.Data), m.cfg.LineBytes))
 		}
-		m.stats.Writes++
+		m.ctr.writes.Inc()
 	}
 	m.inflight = append(m.inflight, pending{req: req, readyAt: now + int64(lat)})
 	m.nextAccept = now + int64(m.cfg.AcceptInterval)
+	m.ctr.inflightDepth.Set(int64(len(m.inflight)))
 	return true
 }
 
@@ -162,6 +191,7 @@ func (m *Memory) Tick(now int64) {
 		}
 	}
 	m.inflight = kept
+	m.ctr.inflightDepth.Set(int64(len(m.inflight)))
 }
 
 // PollResponse returns the oldest completed response, if any.
@@ -179,8 +209,15 @@ func (m *Memory) PollResponse() (Response, bool) {
 // undelivered responses; zero means the controller is quiescent.
 func (m *Memory) Outstanding() int { return len(m.inflight) + len(m.done) }
 
-// Stats returns traffic counters.
-func (m *Memory) Stats() Stats { return m.stats }
+// Stats returns the traffic counters as one struct, read back from the
+// metrics registry (thin view; see package metrics).
+func (m *Memory) Stats() Stats {
+	return Stats{
+		Reads:        m.ctr.reads.Value(),
+		Writes:       m.ctr.writes.Value(),
+		StalledSends: m.ctr.stalledSends.Value(),
+	}
+}
 
 func (m *Memory) line(addr uint64) []byte {
 	l, ok := m.data[addr]

@@ -1,0 +1,123 @@
+package metrics
+
+// Sampler snapshots selected counters every Interval cycles into in-memory
+// time series, so per-window rates ("DRAM writes per 10k cycles", the shape
+// of the paper's Fig. 13 curves) fall out of a single run. The stored values
+// are cumulative; Series.Deltas recovers the per-window rate.
+//
+// Drive it from the system clock: call Tick once per cycle. Sampling cost is
+// one modulo check per cycle plus one atomic load per tracked counter per
+// window, so even a 1-cycle interval keeps simulation speed usable.
+type Sampler struct {
+	reg      *Registry
+	interval int64
+	keys     []string // explicit track list; empty means every counter
+	series   map[string]*Series
+	order    []string // insertion order for stable output
+}
+
+// NewSampler returns a sampler reading reg every interval cycles. With no
+// keys, every counter registered at sampling time is tracked (new counters
+// join with zero-padded history implied by their first sample). With keys,
+// only those counters are tracked.
+func NewSampler(reg *Registry, interval int64, keys ...string) *Sampler {
+	if interval <= 0 {
+		panic("metrics: sampler interval must be positive")
+	}
+	return &Sampler{
+		reg:      reg,
+		interval: interval,
+		keys:     append([]string(nil), keys...),
+		series:   make(map[string]*Series),
+	}
+}
+
+// Interval returns the sampling period in cycles.
+func (s *Sampler) Interval() int64 { return s.interval }
+
+// Tick samples when now lands on an interval boundary. Call once per cycle.
+func (s *Sampler) Tick(now int64) {
+	if now%s.interval != 0 {
+		return
+	}
+	s.Sample(now)
+}
+
+// Sample unconditionally records one point for every tracked counter at the
+// given cycle. Harnesses call it once after a run to capture the final state.
+func (s *Sampler) Sample(now int64) {
+	keys := s.keys
+	if len(keys) == 0 {
+		keys = s.reg.CounterKeys()
+	}
+	for _, k := range keys {
+		sr, ok := s.series[k]
+		if !ok {
+			sr = &Series{Key: k, Interval: s.interval}
+			s.series[k] = sr
+			s.order = append(s.order, k)
+		}
+		// Skip duplicate samples for the same cycle (Tick boundary plus an
+		// explicit final Sample can coincide).
+		if n := len(sr.Cycles); n > 0 && sr.Cycles[n-1] == now {
+			continue
+		}
+		sr.Cycles = append(sr.Cycles, now)
+		sr.Values = append(sr.Values, s.reg.CounterValue(k))
+	}
+}
+
+// Series returns the collected time series in first-tracked order.
+func (s *Sampler) Series() []*Series {
+	out := make([]*Series, 0, len(s.order))
+	for _, k := range s.order {
+		out = append(out, s.series[k])
+	}
+	return out
+}
+
+// Snapshots returns the collected series as JSON-serializable values.
+func (s *Sampler) Snapshots() []SeriesSnapshot {
+	out := make([]SeriesSnapshot, 0, len(s.order))
+	for _, k := range s.order {
+		sr := s.series[k]
+		out = append(out, SeriesSnapshot{
+			Key:      sr.Key,
+			Interval: sr.Interval,
+			Cycles:   append([]int64(nil), sr.Cycles...),
+			Values:   append([]uint64(nil), sr.Values...),
+			Deltas:   sr.Deltas(),
+		})
+	}
+	return out
+}
+
+// Series is one counter's sampled history. Values are cumulative counts at
+// the matching Cycles entries.
+type Series struct {
+	Key      string
+	Interval int64
+	Cycles   []int64
+	Values   []uint64
+}
+
+// Deltas returns the per-window increments: Deltas()[i] is the count accrued
+// between sample i-1 and sample i (the first window starts from zero).
+func (s *Series) Deltas() []uint64 {
+	out := make([]uint64, len(s.Values))
+	prev := uint64(0)
+	for i, v := range s.Values {
+		out[i] = v - prev
+		prev = v
+	}
+	return out
+}
+
+// SeriesSnapshot is the JSON view of one sampled series.
+type SeriesSnapshot struct {
+	Key      string   `json:"key"`
+	Interval int64    `json:"interval"`
+	Cycles   []int64  `json:"cycles"`
+	Values   []uint64 `json:"values"`
+	Deltas   []uint64 `json:"deltas"`
+}

@@ -15,6 +15,7 @@ import (
 	"skipit/internal/l1"
 	"skipit/internal/l2"
 	"skipit/internal/mem"
+	"skipit/internal/metrics"
 	"skipit/internal/tilelink"
 	"skipit/internal/trace"
 )
@@ -54,16 +55,26 @@ type System struct {
 	Mem   *mem.Memory
 	ports []*tilelink.ClientPort
 
+	// reg is the SoC-wide metrics registry every component registers its
+	// counters with; sampler, when enabled, snapshots selected counters
+	// into time series as the clock advances.
+	reg     *metrics.Registry
+	sampler *metrics.Sampler
+
 	now int64
 }
 
-// New assembles a system.
+// New assembles a system. All components share one metrics registry
+// (available via Metrics), with instruments named by instance: "core[i]",
+// "l1[i]", "flush[i]", "l2", "mem".
 func New(cfg Config) *System {
 	if cfg.NumCores <= 0 {
 		panic("sim: need at least one core")
 	}
-	s := &System{cfg: cfg}
-	s.Mem = mem.New(cfg.Mem)
+	s := &System{cfg: cfg, reg: metrics.NewRegistry()}
+	memCfg := cfg.Mem
+	memCfg.Metrics = s.reg
+	s.Mem = mem.New(memCfg)
 	s.ports = make([]*tilelink.ClientPort, cfg.NumCores)
 	s.L1s = make([]*l1.DCache, cfg.NumCores)
 	s.Cores = make([]*boom.Core, cfg.NumCores)
@@ -72,13 +83,27 @@ func New(cfg Config) *System {
 			fmt.Sprintf("l1[%d]<->l2", i), cfg.BeatBytes, cfg.L1.LineBytes, cfg.LinkLatency)
 		l1cfg := cfg.L1
 		l1cfg.Source = i
+		l1cfg.Metrics = s.reg
 		s.L1s[i] = l1.New(l1cfg, s.ports[i])
-		s.Cores[i] = boom.New(cfg.Core, i, s.L1s[i])
+		coreCfg := cfg.Core
+		coreCfg.Metrics = s.reg
+		s.Cores[i] = boom.New(coreCfg, i, s.L1s[i])
 	}
 	l2cfg := cfg.L2
 	l2cfg.NumClients = cfg.NumCores
+	l2cfg.Metrics = s.reg
 	s.L2 = l2.New(l2cfg, s.ports, s.Mem)
 	return s
+}
+
+// Metrics returns the SoC-wide metrics registry.
+func (s *System) Metrics() *metrics.Registry { return s.reg }
+
+// EnableSampling snapshots the named counters (all counters when none are
+// given) every interval cycles as the system steps; the resulting time
+// series ride along in Snapshot().
+func (s *System) EnableSampling(interval int64, keys ...string) {
+	s.sampler = metrics.NewSampler(s.reg, interval, keys...)
 }
 
 // Config returns the system configuration.
@@ -104,6 +129,9 @@ func (s *System) Step() {
 	}
 	for _, c := range s.Cores {
 		c.Tick(s.now)
+	}
+	if s.sampler != nil {
+		s.sampler.Tick(s.now)
 	}
 	s.now++
 }

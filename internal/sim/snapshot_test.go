@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"skipit/internal/isa"
+)
+
+// snapshotWorkload exercises every counter family: cold misses, evictions
+// (stride picked to conflict in one L1 set), flushes, a redundant clean the
+// skip bit eliminates, and a fence.
+func snapshotWorkload() *isa.Program {
+	b := isa.NewBuilder()
+	for i := uint64(0); i < 16; i++ {
+		b.Store(0x1000+i*4096, i+1) // same L1 set -> eviction writebacks
+	}
+	b.CboFlush(0x1000)
+	b.Store(0x2000, 7).
+		CboClean(0x2000).
+		CboClean(0x2000). // redundant: skip bit drops it (§6.1)
+		Fence().
+		Load(0x2000)
+	return b.Build()
+}
+
+func TestSnapshotAgreesWithLegacyStats(t *testing.T) {
+	s := New(DefaultConfig(2))
+	progs := []*isa.Program{snapshotWorkload(), snapshotWorkload()}
+	if _, err := s.Run(progs, runLimit); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+
+	var l1WB, flushOffered, flushSkipped uint64
+	for _, d := range s.L1s {
+		l1WB += d.Stats().Writebacks
+		fs := d.FlushUnit().Stats()
+		flushOffered += fs.Offered
+		flushSkipped += fs.SkipDropped
+	}
+	l2St := s.L2.Stats()
+	memSt := s.Mem.Stats()
+
+	checks := []struct {
+		key  string
+		want uint64
+	}{
+		{"l1.writebacks", l1WB},
+		{"l1[0].writebacks", s.L1s[0].Stats().Writebacks},
+		{"l2.root_release_skips", l2St.RootReleaseSkips},
+		{"l2.root_releases", l2St.RootReleases},
+		{"l2.acquires", l2St.Acquires},
+		{"mem.writes", memSt.Writes},
+		{"mem.reads", memSt.Reads},
+		{"flush.offered", flushOffered},
+		{"flush.skip_dropped", flushSkipped},
+	}
+	for _, c := range checks {
+		if got := snap.Counters[c.key]; got != c.want {
+			t.Errorf("snapshot %q = %d, legacy stats say %d", c.key, got, c.want)
+		}
+	}
+	if flushSkipped == 0 {
+		t.Error("workload produced no skip-dropped request; skip_rate untested")
+	}
+	if snap.Counters["l1.writebacks"] == 0 {
+		t.Error("workload produced no L1 writebacks")
+	}
+}
+
+func TestSnapshotDerivedAndSeries(t *testing.T) {
+	s := New(DefaultConfig(1))
+	s.EnableSampling(64, "mem.writes", "l2.acquires")
+	if _, err := s.Run([]*isa.Program{snapshotWorkload()}, runLimit); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+
+	sr, ok := snap.Derived["skip_rate"]
+	if !ok || sr <= 0 || sr >= 1 {
+		t.Errorf("skip_rate = %v (present=%v), want in (0,1)", sr, ok)
+	}
+	if _, ok := snap.Derived["l1_load_hit_rate"]; !ok {
+		t.Error("l1_load_hit_rate missing")
+	}
+	if wa, ok := snap.Derived["dram_write_amplification"]; !ok || wa <= 0 {
+		t.Errorf("dram_write_amplification = %v (present=%v), want > 0", wa, ok)
+	}
+
+	if len(snap.Series) != 2 {
+		t.Fatalf("series count = %d, want 2", len(snap.Series))
+	}
+	for _, ser := range snap.Series {
+		if len(ser.Cycles) == 0 {
+			t.Errorf("series %q has no samples", ser.Key)
+		}
+	}
+	// Sampled cumulative counters must end at most at the final value.
+	for _, ser := range snap.Series {
+		last := ser.Values[len(ser.Values)-1]
+		if final := snap.Counters[ser.Key]; last > final {
+			t.Errorf("series %q last sample %d exceeds final value %d", ser.Key, last, final)
+		}
+	}
+
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not JSON-serializable: %v", err)
+	}
+}
+
+func TestSnapshotAggregateKeysStripInstanceIndex(t *testing.T) {
+	for _, tc := range []struct {
+		in, want string
+		ok       bool
+	}{
+		{"l1[0].writebacks", "l1.writebacks", true},
+		{"flush[12].offered", "flush.offered", true},
+		{"l2.acquires", "", false},
+		{"mem.writes", "", false},
+	} {
+		got, ok := aggregateKey(tc.in)
+		if ok != tc.ok || got != tc.want {
+			t.Errorf("aggregateKey(%q) = %q, %v; want %q, %v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}

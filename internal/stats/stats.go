@@ -35,7 +35,39 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
-// Sigma returns the population standard deviation of xs.
+// Percentile returns the p-th percentile of xs (0 <= p <= 100) using linear
+// interpolation between closest ranks (the same convention as numpy's
+// default): the k-th sorted element sits at percentile 100*k/(n-1), and
+// values in between are interpolated. Percentile(xs, 50) equals Median(xs).
+// It panics on an empty slice or a p outside [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic("stats: percentile out of [0, 100]")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Sigma returns the population standard deviation of xs — the variance is
+// normalized by n, not n-1. The paper's evaluation reports dispersion over
+// a fixed set of 50 repetitions, which are treated as the whole population
+// rather than a sample of a larger one; callers wanting the unbiased sample
+// deviation (Bessel's correction, n-1) must rescale by
+// Sqrt(n/(n-1)) themselves.
 func Sigma(xs []float64) float64 {
 	if len(xs) == 0 {
 		panic("stats: sigma of empty slice")

@@ -53,13 +53,68 @@ func TestSpeedup(t *testing.T) {
 	}
 }
 
+func TestPercentileInterpolation(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15},
+		{25, 20},
+		{40, 29}, // rank 1.6: 20 + 0.6*(35-20)
+		{50, 35},
+		{75, 40},
+		{100, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%.0f = %f, want %f", c.p, got, c.want)
+		}
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("singleton P99 = %f, want 7", got)
+	}
+}
+
+func TestPercentileMatchesMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		xs := make([]float64, rng.Intn(40)+1)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 50
+		}
+		if p, m := Percentile(xs, 50), Median(xs); math.Abs(p-m) > 1e-9 {
+			t.Fatalf("P50 = %f but median = %f for %v", p, m, xs)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 90)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("percentile sorted the caller's slice")
+	}
+}
+
+func TestPercentilePanicsOutOfRange(t *testing.T) {
+	for _, p := range []float64{-1, 101} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(_, %f) did not panic", p)
+				}
+			}()
+			Percentile([]float64{1}, p)
+		}()
+	}
+}
+
 func TestPanicsOnEmpty(t *testing.T) {
 	for name, f := range map[string]func(){
-		"median": func() { Median(nil) },
-		"mean":   func() { Mean(nil) },
-		"sigma":  func() { Sigma(nil) },
-		"min":    func() { Min(nil) },
-		"max":    func() { Max(nil) },
+		"median":     func() { Median(nil) },
+		"mean":       func() { Mean(nil) },
+		"sigma":      func() { Sigma(nil) },
+		"min":        func() { Min(nil) },
+		"max":        func() { Max(nil) },
+		"percentile": func() { Percentile(nil, 50) },
 	} {
 		func() {
 			defer func() {

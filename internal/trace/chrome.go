@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ChromeTracer renders simulator events in the Chrome trace_event JSON
+// format, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. One
+// simulated cycle maps to one microsecond of trace time, so the timeline
+// ruler reads directly in cycles.
+//
+// Each component instance (Event.Source) becomes a named thread. The flush
+// unit's fshr-alloc/fshr-ack events become asynchronous begin/end pairs
+// keyed by line address, so every in-flight flush renders as a span whose
+// length is its latency; all other events render as thread-scoped instants.
+//
+// Events are buffered in memory; Close writes the whole document. The
+// tracer is safe for concurrent Emit.
+type ChromeTracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	events []chromeEvent
+	tids   map[string]int
+	order  []string // sources in first-seen order, for stable thread ids
+}
+
+// chromeEvent is one trace_event record. Field names follow the format
+// specification; empty optional fields are omitted.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// NewChromeTracer returns a tracer that writes its document to w on Close.
+func NewChromeTracer(w io.Writer) *ChromeTracer {
+	return &ChromeTracer{w: w, tids: make(map[string]int)}
+}
+
+// Emit buffers one event.
+func (t *ChromeTracer) Emit(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tid, ok := t.tids[e.Source]
+	if !ok {
+		tid = len(t.order)
+		t.tids[e.Source] = tid
+		t.order = append(t.order, e.Source)
+	}
+	ce := chromeEvent{Name: e.Kind, TS: e.Cycle, TID: tid}
+	if e.Detail != "" {
+		ce.Args = map[string]any{"detail": e.Detail}
+	}
+	if e.HasAddr {
+		if ce.Args == nil {
+			ce.Args = map[string]any{}
+		}
+		ce.Args["addr"] = fmt.Sprintf("%#x", e.Addr)
+	}
+	switch e.Kind {
+	case "fshr-alloc":
+		ce.Phase = "b"
+		ce.Cat = "flush"
+		ce.Name = "flush"
+		ce.ID = fmt.Sprintf("%#x", e.Addr)
+	case "fshr-ack":
+		ce.Phase = "e"
+		ce.Cat = "flush"
+		ce.Name = "flush"
+		ce.ID = fmt.Sprintf("%#x", e.Addr)
+	default:
+		ce.Phase = "i"
+		ce.Scope = "t"
+	}
+	t.events = append(t.events, ce)
+}
+
+// Close writes the buffered document. The tracer must not be used after.
+func (t *ChromeTracer) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	doc := chromeDoc{DisplayTimeUnit: "ms"}
+	// Thread-name metadata first, so viewers label rows by component.
+	for tid, src := range t.order {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			TID:   tid,
+			Args:  map[string]any{"name": src},
+		})
+	}
+	doc.TraceEvents = append(doc.TraceEvents, t.events...)
+	enc := json.NewEncoder(t.w)
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	if c, ok := t.w.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func decodeChrome(t *testing.T, raw string) chromeDoc {
+	t.Helper()
+	var doc chromeDoc
+	if err := json.Unmarshal([]byte(raw), &doc); err != nil {
+		t.Fatalf("invalid trace_event JSON: %v\n%s", err, raw)
+	}
+	return doc
+}
+
+func TestChromeTracerAsyncFlushSpans(t *testing.T) {
+	var sb strings.Builder
+	ct := NewChromeTracer(&sb)
+	Emit(ct, 100, "flush[0]", "fshr-alloc", 0x1000, "flush")
+	Emit(ct, 100, "l1[0]", "cbo-enqueue", 0x1000, "")
+	Emit(ct, 250, "flush[0]", "fshr-ack", 0x1000, "")
+	if err := ct.Close(); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeChrome(t, sb.String())
+
+	var begins, ends, instants, meta int
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "b":
+			begins++
+			if e.ID == "" || e.TS != 100 {
+				t.Errorf("bad begin event %+v", e)
+			}
+		case "e":
+			ends++
+			if e.TS != 250 {
+				t.Errorf("bad end event %+v", e)
+			}
+		case "i":
+			instants++
+			if e.Scope != "t" {
+				t.Errorf("instant missing thread scope: %+v", e)
+			}
+		case "M":
+			meta++
+		}
+	}
+	if begins != 1 || ends != 1 || instants != 1 {
+		t.Fatalf("begins=%d ends=%d instants=%d, want 1/1/1", begins, ends, instants)
+	}
+	if meta != 2 {
+		t.Fatalf("thread_name metadata = %d, want 2 (flush[0] and l1[0])", meta)
+	}
+}
+
+func TestChromeTracerThreadsAreStable(t *testing.T) {
+	var sb strings.Builder
+	ct := NewChromeTracer(&sb)
+	Emit(ct, 1, "l2", "grant", 0x40, "")
+	Emit(ct, 2, "l1[0]", "load-miss", 0x40, "")
+	Emit(ct, 3, "l2", "grant", 0x80, "")
+	if err := ct.Close(); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeChrome(t, sb.String())
+
+	names := map[int]string{}
+	for _, e := range doc.TraceEvents {
+		if e.Phase == "M" {
+			names[e.TID] = e.Args["name"].(string)
+		}
+	}
+	if names[0] != "l2" || names[1] != "l1[0]" {
+		t.Fatalf("thread names = %v, want first-seen order l2, l1[0]", names)
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Phase == "i" && e.Name == "grant" && names[e.TID] != "l2" {
+			t.Fatalf("grant event on thread %q, want l2", names[e.TID])
+		}
+	}
+}
+
+func TestChromeTracerCarriesAddrAndDetail(t *testing.T) {
+	var sb strings.Builder
+	ct := NewChromeTracer(&sb)
+	Emit(ct, 5, "l2", "trivial-skip", 0x2000, "clean line")
+	EmitGlobal(ct, 6, "l2", "drain", "done")
+	if err := ct.Close(); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeChrome(t, sb.String())
+	var withAddr, without int
+	for _, e := range doc.TraceEvents {
+		if e.Phase != "i" {
+			continue
+		}
+		if _, ok := e.Args["addr"]; ok {
+			withAddr++
+			if e.Args["detail"] != "clean line" {
+				t.Errorf("detail lost: %+v", e)
+			}
+		} else {
+			without++
+		}
+	}
+	if withAddr != 1 || without != 1 {
+		t.Fatalf("withAddr=%d without=%d, want 1/1", withAddr, without)
+	}
+}

@@ -17,12 +17,15 @@ type Event struct {
 	Cycle  int64
 	Source string // component instance, e.g. "l1[0]", "flush[1]", "l2"
 	Kind   string // event class, e.g. "cbo-offer", "fshr", "probe", "grant"
-	Addr   uint64 // line address, 0 when not applicable
-	Detail string // free-form specifics
+	Addr   uint64 // line address; meaningful only when HasAddr is set
+	// HasAddr distinguishes an event about line 0 — a perfectly valid
+	// address — from an event with no address at all.
+	HasAddr bool
+	Detail  string // free-form specifics
 }
 
 func (e Event) String() string {
-	if e.Addr != 0 {
+	if e.HasAddr {
 		return fmt.Sprintf("%8d  %-8s %-12s %#10x  %s", e.Cycle, e.Source, e.Kind, e.Addr, e.Detail)
 	}
 	return fmt.Sprintf("%8d  %-8s %-12s %10s  %s", e.Cycle, e.Source, e.Kind, "", e.Detail)
@@ -99,12 +102,12 @@ func (r *Ring) Filter(substr string) []Event {
 }
 
 // ForAddr returns the retained events for one line address — the life story
-// of a cache line.
+// of a cache line. Events without an address never match, even for line 0.
 func (r *Ring) ForAddr(addr uint64) []Event {
 	line := addr &^ 63
 	var out []Event
 	for _, e := range r.Events() {
-		if e.Addr&^63 == line && e.Addr != 0 {
+		if e.HasAddr && e.Addr&^63 == line {
 			out = append(out, e)
 		}
 	}
@@ -147,10 +150,20 @@ func (m Multi) Emit(e Event) {
 	}
 }
 
-// Emit is the nil-safe helper components call: a nil tracer is a no-op.
+// Emit is the nil-safe helper components call for events about a cache
+// line: a nil tracer is a no-op.
 func Emit(t Tracer, cycle int64, source, kind string, addr uint64, detail string) {
 	if t == nil {
 		return
 	}
-	t.Emit(Event{Cycle: cycle, Source: source, Kind: kind, Addr: addr, Detail: detail})
+	t.Emit(Event{Cycle: cycle, Source: source, Kind: kind, Addr: addr, HasAddr: true, Detail: detail})
+}
+
+// EmitGlobal is Emit for events that concern no particular address (drains,
+// mode switches, barrier completions).
+func EmitGlobal(t Tracer, cycle int64, source, kind, detail string) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Cycle: cycle, Source: source, Kind: kind, Detail: detail})
 }

@@ -6,7 +6,7 @@ import (
 )
 
 func ev(cycle int64, kind string, addr uint64) Event {
-	return Event{Cycle: cycle, Source: "t", Kind: kind, Addr: addr}
+	return Event{Cycle: cycle, Source: "t", Kind: kind, Addr: addr, HasAddr: true}
 }
 
 func TestRingKeepsMostRecent(t *testing.T) {
@@ -67,6 +67,96 @@ func TestForAddrMatchesLine(t *testing.T) {
 	r.Emit(ev(3, "c", 0x2000))
 	if got := r.ForAddr(0x1010); len(got) != 2 {
 		t.Fatalf("ForAddr = %d events, want 2 (line-granular)", len(got))
+	}
+}
+
+func TestForAddrDistinguishesLineZeroFromNoAddr(t *testing.T) {
+	r := NewRing(8)
+	r.Emit(ev(1, "store", 0x0))                         // a real event about line 0
+	r.Emit(ev(2, "store", 0x8))                         // same line
+	r.Emit(Event{Cycle: 3, Source: "t", Kind: "drain"}) // no address
+	got := r.ForAddr(0x0)
+	if len(got) != 2 {
+		t.Fatalf("ForAddr(0) = %d events, want 2 (line-0 events are real)", len(got))
+	}
+	for _, e := range got {
+		if !e.HasAddr {
+			t.Fatalf("ForAddr returned address-less event %v", e)
+		}
+	}
+}
+
+func TestEventStringShowsLineZero(t *testing.T) {
+	withAddr := ev(1, "store", 0x0).String()
+	if !strings.Contains(withAddr, "0x0") {
+		t.Errorf("event about line 0 should print its address: %q", withAddr)
+	}
+	noAddr := Event{Cycle: 1, Source: "t", Kind: "drain"}.String()
+	if strings.Contains(noAddr, "0x") {
+		t.Errorf("address-less event should print no address: %q", noAddr)
+	}
+}
+
+func TestRingWraparoundOrdering(t *testing.T) {
+	// Overflow a small ring several times over and verify Events() stays
+	// oldest-first with contiguous cycles, and Total() counts evictions.
+	r := NewRing(4)
+	const n = 11
+	for i := int64(0); i < n; i++ {
+		r.Emit(ev(i, "x", uint64(i)*64))
+	}
+	got := r.Events()
+	if len(got) != 4 {
+		t.Fatalf("retained %d, want 4", len(got))
+	}
+	for i, e := range got {
+		if want := int64(n - 4 + i); e.Cycle != want {
+			t.Fatalf("event %d has cycle %d, want %d", i, e.Cycle, want)
+		}
+	}
+	if r.Total() != n {
+		t.Fatalf("total %d, want %d", r.Total(), n)
+	}
+}
+
+func TestRingWraparoundFilterAndForAddr(t *testing.T) {
+	// After overflow, Filter and ForAddr must only see retained events.
+	r := NewRing(3)
+	r.Emit(ev(1, "cbo-drop", 0x1000)) // will be evicted
+	r.Emit(ev(2, "grant", 0x1000))    // will be evicted
+	r.Emit(ev(3, "cbo-drop", 0x2000))
+	r.Emit(ev(4, "grant", 0x2000))
+	r.Emit(ev(5, "cbo-drop", 0x1000))
+	if got := r.Filter("cbo"); len(got) != 2 {
+		t.Fatalf("Filter(cbo) = %d events, want 2 (evicted events excluded)", len(got))
+	}
+	if got := r.ForAddr(0x1000); len(got) != 1 || got[0].Cycle != 5 {
+		t.Fatalf("ForAddr(0x1000) = %v, want only the cycle-5 event", got)
+	}
+}
+
+func TestRingExactFillBoundary(t *testing.T) {
+	// Exactly filling the ring (no eviction yet) is the wraparound edge.
+	r := NewRing(3)
+	for i := int64(0); i < 3; i++ {
+		r.Emit(ev(i, "x", 0x40))
+	}
+	got := r.Events()
+	if len(got) != 3 || got[0].Cycle != 0 || got[2].Cycle != 2 {
+		t.Fatalf("exact-fill events = %v", got)
+	}
+	if r.Total() != 3 {
+		t.Fatalf("total %d, want 3", r.Total())
+	}
+}
+
+func TestEmitGlobalHasNoAddr(t *testing.T) {
+	r := NewRing(4)
+	EmitGlobal(r, 9, "l2", "drain", "done")
+	EmitGlobal(nil, 9, "l2", "drain", "done") // nil-safe
+	got := r.Events()
+	if len(got) != 1 || got[0].HasAddr {
+		t.Fatalf("EmitGlobal events = %v, want one address-less event", got)
 	}
 }
 
