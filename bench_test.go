@@ -34,7 +34,7 @@ func BenchmarkFig09WritebackScaling(b *testing.B) {
 
 	var rows []bench.MicroRow
 	for i := 0; i < b.N; i++ {
-		rows = bench.Fig9(false)
+		rows = bench.Fig9(nil, false)
 	}
 	metric := map[string]float64{}
 	for _, r := range rows {
@@ -63,7 +63,7 @@ func BenchmarkFig10CleanVsFlushReread(b *testing.B) {
 	defer func() { bench.Sizes = savedSizes }()
 	var rows []bench.Fig10Row
 	for i := 0; i < b.N; i++ {
-		rows = bench.Fig10([]int{1})
+		rows = bench.Fig10(nil, []int{1})
 	}
 	var clean, flush float64
 	for _, r := range rows {
@@ -121,7 +121,7 @@ func BenchmarkFig13SkipItMicro(b *testing.B) {
 	defer func() { bench.Sizes = savedSizes }()
 	var rows []bench.Fig13Row
 	for i := 0; i < b.N; i++ {
-		rows = bench.Fig13([]int{1}, 10)
+		rows = bench.Fig13(nil, []int{1}, 10)
 	}
 	var naive, skip float64
 	for _, r := range rows {

@@ -1,91 +1,125 @@
 // Command skipit-bench regenerates every table and figure of the paper's
-// evaluation (§7) as printed series. See EXPERIMENTS.md for the side-by-side
-// comparison with the published results.
+// evaluation (§7) through the internal/sweep orchestrator: each figure is
+// decomposed into independent, fingerprinted jobs that run on a bounded
+// worker pool and land in a content-addressed result store. See
+// EXPERIMENTS.md for the side-by-side comparison with the published results
+// and README.md ("Regenerating the figures") for the sweep workflow.
 //
 // Usage:
 //
-//	skipit-bench [-fig 9|10|11|12|13|14|15|16|all] [-quick] [-csv]
-//	             [-metrics-dir DIR]
+//	skipit-bench [-fig 9|10|...|16|ablations|all | comma list, e.g. -fig 9,13]
+//	             [-quick] [-csv] [-jobs N] [-out DIR] [-force]
+//	             [-baseline FILE] [-gate PCT] [-metrics-dir DIR]
 //
 // -quick shrinks sweep sizes and operation counts so the full set completes
 // in well under a minute; -csv emits machine-readable rows (figure,series,
-// x,y) for plotting instead of the human-readable tables. -metrics-dir
-// writes one figNN.metrics.json sidecar per cycle-accurate figure (9-13)
-// holding the labeled telemetry snapshot of every measurement run, so
-// figure-level latencies can be cross-examined against hardware counters
-// (skip rates, stall attribution, DRAM traffic) without re-running.
+// x,y) for plotting instead of the human-readable tables.
+//
+// -jobs N runs up to N measurements concurrently (default GOMAXPROCS); every
+// measurement owns its whole simulated system, so results are bit-identical
+// to -jobs 1. -out DIR maintains a result store (one BENCH_<group>.json per
+// figure plus a combined BENCH_quick.json/BENCH_full.json): points whose
+// config fingerprint already matches a stored record are skipped, -force
+// re-measures everything. -baseline FILE compares the run against a stored
+// baseline and -gate PCT (default 10) fails the process on cycle-count
+// regressions beyond the tolerance — or on fingerprint drift, which means
+// the baseline needs refreshing.
+//
+// -metrics-dir writes one <group>.metrics.json sidecar per cycle-accurate
+// figure (9-13, ablations) holding the labeled telemetry snapshot of every
+// measurement run, so figure-level latencies can be cross-examined against
+// hardware counters without re-running.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"skipit/internal/bench"
-	"skipit/internal/commercial"
-	"skipit/internal/metrics"
+	"skipit/internal/sweep"
 )
 
-// sidecar accumulates the labeled snapshots of one figure's measurement runs
-// and writes them as a JSON sidecar file. A nil sidecar is a no-op.
-type sidecar struct {
-	dir, fig string
-	snaps    []labeledSnapshot
+// figure describes one regenerable section of the evaluation.
+type figure struct {
+	token string // -fig selector
+	group string // result-store group / sidecar name
+	title string
+	note  string // paper anchor, printed under the title
+	mops  bool   // report Derived["mops"] instead of cycles
+	build func(quick bool) []sweep.Job
 }
 
-type labeledSnapshot struct {
-	Label    string           `json:"label"`
-	Snapshot metrics.Snapshot `json:"snapshot"`
-}
-
-// begin installs the collector as the bench snapshot sink.
-func newSidecar(dir, fig string) *sidecar {
-	if dir == "" {
-		return nil
-	}
-	sc := &sidecar{dir: dir, fig: fig}
-	bench.SnapshotSink = func(label string, snap metrics.Snapshot) {
-		sc.snaps = append(sc.snaps, labeledSnapshot{Label: label, Snapshot: snap})
-	}
-	return sc
-}
-
-// close detaches the sink and writes DIR/figNN.metrics.json.
-func (sc *sidecar) close() {
-	if sc == nil {
-		return
-	}
-	bench.SnapshotSink = nil
-	path := filepath.Join(sc.dir, sc.fig+".metrics.json")
-	f, err := os.Create(path)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	enc := json.NewEncoder(f)
-	if err := enc.Encode(sc.snaps); err != nil {
-		log.Fatalf("writing %s: %v", path, err)
+// figures lists the sections in figure order. Job builders run after quick
+// mode has shrunk the sweep knobs.
+func figures() []figure {
+	return []figure{
+		{token: "9", group: "fig09",
+			title: "Figure 9 — CBO.X latency vs writeback size and thread count (cycles)",
+			note:  "paper anchors: 1 line ~100 cy; 32 KiB ~7460 cy; 8 threads ~7.2x faster",
+			build: func(bool) []sweep.Job { return bench.Fig9Jobs("fig09", false) }},
+		{token: "10", group: "fig10",
+			title: "Figure 10 — write, 10x CBO.X, fence, re-read (cycles)",
+			note:  "paper: re-read after CBO.CLEAN ~2x faster than after CBO.FLUSH",
+			build: func(bool) []sweep.Job { return bench.Fig10Jobs(bench.ThreadCounts) }},
+		{token: "11", group: "fig11",
+			title: "Figure 11 — comparative writeback latency, 1 thread (cycles)",
+			build: func(bool) []sweep.Job { return bench.ComparativeJobs("fig11", 1) }},
+		{token: "12", group: "fig12",
+			title: "Figure 12 — comparative writeback latency, 8 threads (cycles)",
+			build: func(bool) []sweep.Job { return bench.ComparativeJobs("fig12", 8) }},
+		{token: "13", group: "fig13",
+			title: "Figure 13 — naive vs Skip It, 10 redundant CBO.X per line (cycles)",
+			note:  "paper: Skip It 15-30% faster (CBO.CLEAN variant; see EXPERIMENTS.md)",
+			build: func(bool) []sweep.Job { return bench.Fig13Jobs(bench.ThreadCounts, 10) }},
+		{token: "14", group: "fig14", mops: true,
+			title: "Figure 14 — §7.4 throughput, 5% updates, 2 threads (Mops/s)",
+			note:  "paper: Skip It >= FliT variants; link-and-persist ahead on automatic list/hash",
+			build: func(bool) []sweep.Job { return bench.Fig14Jobs() }},
+		{token: "15", group: "fig15", mops: true,
+			title: "Figure 15 — throughput vs update percentage, automatic algorithm (Mops/s)",
+			build: func(quick bool) []sweep.Job {
+				pcts := []int{0, 5, 10, 20, 50, 100}
+				if quick {
+					pcts = []int{0, 5, 20, 50}
+				}
+				return bench.Fig15Jobs(pcts)
+			}},
+		{token: "16", group: "fig16", mops: true,
+			title: "Figure 16 — BST (10k keys) throughput vs FliT hash-table size (Mops/s)",
+			note:  "paper: throughput is sensitive to the table size on the small-cache platform",
+			build: func(quick bool) []sweep.Job {
+				sizes := []uint64{1 << 6, 1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20}
+				if quick {
+					sizes = []uint64{1 << 6, 1 << 12, 1 << 16, 1 << 20}
+				}
+				return bench.Fig16Jobs(sizes)
+			}},
+		{token: "ablations", group: "ablations",
+			title: "Ablations — §5 design choices (cycles)",
+			note:  "widened data array, FSHR count, coalescing, flush-queue depth",
+			build: func(bool) []sweep.Job { return bench.AblationJobs() }},
 	}
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 9..16 or all")
+	os.Exit(run())
+}
+
+func run() int {
+	fig := flag.String("fig", "all", "figures to regenerate: 9..16, ablations, all, or a comma list (e.g. 9,13)")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
 	csv := flag.Bool("csv", false, "emit figure,series,x,y rows for plotting")
+	jobs := flag.Int("jobs", 0, "max concurrent measurements (0 = GOMAXPROCS)")
+	out := flag.String("out", "", "result-store directory (skip already-measured points, write BENCH_*.json)")
+	force := flag.Bool("force", false, "re-measure every point even on a result-store hit")
+	baseline := flag.String("baseline", "", "baseline store file to gate against")
+	gate := flag.Float64("gate", 10, "regression tolerance in percent (with -baseline)")
 	metricsDir := flag.String("metrics-dir", "", "write per-figure metrics sidecar JSON files into this directory")
 	flag.Parse()
-	if *metricsDir != "" {
-		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if *csv {
-		fmt.Println("figure,series,x,y")
-	}
 
 	if *quick {
 		bench.Reps = 1
@@ -94,191 +128,181 @@ func main() {
 		bench.PersistOpsPerThr = 4000
 	}
 
+	// Resolve the -fig selection against the known tokens.
+	byToken := map[string]figure{}
+	for _, f := range figures() {
+		byToken[f.token] = f
+	}
 	want := map[string]bool{}
-	for _, f := range strings.Split(*fig, ",") {
-		want[strings.TrimSpace(f)] = true
+	for _, tok := range strings.Split(*fig, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "all" {
+			want["all"] = true
+			continue
+		}
+		if _, ok := byToken[tok]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q (want 9..16, ablations, all, or a comma list)\n", tok)
+			return 2
+		}
+		want[tok] = true
 	}
-	all := want["all"]
-	ran := false
 
-	if all || want["9"] {
-		ran = true
-		sc := newSidecar(*metricsDir, "fig9")
-		rows := bench.Fig9(false)
-		sc.close()
-		if *csv {
-			for _, r := range rows {
-				fmt.Printf("9,%dT,%d,%.0f\n", r.Threads, r.Size, r.Cycles)
-			}
-		} else {
-			header("Figure 9 — CBO.X latency vs writeback size and thread count (cycles)")
-			fmt.Println("paper anchors: 1 line ~100 cy; 32 KiB ~7460 cy; 8 threads ~7.2x faster")
-			for _, r := range rows {
-				fmt.Println("  ", r)
-			}
+	var selected []figure
+	var allJobs []sweep.Job
+	for _, f := range figures() {
+		if !want["all"] && !want[f.token] {
+			continue
+		}
+		selected = append(selected, f)
+		allJobs = append(allJobs, f.build(*quick)...)
+	}
+
+	var store *sweep.Store
+	if *out != "" {
+		var err error
+		if store, err = sweep.Open(*out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
 		}
 	}
-	if all || want["10"] {
-		ran = true
-		sc := newSidecar(*metricsDir, "fig10")
-		rows := bench.Fig10(bench.ThreadCounts)
-		sc.close()
-		if *csv {
-			for _, r := range rows {
-				op := "flush"
-				if r.Clean {
-					op = "clean"
-				}
-				fmt.Printf("10,%s-%dT,%d,%.0f\n", op, r.Threads, r.Size, r.Cycles)
-			}
-		} else {
-			header("Figure 10 — write, 10x CBO.X, fence, re-read (cycles)")
-			fmt.Println("paper: re-read after CBO.CLEAN ~2x faster than after CBO.FLUSH")
-			for _, r := range rows {
-				fmt.Println("  ", r)
-			}
+	if *metricsDir != "" {
+		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
 		}
 	}
-	if all || want["11"] || want["12"] {
-		ran = true
-		for _, threads := range []int{1, 8} {
-			if threads == 1 && !(all || want["11"]) {
-				continue
-			}
-			if threads == 8 && !(all || want["12"]) {
-				continue
-			}
-			figNo := map[int]int{1: 11, 8: 12}[threads]
-			sc := newSidecar(*metricsDir, fmt.Sprintf("fig%d", figNo))
-			if *csv {
-				for _, clean := range []bool{false, true} {
-					op := "CBO.FLUSH"
-					if clean {
-						op = "CBO.CLEAN"
-					}
-					for _, size := range bench.Sizes {
-						fmt.Printf("%d,SonicBOOM-%s,%d,%.0f\n", figNo, op, size, bench.SweepOnce(size, threads, clean))
-					}
-				}
-				for _, m := range commercial.Models() {
-					for _, size := range bench.Sizes {
-						fmt.Printf("%d,%s-%s,%d,%.0f\n", figNo, m.Vendor, m.Instr, size, m.Latency(size, threads))
-					}
-				}
-				sc.close()
-				continue
-			}
-			header(fmt.Sprintf("Figure %d — comparative writeback latency, %d thread(s) (cycles)",
-				figNo, threads))
-			fmt.Printf("  %-22s", "size")
-			for _, size := range bench.Sizes {
-				fmt.Printf("%9d", size)
-			}
-			fmt.Println()
-			// SonicBOOM rows from the cycle simulator.
-			for _, clean := range []bool{false, true} {
-				op := "CBO.FLUSH"
-				if clean {
-					op = "CBO.CLEAN"
-				}
-				fmt.Printf("  %-22s", "SonicBOOM "+op)
-				for _, size := range bench.Sizes {
-					fmt.Printf("%9.0f", bench.SweepOnce(size, threads, clean))
-				}
-				fmt.Println()
-			}
-			// Commercial rows from the analytic models.
-			for _, m := range commercial.Models() {
-				fmt.Printf("  %-22s", m.Vendor+" "+m.Instr)
-				for _, size := range bench.Sizes {
-					fmt.Printf("%9.0f", m.Latency(size, threads))
-				}
-				fmt.Println()
-			}
-			sc.close()
-		}
+
+	runner := sweep.Runner{
+		Workers:       *jobs,
+		Store:         store,
+		Force:         *force,
+		WithSnapshots: *metricsDir != "",
 	}
-	if all || want["13"] {
-		ran = true
-		sc := newSidecar(*metricsDir, "fig13")
-		rows := bench.Fig13(bench.ThreadCounts, 10)
-		sc.close()
+	results := runner.Run(allJobs)
+
+	exit := 0
+	if *csv {
+		fmt.Println("figure,series,x,y")
+	}
+	byGroup := map[string][]sweep.JobResult{}
+	for _, res := range results {
+		byGroup[res.Group] = append(byGroup[res.Group], res)
+	}
+	for _, f := range selected {
+		group := byGroup[f.group]
 		if *csv {
-			for _, r := range rows {
-				mode := "naive"
-				if r.SkipIt {
-					mode = "skipit"
+			for _, res := range group {
+				if res.Err != nil {
+					continue
 				}
-				fmt.Printf("13,%s-%dT,%d,%.0f\n", mode, r.Threads, r.Size, r.Cycles)
+				r := res.Record
+				if f.mops {
+					fmt.Printf("%s,%s,%s,%.4f\n", f.token, r.Series, r.X, r.Derived["mops"])
+				} else {
+					fmt.Printf("%s,%s,%s,%.0f\n", f.token, r.Series, r.X, r.Cycles)
+				}
 			}
 		} else {
-			header("Figure 13 — naive vs Skip It, 10 redundant CBO.X per line (cycles)")
-			fmt.Println("paper: Skip It 15-30% faster (CBO.CLEAN variant; see EXPERIMENTS.md)")
-			for _, r := range rows {
-				fmt.Println("  ", r)
+			fmt.Printf("\n== %s\n", f.title)
+			if f.note != "" {
+				fmt.Println(f.note)
+			}
+			for _, res := range group {
+				if res.Err != nil {
+					continue
+				}
+				fmt.Println("  " + renderRecord(f, res))
 			}
 		}
-	}
-	if all || want["14"] {
-		ran = true
-		rows14 := bench.Fig14()
-		if *csv {
-			for _, r := range rows14 {
-				fmt.Printf("14,%s-%s,%s,%.4f\n", r.Structure, r.Mode, r.Policy, r.Mops)
-			}
-		} else {
-			header("Figure 14 — §7.4 throughput, 5% updates, 2 threads (Mops/s)")
-			fmt.Println("paper: Skip It >= FliT variants; link-and-persist ahead on automatic list/hash")
-			for _, r := range rows14 {
-				fmt.Println("  ", r)
+		for _, res := range group {
+			if res.Err != nil {
+				fmt.Fprintln(os.Stderr, res.Err)
+				exit = 1
 			}
 		}
-	}
-	if all || want["15"] {
-		ran = true
-		pcts := []int{0, 5, 20, 50}
-		if !*quick {
-			pcts = []int{0, 5, 10, 20, 50, 100}
-		}
-		rows15 := bench.Fig15(pcts)
-		if *csv {
-			for _, r := range rows15 {
-				fmt.Printf("15,%s-%s,%d,%.4f\n", r.Structure, r.Policy, r.UpdatePct, r.Mops)
-			}
-		} else {
-			header("Figure 15 — throughput vs update percentage, automatic algorithm (Mops/s)")
-			for _, r := range rows15 {
-				fmt.Println("  ", r)
-			}
-		}
-	}
-	if all || want["16"] {
-		ran = true
-		sizes := []uint64{1 << 6, 1 << 12, 1 << 16, 1 << 20}
-		if !*quick {
-			sizes = nil // full default sweep
-		}
-		rows16 := bench.Fig16(sizes)
-		if *csv {
-			for _, r := range rows16 {
-				fmt.Printf("16,flit-hash,%d,%.4f\n", r.TableEntries, r.Mops)
-			}
-		} else {
-			header("Figure 16 — BST (10k keys) throughput vs FliT hash-table size (Mops/s)")
-			fmt.Println("paper: throughput is sensitive to the table size on the small-cache platform")
-			for _, r := range rows16 {
-				fmt.Println("  ", r)
+		if *metricsDir != "" {
+			if err := writeSidecar(*metricsDir, f.group, group); err != nil {
+				// A failed sidecar write must not kill a half-finished
+				// sweep: report it, finish the run, exit nonzero.
+				fmt.Fprintln(os.Stderr, err)
+				exit = 1
 			}
 		}
 	}
 
-	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 9..16 or all)\n", *fig)
-		os.Exit(2)
+	records := sweep.Records(results)
+	if store != nil {
+		mode := "full"
+		if *quick {
+			mode = "quick"
+		}
+		combined := filepath.Join(store.Dir(), sweep.FileName(mode))
+		if err := store.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+		} else if err := sweep.WriteFile(combined, sweep.File{Group: mode, Records: records}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+		}
 	}
+
+	if *baseline != "" {
+		base, err := sweep.LoadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		cmp := sweep.Compare(base.Records, records, *gate)
+		fmt.Printf("\n== %s vs %s\n", cmp, *baseline)
+		if !cmp.OK() {
+			fmt.Fprintln(os.Stderr, "regression gate FAILED (intentional perf changes must refresh the baseline; see README)")
+			return 1
+		}
+		fmt.Println("regression gate passed")
+	}
+	return exit
 }
 
-func header(s string) {
-	fmt.Println()
-	fmt.Println("==", s)
+// renderRecord formats one human-readable result line.
+func renderRecord(f figure, res sweep.JobResult) string {
+	r := res.Record
+	cached := ""
+	if res.Cached {
+		cached = "  [store]"
+	}
+	if f.mops {
+		return fmt.Sprintf("%-28s %-16s %10.3f Mops/s%s", r.Series, r.X, r.Derived["mops"], cached)
+	}
+	line := fmt.Sprintf("%-24s size=%-8s %12.0f cycles", r.Series, r.X, r.Cycles)
+	if r.Reps > 1 {
+		line += fmt.Sprintf(" (sigma %.1f)", r.Sigma)
+	}
+	return line + cached
+}
+
+// writeSidecar writes DIR/<group>.metrics.json with every labeled snapshot
+// the group's jobs emitted, in submission order. Cached jobs re-measured
+// nothing, so they contribute no snapshots.
+func writeSidecar(dir, group string, results []sweep.JobResult) (err error) {
+	var snaps []sweep.LabeledSnapshot
+	for _, res := range results {
+		snaps = append(snaps, res.Snaps...)
+	}
+	if len(snaps) == 0 {
+		return nil
+	}
+	path := filepath.Join(dir, group+".metrics.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("sidecar %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("sidecar %s: %w", path, cerr)
+		}
+	}()
+	if err := json.NewEncoder(f).Encode(snaps); err != nil {
+		return fmt.Errorf("sidecar %s: %w", path, err)
+	}
+	return nil
 }

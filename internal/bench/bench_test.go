@@ -25,7 +25,7 @@ func small(t *testing.T) {
 
 func TestFig9ShapeAndScaling(t *testing.T) {
 	small(t)
-	rows := Fig9(false)
+	rows := Fig9(nil, false)
 	if len(rows) != len(Sizes)*len(ThreadCounts) {
 		t.Fatalf("%d rows", len(rows))
 	}
@@ -48,11 +48,11 @@ func TestFig9ShapeAndScaling(t *testing.T) {
 
 func TestFig9SingleLineBand(t *testing.T) {
 	// §7.2 anchor: one-line CBO.X lands near 100 cycles.
-	lat := SweepOnce(64, 1, false)
+	lat := SweepOnce(nil, 64, 1, false)
 	if lat < 60 || lat > 200 {
 		t.Fatalf("single-line flush latency %.0f, want ~100", lat)
 	}
-	clean := SweepOnce(64, 1, true)
+	clean := SweepOnce(nil, 64, 1, true)
 	// §7.2: clean and flush are equivalent in isolation.
 	if ratio := clean / lat; ratio < 0.8 || ratio > 1.2 {
 		t.Fatalf("clean/flush isolation ratio %.2f, want ~1", ratio)
@@ -61,7 +61,7 @@ func TestFig9SingleLineBand(t *testing.T) {
 
 func TestFig10CleanBeatsFlush(t *testing.T) {
 	small(t)
-	rows := Fig10([]int{1})
+	rows := Fig10(nil, []int{1})
 	var clean, flush float64
 	for _, r := range rows {
 		if r.Size != 1024 {
@@ -80,7 +80,7 @@ func TestFig10CleanBeatsFlush(t *testing.T) {
 
 func TestFig13SkipItWins(t *testing.T) {
 	small(t)
-	rows := Fig13([]int{1}, 10)
+	rows := Fig13(nil, []int{1}, 10)
 	var naive, skip float64
 	for _, r := range rows {
 		if r.Size != 1024 {
@@ -100,7 +100,7 @@ func TestFig13SkipItWins(t *testing.T) {
 
 func TestFig13FlushVariantFallsBackToL2Skip(t *testing.T) {
 	small(t)
-	rows := Fig13Flush([]int{1}, 4)
+	rows := Fig13Flush(nil, []int{1}, 4)
 	var naive, skip float64
 	for _, r := range rows {
 		if r.Size != 1024 {

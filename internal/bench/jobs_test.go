@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"skipit/internal/ds"
+	"skipit/internal/persist"
+	"skipit/internal/sweep"
+)
+
+// Fig9 jobs must reproduce the direct harness point for point.
+func TestFig9JobsMatchDirect(t *testing.T) {
+	small(t)
+	direct := Fig9(nil, false)
+	jobs := Fig9Jobs("fig09", false)
+	if len(jobs) != len(direct) {
+		t.Fatalf("%d jobs for %d rows", len(jobs), len(direct))
+	}
+	results := sweep.Runner{Workers: 1}.Run(jobs)
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if res.Record.Cycles != direct[i].Cycles || res.Record.Sigma != direct[i].Sigma {
+			t.Fatalf("job %s = %.0f±%.1f, direct row = %+v",
+				res.Record.Name, res.Record.Cycles, res.Record.Sigma, direct[i])
+		}
+	}
+}
+
+// The whole point of the sweep runner: records (and snapshots) from a
+// parallel run are bit-identical to a serial run of the same jobs.
+func TestJobsDeterministicAcrossWorkerCounts(t *testing.T) {
+	small(t)
+	build := func() []sweep.Job {
+		jobs := Fig9Jobs("fig09", false)
+		jobs = append(jobs, Fig13Jobs([]int{1, 2}, 4)...)
+		return jobs
+	}
+	serial := sweep.Runner{Workers: 1, WithSnapshots: true}.Run(build())
+	parallel := sweep.Runner{Workers: 4, WithSnapshots: true}.Run(build())
+	if err := sweep.FirstError(serial); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sweep.Records(serial), sweep.Records(parallel)) {
+		t.Fatal("parallel records diverged from serial")
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i].Snaps, parallel[i].Snaps) {
+			t.Fatalf("job %d snapshots diverged between serial and parallel", i)
+		}
+	}
+}
+
+// Two different figures running concurrently with live snapshot sinks: the
+// scenario that raced on the old bench.SnapshotSink package-global. Run
+// under -race (CI does) this fails loudly if any shared mutable state is
+// left in the measurement path.
+func TestParallelFiguresNoRace(t *testing.T) {
+	small(t)
+	jobs := append(Fig9Jobs("fig09", false), Fig13Jobs([]int{1}, 4)...)
+	results := sweep.Runner{Workers: 2, WithSnapshots: true}.Run(jobs)
+	if err := sweep.FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if len(res.Snaps) == 0 {
+			t.Fatalf("job %s emitted no snapshots", res.Record.Name)
+		}
+	}
+}
+
+// The §7.4 harness interleaves thread operations deterministically: two runs
+// of one configuration must agree to the bit, or the result store could
+// never recognize its own records.
+func TestPersistConfigDeterministic(t *testing.T) {
+	small(t)
+	a := RunPersistConfig(ds.NameHash, persist.Automatic, PolicySkipIt, 20, FliTDefaultTable)
+	b := RunPersistConfig(ds.NameHash, persist.Automatic, PolicySkipIt, 20, FliTDefaultTable)
+	if a != b {
+		t.Fatalf("identical configs measured differently:\n%+v\n%+v", a, b)
+	}
+	if a.Cycles <= 0 {
+		t.Fatalf("non-positive gated cycles: %+v", a)
+	}
+}
+
+// Persist jobs carry the virtual-cycle metric for gating and throughput as
+// a derived metric.
+func TestPersistJobOutcome(t *testing.T) {
+	small(t)
+	jobs := Fig16Jobs([]uint64{64})
+	results := sweep.Runner{}.Run(jobs)
+	if err := sweep.FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	rec := results[0].Record
+	if rec.Cycles <= 0 || rec.Derived["mops"] <= 0 {
+		t.Fatalf("record = %+v", rec)
+	}
+}
+
+// Every job across all figures must have a unique (group, name) and a
+// non-empty fingerprint — the store's addressing invariants.
+func TestJobIdentityInvariants(t *testing.T) {
+	small(t)
+	var jobs []sweep.Job
+	jobs = append(jobs, Fig9Jobs("fig09", false)...)
+	jobs = append(jobs, Fig10Jobs(ThreadCounts)...)
+	jobs = append(jobs, ComparativeJobs("fig11", 1)...)
+	jobs = append(jobs, ComparativeJobs("fig12", 8)...)
+	jobs = append(jobs, Fig13Jobs(ThreadCounts, 10)...)
+	jobs = append(jobs, Fig14Jobs()...)
+	jobs = append(jobs, Fig15Jobs([]int{0, 50})...)
+	jobs = append(jobs, Fig16Jobs([]uint64{64, 4096})...)
+	jobs = append(jobs, AblationJobs()...)
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		key := j.Group + "/" + j.Name
+		if seen[key] {
+			t.Errorf("duplicate job %s", key)
+		}
+		seen[key] = true
+		if j.Fingerprint == "" {
+			t.Errorf("job %s has no fingerprint", key)
+		}
+		if j.Group == "" || j.Name == "" {
+			t.Errorf("job with empty identity: %+v", j)
+		}
+	}
+	if len(jobs) < 100 {
+		t.Fatalf("suspiciously small full grid: %d jobs", len(jobs))
+	}
+}

@@ -9,9 +9,9 @@ import (
 	"fmt"
 
 	"skipit/internal/isa"
-	"skipit/internal/metrics"
 	"skipit/internal/sim"
 	"skipit/internal/stats"
+	"skipit/internal/sweep"
 )
 
 // LoopNops models the per-iteration loop overhead (address arithmetic,
@@ -30,19 +30,20 @@ const lineBytes = 64
 // runLimit bounds every simulated program.
 const runLimit = 20_000_000
 
-// SnapshotSink, when non-nil, receives the metrics snapshot of every
-// completed cycle-accurate measurement run, labeled by the measurement's
-// parameters. cmd/skipit-bench installs one to write per-figure metrics
-// sidecar files; the figures that run on the analytic memsim model (14-16)
-// produce no snapshots.
-var SnapshotSink func(label string, snap metrics.Snapshot)
+// Sink receives the labeled metrics snapshot of every completed
+// cycle-accurate measurement run. Each harness invocation carries its own
+// sink (nil discards snapshots): snapshots used to flow through a
+// SnapshotSink package-global, which was a data race the moment two
+// measurements ran concurrently under the sweep runner. The figures that run
+// on the analytic memsim model (14-16) produce no snapshots.
+type Sink = sweep.Sink
 
 // emitSnapshot forwards a finished system's snapshot to the sink.
-func emitSnapshot(s *sim.System, format string, args ...any) {
-	if SnapshotSink == nil {
+func emitSnapshot(sink Sink, s *sim.System, format string, args ...any) {
+	if sink == nil {
 		return
 	}
-	SnapshotSink(fmt.Sprintf(format, args...), s.Snapshot())
+	sink(fmt.Sprintf(format, args...), s.Snapshot())
 }
 
 // Sizes is the writeback-size sweep of Figures 9–13: 64 B to 32 KiB.
@@ -79,17 +80,24 @@ func buildSweep(base, size uint64, clean bool) (p *isa.Program, startIdx, endIdx
 	return b.Build(), startIdx, endIdx
 }
 
-// measureSweep runs one Fig. 9 configuration: total bytes of dirty data are
-// split evenly over threads cores (one simulated core per thread, see
-// DESIGN.md §3), each flushing its own region; the reported latency is from
-// the first CBO.X issue to the last core's final fence completion.
-func measureSweep(cfg sim.Config, total uint64, threads int, clean bool, rep int) float64 {
+// clampThreads caps threads so every thread owns at least one full line of
+// the region; the job builders use the same clamp when fingerprinting.
+func clampThreads(total uint64, threads int) int {
 	if total < uint64(threads)*lineBytes {
 		threads = int(total / lineBytes)
 		if threads == 0 {
 			threads = 1
 		}
 	}
+	return threads
+}
+
+// measureSweep runs one Fig. 9 configuration: total bytes of dirty data are
+// split evenly over threads cores (one simulated core per thread, see
+// DESIGN.md §3), each flushing its own region; the reported latency is from
+// the first CBO.X issue to the last core's final fence completion.
+func measureSweep(sink Sink, cfg sim.Config, total uint64, threads int, clean bool, rep int) float64 {
+	threads = clampThreads(total, threads)
 	cfg.NumCores = threads
 	cfg.L2.NumClients = threads
 	s := sim.New(cfg)
@@ -106,7 +114,7 @@ func measureSweep(cfg sim.Config, total uint64, threads int, clean bool, rep int
 	if _, err := s.Run(progs, runLimit); err != nil {
 		panic(err)
 	}
-	emitSnapshot(s, "sweep_size%d_threads%d_clean%v_rep%d", total, threads, clean, rep)
+	emitSnapshot(sink, s, "sweep_size%d_threads%d_clean%v_rep%d", total, threads, clean, rep)
 	var begin, end int64 = 1 << 62, 0
 	for t := 0; t < threads; t++ {
 		tm := s.Cores[t].Timings()
@@ -122,27 +130,29 @@ func measureSweep(cfg sim.Config, total uint64, threads int, clean bool, rep int
 
 // SweepOnce measures one Fig. 9/11/12 point: cycles to write back `total`
 // bytes of dirty data with `threads` threads on the simulated SonicBOOM.
-func SweepOnce(total uint64, threads int, clean bool) float64 {
-	return measureSweep(sim.DefaultConfig(1), total, threads, clean, 0)
+func SweepOnce(sink Sink, total uint64, threads int, clean bool) float64 {
+	return measureSweep(sink, sim.DefaultConfig(1), total, threads, clean, 0)
+}
+
+// measureSweepPoint runs one (size, threads) Fig. 9 point over Reps
+// repetitions and summarizes it; Fig9 and the fig09 jobs share it.
+func measureSweepPoint(sink Sink, size uint64, threads int, clean bool) MicroRow {
+	cfg := sim.DefaultConfig(1)
+	var samples []float64
+	for r := 0; r < Reps; r++ {
+		samples = append(samples, measureSweep(sink, cfg, size, threads, clean, r))
+	}
+	med, sig := stats.MedianSigma(samples)
+	return MicroRow{Size: size, Threads: threads, Cycles: med, Sigma: sig}
 }
 
 // Fig9 regenerates Figure 9: CBO.X latency across writeback sizes and thread
 // counts, non-contended regions, fence at the end.
-func Fig9(clean bool) []MicroRow {
-	cfg := sim.DefaultConfig(1)
+func Fig9(sink Sink, clean bool) []MicroRow {
 	var rows []MicroRow
 	for _, threads := range ThreadCounts {
 		for _, size := range Sizes {
-			var samples []float64
-			for r := 0; r < Reps; r++ {
-				samples = append(samples, measureSweep(cfg, size, threads, clean, r))
-			}
-			rows = append(rows, MicroRow{
-				Size:    size,
-				Threads: threads,
-				Cycles:  stats.Median(samples),
-				Sigma:   stats.Sigma(samples),
-			})
+			rows = append(rows, measureSweepPoint(sink, size, threads, clean))
 		}
 	}
 	return rows
@@ -168,7 +178,7 @@ func (r Fig10Row) String() string {
 // per region, write every line, issue ten CBO.X per line, fence, then
 // re-read every line. CBO.CLEAN keeps the lines resident so the re-read
 // hits; CBO.FLUSH forces refetches, costing ~2x.
-func Fig10(threadCounts []int) []Fig10Row {
+func Fig10(sink Sink, threadCounts []int) []Fig10Row {
 	var rows []Fig10Row
 	for _, threads := range threadCounts {
 		for _, clean := range []bool{true, false} {
@@ -177,7 +187,7 @@ func Fig10(threadCounts []int) []Fig10Row {
 					Size:    size,
 					Threads: threads,
 					Clean:   clean,
-					Cycles:  measureWriteCboFenceRead(size, threads, clean),
+					Cycles:  measureWriteCboFenceRead(sink, size, threads, clean),
 				})
 			}
 		}
@@ -185,13 +195,8 @@ func Fig10(threadCounts []int) []Fig10Row {
 	return rows
 }
 
-func measureWriteCboFenceRead(total uint64, threads int, clean bool) float64 {
-	if total < uint64(threads)*lineBytes {
-		threads = int(total / lineBytes)
-		if threads == 0 {
-			threads = 1
-		}
-	}
+func measureWriteCboFenceRead(sink Sink, total uint64, threads int, clean bool) float64 {
+	threads = clampThreads(total, threads)
 	cfg := sim.DefaultConfig(threads)
 	s := sim.New(cfg)
 	per := total / uint64(threads)
@@ -214,7 +219,7 @@ func measureWriteCboFenceRead(total uint64, threads int, clean bool) float64 {
 	if _, err := s.Run(progs, runLimit); err != nil {
 		panic(err)
 	}
-	emitSnapshot(s, "wcfr_size%d_threads%d_clean%v", total, threads, clean)
+	emitSnapshot(sink, s, "wcfr_size%d_threads%d_clean%v", total, threads, clean)
 	var begin, end int64 = 1 << 62, 0
 	for t := 0; t < threads; t++ {
 		tm := s.Cores[t].Timings()
@@ -250,7 +255,7 @@ func (r Fig13Row) String() string {
 // CBO.CLEAN so the redundant requests hit a resident line, which is the case
 // the §6.1 skip bit eliminates (see EXPERIMENTS.md for the flush variant,
 // where both modes fall through to the LLC's trivial dirty-bit skip).
-func Fig13(threadCounts []int, redundant int) []Fig13Row {
+func Fig13(sink Sink, threadCounts []int, redundant int) []Fig13Row {
 	var rows []Fig13Row
 	for _, threads := range threadCounts {
 		for _, skipIt := range []bool{false, true} {
@@ -259,7 +264,7 @@ func Fig13(threadCounts []int, redundant int) []Fig13Row {
 					Size:    size,
 					Threads: threads,
 					SkipIt:  skipIt,
-					Cycles:  measureRedundant(size, threads, redundant, skipIt, true),
+					Cycles:  measureRedundant(sink, size, threads, redundant, skipIt, true),
 				})
 			}
 		}
@@ -270,7 +275,7 @@ func Fig13(threadCounts []int, redundant int) []Fig13Row {
 // Fig13Flush is the paper's literal CBO.FLUSH variant of Figure 13: the
 // first flush invalidates the line, so the redundant flushes miss and are
 // eliminated (cheaply) by the LLC's dirty-bit check in both modes.
-func Fig13Flush(threadCounts []int, redundant int) []Fig13Row {
+func Fig13Flush(sink Sink, threadCounts []int, redundant int) []Fig13Row {
 	var rows []Fig13Row
 	for _, threads := range threadCounts {
 		for _, skipIt := range []bool{false, true} {
@@ -279,7 +284,7 @@ func Fig13Flush(threadCounts []int, redundant int) []Fig13Row {
 					Size:    size,
 					Threads: threads,
 					SkipIt:  skipIt,
-					Cycles:  measureRedundant(size, threads, redundant, skipIt, false),
+					Cycles:  measureRedundant(sink, size, threads, redundant, skipIt, false),
 				})
 			}
 		}
@@ -287,15 +292,17 @@ func Fig13Flush(threadCounts []int, redundant int) []Fig13Row {
 	return rows
 }
 
-func measureRedundant(total uint64, threads, redundant int, skipIt, clean bool) float64 {
-	if total < uint64(threads)*lineBytes {
-		threads = int(total / lineBytes)
-		if threads == 0 {
-			threads = 1
-		}
-	}
+// redundantConfig is the system configuration measureRedundant runs under;
+// the fig13 job builders fingerprint exactly this.
+func redundantConfig(threads int, skipIt bool) sim.Config {
 	cfg := sim.DefaultConfig(threads)
 	cfg.L1.Flush.SkipIt = skipIt
+	return cfg
+}
+
+func measureRedundant(sink Sink, total uint64, threads, redundant int, skipIt, clean bool) float64 {
+	threads = clampThreads(total, threads)
+	cfg := redundantConfig(threads, skipIt)
 	s := sim.New(cfg)
 	per := total / uint64(threads)
 	progs := make([]*isa.Program, threads)
@@ -317,7 +324,7 @@ func measureRedundant(total uint64, threads, redundant int, skipIt, clean bool) 
 	if _, err := s.Run(progs, runLimit); err != nil {
 		panic(err)
 	}
-	emitSnapshot(s, "redundant_size%d_threads%d_red%d_skipit%v_clean%v", total, threads, redundant, skipIt, clean)
+	emitSnapshot(sink, s, "redundant_size%d_threads%d_red%d_skipit%v_clean%v", total, threads, redundant, skipIt, clean)
 	var begin, end int64 = 1 << 62, 0
 	for t := 0; t < threads; t++ {
 		tm := s.Cores[t].Timings()

@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"skipit/internal/ds"
 	"skipit/internal/memsim"
@@ -12,9 +11,12 @@ import (
 
 // Workload parameters for the §7.4 data-structure study. The paper runs two
 // threads for 2 s wall-clock; we run a fixed operation count in virtual
-// time, which is deterministic. Sizes follow the paper (BST with 10k keys,
-// Fig. 16); the list is smaller because O(n) traversals dominate otherwise,
-// as in the original FliT/NVTraverse evaluations.
+// time, interleaved round-robin across the simulated threads at operation
+// granularity, which keeps the coherence contention the figures depend on
+// while making every run bit-reproducible — the property the sweep result
+// store and regression gate are built on. Sizes follow the paper (BST with
+// 10k keys, Fig. 16); the list is smaller because O(n) traversals dominate
+// otherwise, as in the original FliT/NVTraverse evaluations.
 var (
 	PersistThreads   = 2
 	PersistOpsPerThr = 20_000
@@ -73,6 +75,7 @@ type PersistRow struct {
 	Policy    PolicyKind
 	UpdatePct int
 	Mops      float64 // million operations per second of simulated time
+	Cycles    float64 // slowest thread's virtual cycles (the gated metric)
 	Flushes   uint64
 	Elided    uint64 // flushes avoided (scheme-dependent accounting)
 }
@@ -137,29 +140,31 @@ func runConfig(structure string, mode persist.Mode, kind PolicyKind, updatePct i
 	}
 	h.ResetClocks()
 
-	// Measured phase: PersistThreads goroutines, updatePct updates split
-	// evenly between inserts and deletes, the rest lookups (§7.4).
-	var wg sync.WaitGroup
-	for tid := 0; tid < PersistThreads; tid++ {
-		wg.Add(1)
-		go func(tid int) {
-			defer wg.Done()
-			r := rand.New(rand.NewSource(int64(tid)*7919 + 13))
-			for i := 0; i < PersistOpsPerThr; i++ {
-				key := uint64(r.Int63n(int64(keyRange))) + 1
-				roll := r.Intn(200)
-				switch {
-				case roll < updatePct:
-					set.Insert(tid, key)
-				case roll < 2*updatePct:
-					set.Delete(tid, key)
-				default:
-					set.Contains(tid, key)
-				}
-			}
-		}(tid)
+	// Measured phase: PersistThreads simulated threads, updatePct updates
+	// split evenly between inserts and deletes, the rest lookups (§7.4).
+	// Each thread keeps its own operation stream; the streams interleave
+	// round-robin one operation at a time, so contention on shared lines is
+	// exercised deterministically instead of depending on goroutine
+	// scheduling.
+	rngs := make([]*rand.Rand, PersistThreads)
+	for tid := range rngs {
+		rngs[tid] = rand.New(rand.NewSource(int64(tid)*7919 + 13))
 	}
-	wg.Wait()
+	for i := 0; i < PersistOpsPerThr; i++ {
+		for tid := 0; tid < PersistThreads; tid++ {
+			r := rngs[tid]
+			key := uint64(r.Int63n(int64(keyRange))) + 1
+			roll := r.Intn(200)
+			switch {
+			case roll < updatePct:
+				set.Insert(tid, key)
+			case roll < 2*updatePct:
+				set.Delete(tid, key)
+			default:
+				set.Contains(tid, key)
+			}
+		}
+	}
 
 	secs := h.MaxSeconds()
 	totalOps := float64(PersistThreads * PersistOpsPerThr)
@@ -170,6 +175,7 @@ func runConfig(structure string, mode persist.Mode, kind PolicyKind, updatePct i
 		Policy:    kind,
 		UpdatePct: updatePct,
 		Mops:      totalOps / secs / 1e6,
+		Cycles:    secs * h.Config().ClockMHz * 1e6,
 		Flushes:   st.Flushes,
 		Elided:    st.FlushDropsL1,
 	}

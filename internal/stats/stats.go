@@ -109,6 +109,26 @@ func Max(xs []float64) float64 {
 	return m
 }
 
+// MedianSigma returns Median(xs) and Sigma(xs) in one call — the pair every
+// repeated microbenchmark point reports (§7.1); it panics on an empty slice.
+func MedianSigma(xs []float64) (median, sigma float64) {
+	return Median(xs), Sigma(xs)
+}
+
+// PctDelta returns the signed percentage change from base to cur:
+// positive when cur exceeds base. A zero base maps to 0 when cur is also
+// zero and +Inf otherwise, so a regression against a degenerate baseline is
+// never silently hidden.
+func PctDelta(base, cur float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (cur - base) / base * 100
+}
+
 // Speedup returns base/opt, the conventional "x times faster" ratio.
 func Speedup(base, opt float64) float64 {
 	if opt == 0 {

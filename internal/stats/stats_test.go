@@ -143,3 +143,27 @@ func TestSummaryOrderingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMedianSigma(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	med, sig := MedianSigma(xs)
+	if med != Median(xs) || sig != Sigma(xs) {
+		t.Fatalf("MedianSigma = (%v, %v), want (%v, %v)", med, sig, Median(xs), Sigma(xs))
+	}
+}
+
+func TestPctDelta(t *testing.T) {
+	for _, tc := range []struct{ base, cur, want float64 }{
+		{100, 110, 10},
+		{100, 90, -10},
+		{100, 100, 0},
+		{0, 0, 0},
+	} {
+		if got := PctDelta(tc.base, tc.cur); got != tc.want {
+			t.Errorf("PctDelta(%v, %v) = %v, want %v", tc.base, tc.cur, got, tc.want)
+		}
+	}
+	if got := PctDelta(0, 5); !math.IsInf(got, 1) {
+		t.Errorf("PctDelta(0, 5) = %v, want +Inf", got)
+	}
+}

@@ -1,0 +1,93 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"skipit/internal/mem"
+	"skipit/internal/sim"
+)
+
+func rec(name, fp string, cycles float64) Record {
+	return Record{Name: name, Fingerprint: fp, Cycles: cycles, Reps: 1}
+}
+
+func TestCompareClassifiesDeltas(t *testing.T) {
+	baseline := []Record{
+		rec("ok", "f", 100),
+		rec("slow", "f", 100),
+		rec("fast", "f", 100),
+		rec("drift", "f1", 100),
+		rec("gone", "f", 100),
+	}
+	current := []Record{
+		rec("ok", "f", 105),
+		rec("slow", "f", 125),
+		rec("fast", "f", 70),
+		rec("drift", "f2", 100),
+		rec("fresh", "f", 10),
+	}
+	cmp := Compare(baseline, current, 10)
+	want := map[string]Status{
+		"ok": StatusOK, "slow": StatusRegression, "fast": StatusImproved,
+		"drift": StatusMismatch, "gone": StatusMissing, "fresh": StatusNew,
+	}
+	got := map[string]Status{}
+	for _, d := range cmp.Deltas {
+		got[d.Name] = d.Status
+	}
+	for name, status := range want {
+		if got[name] != status {
+			t.Errorf("%s: got %q, want %q", name, got[name], status)
+		}
+	}
+	if cmp.OK() {
+		t.Fatal("gate passed despite a regression and a mismatch")
+	}
+	if cmp.Regressions != 1 || cmp.Mismatches != 1 || cmp.Improved != 1 || cmp.New != 1 || cmp.Missing != 1 {
+		t.Fatalf("counts = %+v", cmp)
+	}
+	out := cmp.String()
+	for _, frag := range []string{"REGRESSION", "MISMATCH", "slow", "+25.0%"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("summary missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestComparePassesWithinTolerance(t *testing.T) {
+	baseline := []Record{rec("a", "f", 1000), rec("b", "f", 2000)}
+	current := []Record{rec("a", "f", 1050), rec("b", "f", 1900)}
+	if cmp := Compare(baseline, current, 10); !cmp.OK() {
+		t.Fatalf("gate failed within tolerance: %s", cmp)
+	}
+	// Missing points (a gate targeting -fig subsets) never fail the gate.
+	if cmp := Compare(baseline, current[:1], 10); !cmp.OK() || cmp.Missing != 1 {
+		t.Fatalf("subset gating broken: %+v", cmp)
+	}
+}
+
+// The acceptance check in ISSUE 2: artificially inflating a latency constant
+// must fail the gate. The constant lives in the fingerprinted config, so the
+// failure arrives as a fingerprint mismatch — the stored baseline no longer
+// describes the measured machine.
+func TestGateCatchesInflatedLatencyConstant(t *testing.T) {
+	point := func(memCfg mem.Config) Record {
+		cfg := sim.DefaultConfig(1)
+		cfg.Mem = memCfg
+		return rec("fig09/flush/size64/threads1", Fingerprint("fig9", cfg), 100)
+	}
+	baseline := []Record{point(mem.DefaultConfig())}
+	inflated := mem.DefaultConfig()
+	inflated.ReadLatency *= 3
+	cmp := Compare(baseline, []Record{point(inflated)}, 10)
+	if cmp.OK() || cmp.Mismatches != 1 {
+		t.Fatalf("inflated latency constant passed the gate: %+v", cmp)
+	}
+	// And a pure behavioral slowdown (same config, more cycles) fails too.
+	slower := point(mem.DefaultConfig())
+	slower.Cycles = 200
+	if cmp := Compare(baseline, []Record{slower}, 10); cmp.OK() || cmp.Regressions != 1 {
+		t.Fatalf("2x cycle regression passed the gate: %+v", cmp)
+	}
+}

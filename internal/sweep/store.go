@@ -1,0 +1,163 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// File is the on-disk shape of one result-store group: BENCH_<group>.json.
+type File struct {
+	SchemaVersion int      `json:"schema_version"`
+	Group         string   `json:"group"`
+	Records       []Record `json:"records"`
+}
+
+// FileName returns the store file name for a group: BENCH_fig09.json.
+func FileName(group string) string { return "BENCH_" + group + ".json" }
+
+// LoadFile reads one store file. A file whose schema version differs from
+// SchemaVersion is rejected: its records predate the current measurement
+// semantics and must all be re-measured.
+func LoadFile(path string) (File, error) {
+	var f File
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(b, &f); err != nil {
+		return f, fmt.Errorf("sweep: parsing %s: %w", path, err)
+	}
+	if f.SchemaVersion != SchemaVersion {
+		return File{}, fmt.Errorf("sweep: %s has schema version %d, want %d (stale store)",
+			path, f.SchemaVersion, SchemaVersion)
+	}
+	return f, nil
+}
+
+// Store is a directory of per-group result files, addressed by
+// (group, name, fingerprint). It is safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu     sync.Mutex
+	groups map[string]*File
+	dirty  map[string]bool
+}
+
+// Open opens (creating if needed) a result store rooted at dir. Existing
+// group files load lazily on first access; files with a stale schema
+// version are treated as empty and overwritten on the next Flush.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, groups: map[string]*File{}, dirty: map[string]bool{}}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// group loads (or initializes) one group's file. Caller holds s.mu.
+func (s *Store) group(name string) *File {
+	if f, ok := s.groups[name]; ok {
+		return f
+	}
+	f := &File{SchemaVersion: SchemaVersion, Group: name}
+	loaded, err := LoadFile(filepath.Join(s.dir, FileName(name)))
+	if err == nil {
+		*f = loaded
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		// Unreadable or stale-schema file: start empty; the next Flush
+		// rewrites it under the current schema.
+		s.dirty[name] = true
+	}
+	s.groups[name] = f
+	return f
+}
+
+// Lookup returns the stored record for (group, name) when its fingerprint
+// still matches — the content-addressed hit that lets a re-run skip an
+// already-measured point. A record whose fingerprint differs is a miss: the
+// configuration changed, so the stored number no longer describes it.
+func (s *Store) Lookup(group, name, fingerprint string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.group(group).Records {
+		if r.Name == name {
+			if r.Fingerprint == fingerprint {
+				return r, true
+			}
+			return Record{}, false
+		}
+	}
+	return Record{}, false
+}
+
+// Put inserts or replaces the record named rec.Name in the group.
+func (s *Store) Put(group string, rec Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.group(group)
+	s.dirty[group] = true
+	for i, r := range f.Records {
+		if r.Name == rec.Name {
+			f.Records[i] = rec
+			return
+		}
+	}
+	f.Records = append(f.Records, rec)
+}
+
+// Records returns a copy of the group's records in store order.
+func (s *Store) Records(group string) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Record(nil), s.group(group).Records...)
+}
+
+// Flush writes every modified group file. Output is deterministic: groups
+// write in sorted order, records in store (submission) order, and no
+// timestamps or host metadata are recorded.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var names []string
+	for g := range s.dirty {
+		if s.dirty[g] {
+			names = append(names, g)
+		}
+	}
+	sort.Strings(names)
+	for _, g := range names {
+		if err := writeFileLocked(filepath.Join(s.dir, FileName(g)), s.groups[g]); err != nil {
+			return err
+		}
+		s.dirty[g] = false
+	}
+	return nil
+}
+
+// WriteFile writes one store file (used for combined baseline files that
+// aggregate several groups' records under a single name).
+func WriteFile(path string, f File) error {
+	f.SchemaVersion = SchemaVersion
+	return writeFileLocked(path, &f)
+}
+
+func writeFileLocked(path string, f *File) error {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("sweep: writing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Name: "p", Fingerprint: "ab", Series: "1T", X: "64",
+		Cycles: 100, Sigma: 1.5, Reps: 5, Derived: map[string]float64{"size": 64}}
+	st.Put("fig09", rec)
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st2.Lookup("fig09", "p", "ab")
+	if !ok {
+		t.Fatal("reloaded store missed")
+	}
+	if got.Cycles != 100 || got.Derived["size"] != 64 || got.Series != "1T" {
+		t.Fatalf("round-trip mangled record: %+v", got)
+	}
+	// Wrong fingerprint is a miss even though the name exists.
+	if _, ok := st2.Lookup("fig09", "p", "cd"); ok {
+		t.Fatal("lookup ignored the fingerprint")
+	}
+}
+
+func TestStorePutReplacesByName(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Put("g", Record{Name: "p", Fingerprint: "old", Cycles: 1})
+	st.Put("g", Record{Name: "p", Fingerprint: "new", Cycles: 2})
+	recs := st.Records("g")
+	if len(recs) != 1 || recs[0].Fingerprint != "new" || recs[0].Cycles != 2 {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+// Identical sweeps must write byte-identical files: the determinism the
+// N=1 vs N=GOMAXPROCS acceptance check relies on.
+func TestStoreFilesAreByteDeterministic(t *testing.T) {
+	write := func(dir string) []byte {
+		st, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Put("g", Record{Name: "a", Fingerprint: "f1", Cycles: 1, Reps: 1})
+		st.Put("g", Record{Name: "b", Fingerprint: "f2", Cycles: 2, Reps: 1,
+			Derived: map[string]float64{"z": 1, "a": 2}})
+		if err := st.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, FileName("g")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if string(write(t.TempDir())) != string(write(t.TempDir())) {
+		t.Fatal("two identical sweeps wrote different bytes")
+	}
+}
+
+func TestWriteFileStampsSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), FileName("quick"))
+	if err := WriteFile(path, File{Group: "quick", Records: []Record{{Name: "p", Reps: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SchemaVersion != SchemaVersion || f.Group != "quick" || len(f.Records) != 1 {
+		t.Fatalf("file = %+v", f)
+	}
+}

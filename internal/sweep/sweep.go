@@ -1,0 +1,212 @@
+// Package sweep is the experiment-orchestration subsystem behind every
+// figure, ablation, and perf gate in this repository. The paper's evaluation
+// (§7) is a large grid of independent measurements — each one a
+// self-contained, deterministic, single-goroutine sim.System or memsim
+// hierarchy (DESIGN.md §3.1) — which makes the grid embarrassingly parallel.
+//
+// The package provides four pieces:
+//
+//   - Job: one named measurement (a figure point, an ablation cell) carrying
+//     a canonical config fingerprint (see Fingerprint) so a result can be
+//     recognized across runs.
+//   - Runner: a bounded worker pool that executes independent jobs
+//     concurrently and collects results in submission order, so the output is
+//     bit-identical to serial execution.
+//   - Store: a content-addressed result store — one BENCH_<group>.json file
+//     per figure; a record whose fingerprint still matches lets re-runs skip
+//     the measurement.
+//   - Compare: the regression gate — a delta table between a baseline store
+//     and the current records, failing on cycle-count regressions beyond a
+//     tolerance (and on fingerprint drift, which means the baseline must be
+//     refreshed).
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"skipit/internal/metrics"
+)
+
+// Sink receives the labeled metrics snapshot of every completed
+// cycle-accurate measurement run inside a job. Each job gets its own sink
+// (or nil when snapshots are not being collected), so concurrent jobs never
+// share mutable state — this replaces the former bench.SnapshotSink
+// package-global, which was a data race under a parallel runner.
+type Sink func(label string, snap metrics.Snapshot)
+
+// Job is one named, fingerprinted measurement.
+type Job struct {
+	// Group names the result-store file the record lands in ("fig09", …).
+	Group string
+	// Name identifies the point within its group ("flush/size64/threads1").
+	// (Group, Name) must be unique across a sweep.
+	Name string
+	// Series and X are plotting metadata: the CSV series label and x value.
+	Series string
+	X      string
+	// Fingerprint is the canonical hash of everything that determines this
+	// job's result (see Fingerprint). A store hit on (Name, Fingerprint)
+	// skips the measurement.
+	Fingerprint string
+	// Run performs the measurement. The sink may be nil. Run must be
+	// self-contained: it owns every simulator instance it creates and
+	// touches no shared mutable state, so jobs can run on any goroutine.
+	Run func(sink Sink) (Outcome, error)
+}
+
+// Outcome is what a job's Run returns.
+type Outcome struct {
+	Cycles  float64            // primary gated metric (virtual cycles)
+	Sigma   float64            // dispersion across repetitions
+	Reps    int                // repetition count behind Cycles
+	Derived map[string]float64 // secondary metrics (mops, sizes, rates, …)
+}
+
+// Record is one stored result: a job's outcome plus its identity. Records
+// are deliberately free of wall-clock metadata so a re-run of an unchanged
+// configuration produces byte-identical store files.
+type Record struct {
+	Group       string             `json:"group"`
+	Name        string             `json:"name"`
+	Fingerprint string             `json:"fingerprint"`
+	Series      string             `json:"series,omitempty"`
+	X           string             `json:"x,omitempty"`
+	Cycles      float64            `json:"cycles"`
+	Sigma       float64            `json:"sigma,omitempty"`
+	Reps        int                `json:"reps"`
+	Derived     map[string]float64 `json:"derived,omitempty"`
+}
+
+// LabeledSnapshot pairs a measurement-run label with its metrics snapshot.
+type LabeledSnapshot struct {
+	Label    string           `json:"label"`
+	Snapshot metrics.Snapshot `json:"snapshot"`
+}
+
+// JobResult is the runner's per-job output, in submission order.
+type JobResult struct {
+	Group  string
+	Record Record
+	// Snaps holds the labeled snapshots the job emitted, in emission order.
+	Snaps []LabeledSnapshot
+	// Cached reports that the record came from the store and Run was
+	// skipped.
+	Cached bool
+	Err    error
+}
+
+// Runner executes jobs on a bounded worker pool. The zero value runs with
+// GOMAXPROCS workers, no store, and no snapshot collection.
+type Runner struct {
+	// Workers bounds concurrent jobs; <= 0 means GOMAXPROCS.
+	Workers int
+	// Store, when non-nil, is consulted before running a job (a matching
+	// fingerprint skips it) and receives every fresh record afterwards.
+	Store *Store
+	// Force re-measures every job even on a store hit.
+	Force bool
+	// WithSnapshots gives each job a collecting sink; otherwise jobs run
+	// with a nil sink and emit nothing.
+	WithSnapshots bool
+}
+
+// Run executes the jobs and returns one result per job, in submission order
+// regardless of completion order. Each job owns its whole simulator, so the
+// records are bit-identical to what serial execution produces; only
+// wall-clock time depends on Workers. Errors (including recovered panics)
+// are captured per job, never propagated across jobs.
+func (r Runner) Run(jobs []Job) []JobResult {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]JobResult, len(jobs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range jobs {
+		job := jobs[i]
+		res := &results[i]
+		res.Group = job.Group
+		if r.Store != nil && !r.Force {
+			if rec, ok := r.Store.Lookup(job.Group, job.Name, job.Fingerprint); ok {
+				res.Record = rec
+				res.Cached = true
+				continue
+			}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			runJob(job, res, r.WithSnapshots)
+		}()
+	}
+	wg.Wait()
+	if r.Store != nil {
+		// Records enter the store in submission order so the files it
+		// writes are deterministic for any worker count.
+		for i := range results {
+			if !results[i].Cached && results[i].Err == nil {
+				r.Store.Put(results[i].Group, results[i].Record)
+			}
+		}
+	}
+	return results
+}
+
+// runJob executes one job, converting panics (the measure harnesses panic on
+// simulator timeouts) into per-job errors so one bad point cannot take down
+// a half-finished sweep.
+func runJob(job Job, res *JobResult, withSnaps bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			res.Err = fmt.Errorf("sweep: job %s/%s panicked: %v", job.Group, job.Name, p)
+		}
+	}()
+	var sink Sink
+	if withSnaps {
+		sink = func(label string, snap metrics.Snapshot) {
+			res.Snaps = append(res.Snaps, LabeledSnapshot{Label: label, Snapshot: snap})
+		}
+	}
+	out, err := job.Run(sink)
+	if err != nil {
+		res.Err = fmt.Errorf("sweep: job %s/%s: %w", job.Group, job.Name, err)
+		return
+	}
+	res.Record = Record{
+		Group:       job.Group,
+		Name:        job.Name,
+		Fingerprint: job.Fingerprint,
+		Series:      job.Series,
+		X:           job.X,
+		Cycles:      out.Cycles,
+		Sigma:       out.Sigma,
+		Reps:        out.Reps,
+		Derived:     out.Derived,
+	}
+}
+
+// FirstError returns the first failed result, or nil.
+func FirstError(results []JobResult) error {
+	for i := range results {
+		if results[i].Err != nil {
+			return results[i].Err
+		}
+	}
+	return nil
+}
+
+// Records extracts the records of the successful results, in order.
+func Records(results []JobResult) []Record {
+	out := make([]Record, 0, len(results))
+	for i := range results {
+		if results[i].Err == nil {
+			out = append(out, results[i].Record)
+		}
+	}
+	return out
+}
