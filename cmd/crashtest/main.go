@@ -12,10 +12,11 @@
 //
 // Usage:
 //
-//	crashtest [-runs N] [-seed S] [-cores N] [-v]
+//	crashtest [-runs N] [-seed S] [-cores N] [-timeout-cycles N] [-v]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -30,12 +31,14 @@ func main() {
 	runs := flag.Int("runs", 200, "number of randomized crash scenarios")
 	seed := flag.Int64("seed", 1, "random seed")
 	cores := flag.Int("cores", 1, "simulated cores")
+	timeoutCycles := flag.Int64("timeout-cycles", 10_000,
+		"forward-progress watchdog limit per scenario (0 disables)")
 	verbose := flag.Bool("v", false, "print each scenario")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
 	for run := 0; run < *runs; run++ {
-		if err := oneRun(rng, *cores, *verbose); err != nil {
+		if err := oneRun(rng, *cores, *timeoutCycles, *verbose); err != nil {
 			log.Fatalf("run %d FAILED: %v", run, err)
 		}
 	}
@@ -45,8 +48,11 @@ func main() {
 // oneRun builds a random program per core (single word per line, disjoint
 // address spaces per core), runs it to a random crash point, and validates
 // NVMM contents.
-func oneRun(rng *rand.Rand, cores int, verbose bool) error {
+func oneRun(rng *rand.Rand, cores int, timeoutCycles int64, verbose bool) error {
 	s := sim.New(sim.DefaultConfig(cores))
+	if timeoutCycles > 0 {
+		s.ArmWatchdog(timeoutCycles)
+	}
 	baseAddrs := []uint64{0x1000, 0x2000, 0x3000, 0x11000}
 	progs := make([]*isa.Program, cores)
 	for c := 0; c < cores; c++ {
@@ -72,7 +78,15 @@ func oneRun(rng *rand.Rand, cores int, verbose bool) error {
 
 	crashAt := s.Now() + int64(50+rng.Intn(2000))
 	for s.Now() < crashAt {
-		s.Step()
+		// StepGuarded converts both watchdog trips and simulator panics
+		// into a structured HangReport instead of a hang or a crash.
+		if err := s.StepGuarded(); err != nil {
+			var he *sim.HangError
+			if errors.As(err, &he) {
+				return fmt.Errorf("%w\n%s", err, he.Report.JSON())
+			}
+			return err
+		}
 		allDone := true
 		for _, c := range s.Cores {
 			if !c.Done() {

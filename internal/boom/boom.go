@@ -375,6 +375,40 @@ func (c *Core) fire(now int64, e *entry) bool {
 	return true
 }
 
+// Committed returns the number of retired instructions; the watchdog reads
+// it as the core's forward-progress signal.
+func (c *Core) Committed() uint64 { return c.ctr.committed.Value() }
+
+// CoreDebug snapshots the core's ROB/LSU state for hang reports.
+type CoreDebug struct {
+	Done      bool   `json:"done"`
+	PC        int    `json:"pc"`
+	ROB       int    `json:"rob"`
+	ROBHead   string `json:"rob_head,omitempty"`
+	LDQ       int    `json:"ldq"`
+	STQ       int    `json:"stq"`
+	Inflight  int    `json:"inflight"`
+	Committed uint64 `json:"committed"`
+}
+
+// Debug returns the core's state snapshot.
+func (c *Core) Debug() CoreDebug {
+	dbg := CoreDebug{
+		Done:      c.done,
+		PC:        c.pc,
+		ROB:       len(c.rob),
+		LDQ:       c.ldqCount,
+		STQ:       c.stqCount,
+		Inflight:  len(c.inflight),
+		Committed: c.ctr.committed.Value(),
+	}
+	if len(c.rob) > 0 {
+		e := c.rob[0]
+		dbg.ROBHead = fmt.Sprintf("%v addr=%#x state=%d idx=%d", e.instr.Op, e.instr.Addr, e.state, e.instrIdx)
+	}
+	return dbg
+}
+
 // commit retires done instructions from the ROB head, in order.
 func (c *Core) commit(now int64) {
 	for n := 0; n < c.cfg.CommitWidth && len(c.rob) > 0; n++ {

@@ -1,0 +1,100 @@
+package chaos
+
+import "skipit/internal/isa"
+
+// ShrinkOpts bounds the shrinking loop.
+type ShrinkOpts struct {
+	// MaxRuns caps the number of candidate re-executions (each one is a
+	// full simulation). Zero means DefaultShrinkRuns.
+	MaxRuns int
+}
+
+// DefaultShrinkRuns is plenty for the schedule and program sizes the fuzzer
+// produces; shrinking converges long before this on typical failures.
+const DefaultShrinkRuns = 400
+
+// Shrink greedily minimizes a failing input: first the fault schedule (ddmin
+// style — drop halves, then quarters, down to single faults), then each
+// core's program (instruction spans, largest first). A candidate is accepted
+// iff it still fails with the same FailKind; the run count actually spent is
+// returned alongside the minimized input.
+//
+// Shrinking is deterministic: candidate order is a pure function of the
+// input, and every candidate run replays bit-identically.
+func Shrink(in Input, want FailKind, opts ShrinkOpts) (Input, int) {
+	maxRuns := opts.MaxRuns
+	if maxRuns <= 0 {
+		maxRuns = DefaultShrinkRuns
+	}
+	// Work on a private copy of the program list so the caller's input
+	// survives untouched.
+	in.Progs = append([]*isa.Program(nil), in.Progs...)
+	runs := 0
+	stillFails := func(cand Input) bool {
+		if runs >= maxRuns {
+			return false
+		}
+		runs++
+		fail, _ := RunInput(cand)
+		return fail != nil && fail.Kind == want
+	}
+
+	// Phase 1: minimize the fault schedule.
+	in.Schedule.Faults = shrinkSlice(in.Schedule.Faults, func(faults []Fault) bool {
+		cand := in
+		cand.Schedule = Schedule{Faults: faults}
+		return stillFails(cand)
+	})
+
+	// Phase 2: minimize each program in turn.
+	for c := range in.Progs {
+		if in.Progs[c] == nil {
+			continue
+		}
+		instrs := shrinkSlice(in.Progs[c].Instrs, func(instrs []isa.Instr) bool {
+			cand := in
+			progs := make([]*isa.Program, len(in.Progs))
+			copy(progs, in.Progs)
+			progs[c] = &isa.Program{Instrs: instrs}
+			cand.Progs = progs
+			return stillFails(cand)
+		})
+		in.Progs[c] = &isa.Program{Instrs: instrs}
+	}
+	return in, runs
+}
+
+// shrinkSlice removes ever-smaller spans from items while keep still accepts
+// the remainder, until no single-element removal is accepted.
+func shrinkSlice[T any](items []T, keep func([]T) bool) []T {
+	span := len(items) / 2
+	if span < 1 {
+		span = 1
+	}
+	for {
+		removedAny := false
+		for start := 0; start < len(items); {
+			end := start + span
+			if end > len(items) {
+				end = len(items)
+			}
+			cand := make([]T, 0, len(items)-(end-start))
+			cand = append(cand, items[:start]...)
+			cand = append(cand, items[end:]...)
+			if keep(cand) {
+				items = cand
+				removedAny = true
+				// Retry the same start index against the new tail.
+			} else {
+				start = end
+			}
+		}
+		if span == 1 {
+			if !removedAny {
+				return items
+			}
+			continue
+		}
+		span /= 2
+	}
+}

@@ -29,7 +29,8 @@ type FlushUnit struct {
 	nextRR  int // round-robin FSHR allocation pointer (§5.2)
 	counter int // flush counter (§5.2): pending CBO.X requests
 
-	ctr counters
+	ctr   counters
+	chaos Chaos // nil unless a fault schedule is armed
 }
 
 // counters holds the unit's registry-backed instruments. Increment sites use
@@ -263,6 +264,10 @@ func (u *FlushUnit) Tick(now int64, probeRdy, wbRdy bool) {
 	head := u.queue[0]
 	if u.fshrFor(head.addr) != nil {
 		u.ctr.stallSameLine.Inc()
+		return
+	}
+	if u.fshrQuotaFull(now) {
+		u.ctr.stallFSHRFull.Inc()
 		return
 	}
 	for n := 0; n < len(u.fshrs); n++ {

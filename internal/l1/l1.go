@@ -137,9 +137,10 @@ type Stats struct {
 	// Nack attribution: every Nacks increment is also counted under
 	// exactly one cause below.
 	NackMSHRFull       uint64 // no free MSHR, or replay queue full
-	NackMSHRBusy       uint64 // line has an in-flight miss (CBO/cflush hazard)
+	NackMSHRBusy       uint64 // line has an in-flight miss or pending release
 	NackFlushConflict  uint64 // §5.3 flush-unit conflict rules
 	NackProbeTransient uint64 // line mid-probe-downgrade
+	NackChaos          uint64 // forced by an armed fault schedule
 }
 
 // l1Counters holds the cache's registry-backed instruments.
@@ -152,6 +153,13 @@ type l1Counters struct {
 	nackMSHRFull, nackMSHRBusy *metrics.Counter
 	nackFlushConflict          *metrics.Counter
 	nackProbeTransient         *metrics.Counter
+	nackChaos                  *metrics.Counter
+
+	// ECC-model counters, registered under the SoC-wide "chaos" instance
+	// (shared with the L2 and the sim-level registration; the registry's
+	// get-or-create semantics make them one instrument).
+	eccFlips, eccDirtyUnrec *metrics.Counter
+	refetchRecoveries       *metrics.Counter
 }
 
 func newL1Counters(reg *metrics.Registry, name string) l1Counters {
@@ -170,6 +178,10 @@ func newL1Counters(reg *metrics.Registry, name string) l1Counters {
 		nackMSHRBusy:       reg.Counter(name, "nack_mshr_busy"),
 		nackFlushConflict:  reg.Counter(name, "nack_flush_conflict"),
 		nackProbeTransient: reg.Counter(name, "nack_probe_transient"),
+		nackChaos:          reg.Counter(name, "nack_chaos"),
+		eccFlips:           reg.Counter("chaos", "ecc_flips"),
+		eccDirtyUnrec:      reg.Counter("chaos", "ecc_dirty_unrecoverable"),
+		refetchRecoveries:  reg.Counter("chaos", "refetch_recoveries"),
 	}
 }
 
@@ -205,6 +217,11 @@ type DCache struct {
 	lastAcceptCycle   int64
 
 	ctr l1Counters
+
+	chaos Chaos // nil unless a fault schedule is armed
+	// poisoned marks clean lines carrying an injected ECC flip, keyed by
+	// line address; nil until the first injection.
+	poisoned map[uint64]struct{}
 }
 
 // New builds a data cache over the given TileLink port (client side).
@@ -257,6 +274,7 @@ func (d *DCache) Stats() Stats {
 		NackMSHRBusy:       d.ctr.nackMSHRBusy.Value(),
 		NackFlushConflict:  d.ctr.nackFlushConflict.Value(),
 		NackProbeTransient: d.ctr.nackProbeTransient.Value(),
+		NackChaos:          d.ctr.nackChaos.Value(),
 	}
 }
 
@@ -382,6 +400,7 @@ func (d *DCache) Reset() {
 	d.probe = probeUnit{}
 	d.inQ = d.inQ[:0]
 	d.respQ = d.respQ[:0]
+	d.poisoned = nil
 	d.flush.Reset()
 }
 
@@ -422,6 +441,7 @@ func (p *flushPorts) MetaInvalidate(addr uint64) {
 		m.valid = false
 		m.dirty = false
 		m.skip = false
+		p.d().clearPoison(p.d().lineAddr(addr))
 	}
 }
 

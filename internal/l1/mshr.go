@@ -74,13 +74,31 @@ func (d *DCache) mshrFor(addr uint64) *mshr {
 	return nil
 }
 
-func (d *DCache) freeMSHR() *mshr {
-	for i := range d.mshrs {
-		if d.mshrs[i].state == mFree {
-			return &d.mshrs[i]
+// freeMSHR returns an unused MSHR, honoring an armed chaos capacity squeeze:
+// a quota below the configured count makes the cache behave as if built with
+// fewer MSHRs for the window, without cancelling in-flight misses.
+func (d *DCache) freeMSHR(now int64) *mshr {
+	limit := len(d.mshrs)
+	if d.chaos != nil {
+		if q := d.chaos.MSHRQuota(now); q >= 0 && q < limit {
+			limit = q
 		}
 	}
-	return nil
+	inUse := 0
+	var free *mshr
+	for i := range d.mshrs {
+		if d.mshrs[i].state == mFree {
+			if free == nil {
+				free = &d.mshrs[i]
+			}
+		} else {
+			inUse++
+		}
+	}
+	if inUse >= limit {
+		return nil
+	}
+	return free
 }
 
 // allocMSHR sets up a new miss. The growth parameter depends on the request
@@ -134,6 +152,7 @@ func (d *DCache) tickMSHR(now int64, m *mshr) {
 			lastUsed: now,
 		}
 		copy(d.data[set][m.way], m.grantData)
+		d.clearPoison(m.addr)
 		m.grantData = nil
 		m.state = mReplay
 
@@ -221,6 +240,7 @@ func (d *DCache) tickVictim(now int64, m *mshr) {
 	// §5.4.2: the writeback unit invalidates flush queue entries for the
 	// line it evicts.
 	d.flush.EvictInvalidate(victimAddr)
+	d.clearPoison(victimAddr)
 	d.wb.start(victimAddr, d.data[set][best], meta.dirty, meta.perm)
 	d.ctr.writebacks.Inc()
 	trace.Emit(d.tr, now, d.name, "evict", victimAddr,

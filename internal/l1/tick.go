@@ -127,6 +127,18 @@ func (d *DCache) process(now int64, req Req) {
 		return
 	}
 
+	if d.chaos != nil && d.chaos.ForceNack(now) {
+		d.nack(now, req, d.ctr.nackChaos)
+		return
+	}
+
+	// ECC check-on-access: any request touching a poisoned line detects the
+	// corruption here; the line is invalidated and the request proceeds as
+	// a miss, refetching the intact copy from the L2.
+	if len(d.poisoned) != 0 {
+		d.eccScrub(now, lineAddr)
+	}
+
 	switch req.Kind {
 	case CboClean, CboFlush:
 		d.processCbo(now, req, lineAddr)
@@ -206,6 +218,7 @@ func (d *DCache) processCflushDL1(now int64, req Req, lineAddr uint64) {
 		return
 	}
 	d.flush.EvictInvalidate(lineAddr)
+	d.clearPoison(lineAddr)
 	way := d.findWay(lineAddr, true)
 	set := d.index(lineAddr)
 	d.wb.start(lineAddr, d.data[set][way], meta.dirty, meta.perm)
@@ -318,6 +331,15 @@ func (d *DCache) processStore(now int64, req Req, lineAddr uint64) {
 // acknowledged at acceptance (the ROB considers them complete once in the
 // data cache, §3.3); loads respond at replay.
 func (d *DCache) missPath(now int64, req Req, lineAddr uint64) {
+	// TileLink forbids a master from acquiring a block while its own
+	// Release for that block still awaits a ReleaseAck: the L2 would
+	// register the fresh grant and then process the stale Release,
+	// deregistering a copy we still hold. Hold the miss until the
+	// writeback unit drains (the ack window is bounded).
+	if !d.wb.idle() && d.wb.addr == lineAddr {
+		d.nack(now, req, d.ctr.nackMSHRBusy)
+		return
+	}
 	if m := d.mshrFor(lineAddr); m != nil {
 		if !m.canAcceptSecondary(req, d.cfg.RPQDepth) {
 			d.nack(now, req, d.ctr.nackMSHRFull)
@@ -331,7 +353,7 @@ func (d *DCache) missPath(now int64, req Req, lineAddr uint64) {
 		}
 		return
 	}
-	m := d.freeMSHR()
+	m := d.freeMSHR(now)
 	if m == nil {
 		d.nack(now, req, d.ctr.nackMSHRFull)
 		return

@@ -189,6 +189,7 @@ func (d *DCache) buildProbeAck(probe tilelink.Msg) tilelink.Msg {
 	case tilelink.CapToN:
 		meta.valid = false
 		meta.skip = false
+		d.clearPoison(d.lineAddr(addr))
 	case tilelink.CapToB:
 		meta.perm = tilelink.PermBranch
 		if msg.Op == tilelink.OpProbeAckData {

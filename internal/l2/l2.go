@@ -107,6 +107,11 @@ type l2Counters struct {
 	linkBackpressureB, linkBackpressureD     *metrics.Counter
 	listBufferStalls, mshrFullDefers         *metrics.Counter
 	listBufferDepth                          *metrics.Gauge
+
+	// ECC-model counters, registered under the SoC-wide "chaos" instance
+	// (shared with the L1s; get-or-create makes them one instrument).
+	eccFlips, eccDirtyUnrec *metrics.Counter
+	refetchRecoveries       *metrics.Counter
 }
 
 func newL2Counters(reg *metrics.Registry, name string) l2Counters {
@@ -126,6 +131,9 @@ func newL2Counters(reg *metrics.Registry, name string) l2Counters {
 		listBufferStalls:  reg.Counter(name, "listbuffer_stall_cycles"),
 		mshrFullDefers:    reg.Counter(name, "mshr_full_defer_cycles"),
 		listBufferDepth:   reg.Gauge(name, "listbuffer_depth"),
+		eccFlips:          reg.Counter("chaos", "ecc_flips"),
+		eccDirtyUnrec:     reg.Counter("chaos", "ecc_dirty_unrecoverable"),
+		refetchRecoveries: reg.Counter("chaos", "refetch_recoveries"),
 	}
 }
 
@@ -148,12 +156,21 @@ type Cache struct {
 
 	tr  trace.Tracer
 	ctr l2Counters
+
+	chaos Chaos // nil unless a fault schedule is armed
+	// poisoned marks clean frames carrying an injected ECC flip, keyed by
+	// line address; nil until the first injection.
+	poisoned map[uint64]struct{}
 }
 
 type buffered struct {
 	msg     tilelink.Msg
 	client  int
 	readyAt int64
+	// wbData carries RootRelease dirty data that arrived for a line the
+	// L2 had concurrently evicted (the flush raced an eviction); the
+	// MSHR writes it through to DRAM instead of the absent line.
+	wbData []byte
 }
 
 // New builds the L2 over the given client ports and memory. ports[i] is the
@@ -301,6 +318,7 @@ func (c *Cache) Reset() {
 		c.mshrs[i] = mshr{}
 	}
 	c.listBuffer = c.listBuffer[:0]
+	c.poisoned = nil
 	for cl := range c.outB {
 		c.outB[cl] = nil
 		c.outD[cl] = nil

@@ -45,6 +45,9 @@ type mshr struct {
 
 	// RootRelease fields.
 	clean bool
+	// wbData is dirty RootRelease data whose line was evicted while the
+	// message was in flight; written straight to DRAM (see sinkC).
+	wbData []byte
 
 	pendingProbes int
 	memSubmitted  bool // current memory request accepted by the controller
@@ -54,13 +57,31 @@ type mshr struct {
 	hasVictim            bool
 }
 
-func (c *Cache) freeMSHR() *mshr {
-	for i := range c.mshrs {
-		if c.mshrs[i].state == msFree {
-			return &c.mshrs[i]
+// freeMSHR returns an unused MSHR, honoring an armed chaos capacity squeeze:
+// a quota below the configured count makes the cache behave as if built with
+// fewer MSHRs for the window, without cancelling in-flight transactions.
+func (c *Cache) freeMSHR(now int64) *mshr {
+	limit := len(c.mshrs)
+	if c.chaos != nil {
+		if q := c.chaos.MSHRQuota(now); q >= 0 && q < limit {
+			limit = q
 		}
 	}
-	return nil
+	inUse := 0
+	var free *mshr
+	for i := range c.mshrs {
+		if c.mshrs[i].state == msFree {
+			if free == nil {
+				free = &c.mshrs[i]
+			}
+		} else {
+			inUse++
+		}
+	}
+	if inUse >= limit {
+		return nil
+	}
+	return free
 }
 
 // mshrFor returns the active MSHR transacting on addr's line, if any. L2
@@ -197,12 +218,37 @@ func (c *Cache) startRootRelease(now int64, m *mshr) {
 		fmt.Sprintf("%s from client %d", kind, m.client))
 	l := c.lookup(m.addr)
 	if l == nil {
+		if len(m.wbData) > 0 {
+			// The flush raced an eviction: the RootRelease data
+			// arrived after the L2 dropped the line, so it never
+			// reached the BankedStore. It is the freshest copy —
+			// write it through to DRAM before acknowledging.
+			trace.Emit(c.tr, now, "l2", "root-release-race", m.addr,
+				"line evicted in flight; writing carried data to DRAM")
+			m.state = msMemWrite
+			if c.mem.Submit(now, mem.Request{Kind: mem.Write, Addr: m.addr, Data: m.wbData, Tag: c.mshrIndex(m)}) {
+				c.ctr.memWrites.Inc()
+				m.memSubmitted = true
+			} else {
+				m.memSubmitted = false
+			}
+			return
+		}
 		// Inclusive L2 without the line: no cached copy exists
 		// anywhere, so DRAM already holds the authoritative data.
 		// Acknowledge immediately (the §5.5 trivial skip).
 		c.ctr.rootReleaseSkips.Inc()
 		m.state = msFinish
 		return
+	}
+	if len(m.wbData) > 0 {
+		// The line was evicted and then re-installed between SinkC and
+		// dispatch; apply the carried data now, exactly as SinkC would
+		// have with the line present.
+		copy(l.data, m.wbData)
+		l.dirty = true
+		c.clearPoison(m.addr)
+		m.wbData = nil
 	}
 
 	if m.clean {
@@ -265,6 +311,7 @@ func (c *Cache) finishRootRelease(m *mshr) {
 			for i := range l.perms {
 				l.perms[i] = tilelink.PermNone
 			}
+			c.clearPoison(m.addr)
 		}
 	}
 	m.state = msFinish
@@ -288,6 +335,7 @@ func (c *Cache) finishEvict(now int64, m *mshr) {
 		return
 	}
 	v.valid = false
+	c.clearPoison(c.addrOf(m.victimSet, v.tag))
 	c.submitMemRead(now, m)
 }
 
@@ -310,6 +358,11 @@ func (c *Cache) sendGrant(now int64, m *mshr) {
 	l := c.lookup(m.addr)
 	if l == nil {
 		panic(fmt.Sprintf("l2: grant for absent line %#x", m.addr))
+	}
+	// The grant is the only reader of clean line data; the ECC model
+	// detects a poisoned frame here and restores it from DRAM.
+	if !l.dirty {
+		c.eccRestore(now, l, m.addr)
 	}
 	op := tilelink.OpGrantData
 	if l.dirty {

@@ -87,6 +87,7 @@ func (c *Cache) install(now int64, m *mshr, data []byte) {
 	l.tag = c.tag(m.addr)
 	l.dirty = false
 	copy(l.data, data)
+	c.clearPoison(m.addr)
 	for i := range l.perms {
 		l.perms[i] = tilelink.PermNone
 	}
@@ -133,26 +134,31 @@ func (c *Cache) sinkC(now int64, cl int) {
 
 		case tilelink.OpRootReleaseFlush, tilelink.OpRootReleaseClean,
 			tilelink.OpRootReleaseFlushData, tilelink.OpRootReleaseCleanData:
-			if len(c.listBuffer) >= c.cfg.ListBufferDepth {
+			if len(c.listBuffer) >= c.listBufferLimit(now) {
 				c.ctr.listBufferStalls.Inc()
 				return // back-pressure: leave the message on the link
 			}
 			c.ports[cl].C.Recv(now)
 			// §5.5: dirty data is written to the BankedStore
 			// immediately upon arrival.
+			var wbData []byte
 			if msg.Op.HasData() {
 				if l := c.lookup(msg.Addr); l != nil {
 					copy(l.data, msg.Data)
 					l.dirty = true
+					c.clearPoison(msg.Addr)
 				} else {
-					// The L1 believed it held a dirty copy of
-					// a line the inclusive L2 no longer has.
-					// Cannot happen with well-behaved clients;
-					// fail loudly.
-					panic(fmt.Sprintf("l2: RootRelease data for absent line %#x", msg.Addr))
+					// The line was evicted while the RootRelease
+					// was in flight on the C channel (the FSHR's
+					// L1 copy was already invalidated, so the
+					// evict probe saw nothing to hold it back).
+					// The carried data is the only live copy;
+					// hand it to the MSHR for a direct DRAM
+					// write-through.
+					wbData = msg.Data
 				}
 			}
-			c.listBuffer = append(c.listBuffer, buffered{msg: msg, client: cl, readyAt: now + int64(c.cfg.TagLatency)})
+			c.listBuffer = append(c.listBuffer, buffered{msg: msg, client: cl, readyAt: now + int64(c.cfg.TagLatency), wbData: wbData})
 
 		default:
 			panic(fmt.Sprintf("l2: %v on channel C", msg.Op))
@@ -170,6 +176,7 @@ func (c *Cache) onProbeAck(now int64, cl int, msg tilelink.Msg) {
 		if msg.Op == tilelink.OpProbeAckData {
 			copy(l.data, msg.Data)
 			l.dirty = true
+			c.clearPoison(msg.Addr)
 		}
 	}
 	m := c.probeOwner(msg.Addr)
@@ -229,6 +236,7 @@ func (c *Cache) onRelease(now int64, cl int, msg tilelink.Msg) {
 	if msg.Op == tilelink.OpReleaseData {
 		copy(l.data, msg.Data)
 		l.dirty = true
+		c.clearPoison(msg.Addr)
 	}
 	l.lastUsed = now
 	c.outD[cl] = append(c.outD[cl], tilelink.Msg{Op: tilelink.OpReleaseAck, Addr: msg.Addr})
@@ -247,7 +255,7 @@ func (c *Cache) sinkA(now int64, cl int) {
 		if msg.Op != tilelink.OpAcquireBlock {
 			panic(fmt.Sprintf("l2: %v on channel A", msg.Op))
 		}
-		if len(c.listBuffer) >= c.cfg.ListBufferDepth {
+		if len(c.listBuffer) >= c.listBufferLimit(now) {
 			c.ctr.listBufferStalls.Inc()
 			return
 		}
@@ -269,7 +277,7 @@ func (c *Cache) retryListBuffer(now int64) {
 			kept = append(kept, b)
 			continue
 		}
-		m := c.freeMSHR()
+		m := c.freeMSHR(now)
 		if m == nil {
 			c.ctr.mshrFullDefers.Inc()
 			blocked[b.msg.Addr] = true
@@ -283,6 +291,7 @@ func (c *Cache) retryListBuffer(now int64) {
 		} else {
 			m.kind = txnRootRelease
 			m.clean = b.msg.Op.IsRootReleaseClean()
+			m.wbData = b.wbData
 		}
 		blocked[b.msg.Addr] = true // serialize same-line entries
 	}
@@ -352,11 +361,17 @@ func (c *Cache) resubmitWrite(now int64, m *mshr) {
 		addr = m.addr
 		l = c.lookup(m.addr)
 	}
-	if l == nil {
+	var data []byte
+	if l != nil {
+		data = make([]byte, c.cfg.LineBytes)
+		copy(data, l.data)
+	} else if len(m.wbData) > 0 {
+		// RootRelease write-through for a line evicted in flight: the
+		// data lives only in the MSHR (see startRootRelease).
+		data = m.wbData
+	} else {
 		panic("l2: write retry for absent line")
 	}
-	data := make([]byte, c.cfg.LineBytes)
-	copy(data, l.data)
 	if c.mem.Submit(now, mem.Request{Kind: mem.Write, Addr: addr, Data: data, Tag: c.mshrIndex(m)}) {
 		c.ctr.memWrites.Inc()
 		m.memSubmitted = true

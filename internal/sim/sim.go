@@ -62,6 +62,12 @@ type System struct {
 	sampler *metrics.Sampler
 
 	now int64
+
+	// Forward-progress watchdog state (see ArmWatchdog / StepGuarded).
+	wdLimit          int64
+	wdLastSig        uint64
+	wdLastChange     int64
+	ctrWatchdogTrips *metrics.Counter
 }
 
 // New assembles a system. All components share one metrics registry
@@ -93,8 +99,20 @@ func New(cfg Config) *System {
 	l2cfg.NumClients = cfg.NumCores
 	l2cfg.Metrics = s.reg
 	s.L2 = l2.New(l2cfg, s.ports, s.Mem)
+	// Pre-register the chaos and watchdog instruments so they appear in
+	// every Snapshot even when nothing is armed (get-or-create: the L1/L2
+	// constructors above share the same "chaos" counters).
+	s.reg.Counter("chaos", "faults_injected")
+	s.reg.Counter("chaos", "ecc_flips")
+	s.reg.Counter("chaos", "ecc_dirty_unrecoverable")
+	s.reg.Counter("chaos", "refetch_recoveries")
+	s.ctrWatchdogTrips = s.reg.Counter("sim", "watchdog_trips")
 	return s
 }
+
+// Ports returns the per-core TileLink bundles, for fault-injection wiring and
+// diagnostics.
+func (s *System) Ports() []*tilelink.ClientPort { return s.ports }
 
 // Metrics returns the SoC-wide metrics registry.
 func (s *System) Metrics() *metrics.Registry { return s.reg }

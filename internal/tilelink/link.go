@@ -2,6 +2,24 @@ package tilelink
 
 import "fmt"
 
+// Chaos is the fault-injection hook a link consults when armed. All methods
+// must be pure functions of their arguments and the injector's schedule state
+// for the current cycle, so that Peek and Recv agree within a cycle and a
+// replayed schedule perturbs the link bit-identically. A nil hook (the
+// default) costs one pointer compare per Send/Recv.
+type Chaos interface {
+	// SendFault is consulted before a send is accepted at cycle now. A
+	// refuse return models acceptance backpressure (the channel holds
+	// ready low; the sender retries as for ordinary occupancy); extra adds
+	// wire-latency jitter to this message's delivery. Jitter delays
+	// delivery but can never reorder: messages still drain strictly in
+	// send order.
+	SendFault(now int64) (extra int64, refuse bool)
+	// RecvStall reports whether delivery of the head message must stall at
+	// cycle now (beat stall on the receive side).
+	RecvStall(now int64) bool
+}
+
 // Link is one unidirectional TileLink channel between two agents. It models
 // occupancy in beats: a message with a data payload occupies the channel for
 // lineBytes/beatBytes consecutive cycles (4 cycles for a 64 B line on the
@@ -20,6 +38,8 @@ type Link struct {
 
 	busyUntil int64 // last cycle at which the channel is occupied
 	q         []inflight
+	chaos     Chaos  // nil unless a fault schedule is armed
+	events    uint64 // successful Send+Recv count (watchdog progress signal)
 }
 
 type inflight struct {
@@ -59,9 +79,18 @@ func (l *Link) Send(now int64, m Msg) bool {
 	if err := m.Validate(l.LineBytes); err != nil {
 		panic(err)
 	}
+	var extra int64
+	if l.chaos != nil {
+		var refuse bool
+		extra, refuse = l.chaos.SendFault(now)
+		if refuse {
+			return false
+		}
+	}
 	beats := l.Beats(m)
 	l.busyUntil = now + beats
-	l.q = append(l.q, inflight{msg: m, readyAt: now + beats + int64(l.Latency)})
+	l.q = append(l.q, inflight{msg: m, readyAt: now + beats + int64(l.Latency) + extra})
+	l.events++
 	return true
 }
 
@@ -71,21 +100,38 @@ func (l *Link) Recv(now int64) (Msg, bool) {
 	if len(l.q) == 0 || l.q[0].readyAt > now {
 		return Msg{}, false
 	}
+	if l.chaos != nil && l.chaos.RecvStall(now) {
+		return Msg{}, false
+	}
 	m := l.q[0].msg
 	// Shift rather than re-slice so the backing array does not grow
 	// without bound over long simulations.
 	copy(l.q, l.q[1:])
 	l.q = l.q[:len(l.q)-1]
+	l.events++
 	return m, true
 }
 
-// Peek is Recv without consuming the message.
+// Peek is Recv without consuming the message. It consults the same chaos
+// stall predicate as Recv so that a Peek-then-Recv sequence within one cycle
+// sees consistent answers.
 func (l *Link) Peek(now int64) (Msg, bool) {
 	if len(l.q) == 0 || l.q[0].readyAt > now {
 		return Msg{}, false
 	}
+	if l.chaos != nil && l.chaos.RecvStall(now) {
+		return Msg{}, false
+	}
 	return l.q[0].msg, true
 }
+
+// SetChaos installs (or, with nil, removes) the fault-injection hook.
+func (l *Link) SetChaos(c Chaos) { l.chaos = c }
+
+// Events returns the cumulative count of successful sends and deliveries on
+// this link. The watchdog uses it as a cheap forward-progress signal: a
+// changing count means messages are still moving.
+func (l *Link) Events() uint64 { return l.events }
 
 // Pending returns the number of in-flight messages (sent, not yet received).
 func (l *Link) Pending() int { return len(l.q) }
@@ -127,4 +173,38 @@ func (p *ClientPort) Reset() {
 	p.C.Reset()
 	p.D.Reset()
 	p.E.Reset()
+}
+
+// Events sums the activity counters of all five channels.
+func (p *ClientPort) Events() uint64 {
+	return p.A.Events() + p.B.Events() + p.C.Events() + p.D.Events() + p.E.Events()
+}
+
+// MsgDebug is the JSON-friendly view of one in-flight message.
+type MsgDebug struct {
+	Op      string `json:"op"`
+	Addr    uint64 `json:"addr"`
+	ReadyAt int64  `json:"ready_at"`
+}
+
+// LinkDebug is the JSON-friendly snapshot of one channel's queue, embedded in
+// hang reports.
+type LinkDebug struct {
+	Name      string     `json:"name"`
+	BusyUntil int64      `json:"busy_until"`
+	Pending   []MsgDebug `json:"pending,omitempty"`
+}
+
+// Debug snapshots the channel's in-flight queue for diagnostics.
+func (l *Link) Debug() LinkDebug {
+	d := LinkDebug{Name: l.Name, BusyUntil: l.busyUntil}
+	for _, f := range l.q {
+		d.Pending = append(d.Pending, MsgDebug{Op: f.msg.Op.String(), Addr: f.msg.Addr, ReadyAt: f.readyAt})
+	}
+	return d
+}
+
+// Debug snapshots all five channels of the bundle.
+func (p *ClientPort) Debug() []LinkDebug {
+	return []LinkDebug{p.A.Debug(), p.B.Debug(), p.C.Debug(), p.D.Debug(), p.E.Debug()}
 }
