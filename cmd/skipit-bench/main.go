@@ -37,11 +37,40 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"skipit/internal/bench"
 	"skipit/internal/sweep"
 )
+
+// onOff is a boolean flag.Value that also accepts the spellings on/off.
+type onOff bool
+
+func (o *onOff) String() string {
+	if bool(*o) {
+		return "on"
+	}
+	return "off"
+}
+
+func (o *onOff) Set(s string) error {
+	switch strings.ToLower(s) {
+	case "on":
+		*o = true
+	case "off":
+		*o = false
+	default:
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			return fmt.Errorf("invalid value %q (want on or off)", s)
+		}
+		*o = onOff(v)
+	}
+	return nil
+}
+
+func (o *onOff) IsBoolFlag() bool { return true }
 
 // figure describes one regenerable section of the evaluation.
 type figure struct {
@@ -119,7 +148,11 @@ func run() int {
 	baseline := flag.String("baseline", "", "baseline store file to gate against")
 	gate := flag.Float64("gate", 10, "regression tolerance in percent (with -baseline)")
 	metricsDir := flag.String("metrics-dir", "", "write per-figure metrics sidecar JSON files into this directory")
+	fastForward := onOff(true)
+	flag.Var(&fastForward, "fast-forward", "next-event clock: on skips provably idle cycles, off single-steps (results are identical)")
 	flag.Parse()
+
+	bench.FastForward = bool(fastForward)
 
 	if *quick {
 		bench.Reps = 1

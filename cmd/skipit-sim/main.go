@@ -26,11 +26,41 @@ import (
 	"io"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"skipit/internal/isa"
 	"skipit/internal/sim"
 	"skipit/internal/trace"
 )
+
+// onOff is a boolean flag.Value that also accepts the spellings on/off.
+type onOff bool
+
+func (o *onOff) String() string {
+	if bool(*o) {
+		return "on"
+	}
+	return "off"
+}
+
+func (o *onOff) Set(s string) error {
+	switch strings.ToLower(s) {
+	case "on":
+		*o = true
+	case "off":
+		*o = false
+	default:
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			return fmt.Errorf("invalid value %q (want on or off)", s)
+		}
+		*o = onOff(v)
+	}
+	return nil
+}
+
+func (o *onOff) IsBoolFlag() bool { return true }
 
 func main() {
 	cores := flag.Int("cores", 1, "number of simulated cores (threads)")
@@ -44,6 +74,8 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write the aggregated metrics snapshot as JSON to this file (- for stdout)")
 	sampleInterval := flag.Int64("sample-interval", 0, "sample all counters into time series every K cycles (0 disables)")
 	file := flag.String("file", "", "run an assembly file instead of the built-in sweep")
+	fastForward := onOff(true)
+	flag.Var(&fastForward, "fast-forward", "next-event clock: on skips provably idle cycles, off single-steps (results are identical)")
 	flag.Parse()
 
 	clean := false
@@ -58,6 +90,7 @@ func main() {
 	cfg := sim.DefaultConfig(*cores)
 	cfg.L1.Flush.SkipIt = *skipIt
 	s := sim.New(cfg)
+	s.SetFastForward(bool(fastForward))
 	finishTrace := setupTracer(s, *doTrace, *traceFormat, *traceOut)
 	defer finishTrace()
 	if *sampleInterval > 0 {
@@ -131,6 +164,23 @@ func main() {
 		l2.MemReads, l2.MemWrites)
 	m := s.Mem.Stats()
 	fmt.Printf("dram: reads=%d writes=%d stalled=%d\n", m.Reads, m.Writes, m.StalledSends)
+	printHostStats(s)
+}
+
+// printHostStats reports the simulator's own throughput: how many cycles the
+// next-event clock skipped and how often the line pool avoided an allocation.
+func printHostStats(s *sim.System) {
+	reg := s.Metrics()
+	hits := reg.Counter("pool", "hits").Value()
+	misses := reg.Counter("pool", "misses").Value()
+	line := fmt.Sprintf("host: %d cycles simulated, %d fast-forwarded", s.Now(), s.SkippedCycles())
+	if s.Now() > 0 {
+		line += fmt.Sprintf(" (%.1f%%)", 100*float64(s.SkippedCycles())/float64(s.Now()))
+	}
+	if hits+misses > 0 {
+		line += fmt.Sprintf(", pool hit-rate %.1f%%", 100*float64(hits)/float64(hits+misses))
+	}
+	fmt.Println(line)
 }
 
 // setupTracer attaches the requested tracer and returns a cleanup that

@@ -274,7 +274,7 @@ func Fig16Jobs(tableSizes []uint64) []sweep.Job {
 // measureAblationSweep runs dirty-region + flush-region + fence under cfg
 // and returns cycles from first CBO issue to final fence completion.
 func measureAblationSweep(sink Sink, cfg sim.Config, size uint64) float64 {
-	s := sim.New(cfg)
+	s := newSystem(cfg)
 	b := isa.NewBuilder()
 	b.StoreRegion(0, size, lineBytes, 1)
 	b.Fence()
@@ -292,7 +292,7 @@ func measureAblationSweep(sink Sink, cfg sim.Config, size uint64) float64 {
 
 // measureAblationRedundant runs store + (1+redundant) CBO.CLEANs per line.
 func measureAblationRedundant(sink Sink, cfg sim.Config, size uint64, redundant int) float64 {
-	s := sim.New(cfg)
+	s := newSystem(cfg)
 	b := isa.NewBuilder()
 	start := b.Mark()
 	for a := uint64(0); a < size; a += lineBytes {

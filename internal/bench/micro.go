@@ -30,6 +30,19 @@ const lineBytes = 64
 // runLimit bounds every simulated program.
 const runLimit = 20_000_000
 
+// FastForward controls the simulator's next-event clock for every
+// cycle-accurate measurement (cmd/skipit-bench's -fast-forward flag). It
+// changes host time only — measured cycle counts are identical either way;
+// the committed BENCH_*.json stores prove it at tolerance 0.
+var FastForward = true
+
+// newSystem builds a measurement system honoring the FastForward switch.
+func newSystem(cfg sim.Config) *sim.System {
+	s := sim.New(cfg)
+	s.SetFastForward(FastForward)
+	return s
+}
+
 // Sink receives the labeled metrics snapshot of every completed
 // cycle-accurate measurement run. Each harness invocation carries its own
 // sink (nil discards snapshots): snapshots used to flow through a
@@ -100,7 +113,7 @@ func measureSweep(sink Sink, cfg sim.Config, total uint64, threads int, clean bo
 	threads = clampThreads(total, threads)
 	cfg.NumCores = threads
 	cfg.L2.NumClients = threads
-	s := sim.New(cfg)
+	s := newSystem(cfg)
 	per := total / uint64(threads)
 	progs := make([]*isa.Program, threads)
 	starts := make([]int, threads)
@@ -198,7 +211,7 @@ func Fig10(sink Sink, threadCounts []int) []Fig10Row {
 func measureWriteCboFenceRead(sink Sink, total uint64, threads int, clean bool) float64 {
 	threads = clampThreads(total, threads)
 	cfg := sim.DefaultConfig(threads)
-	s := sim.New(cfg)
+	s := newSystem(cfg)
 	per := total / uint64(threads)
 	progs := make([]*isa.Program, threads)
 	startIdx := make([]int, threads)
@@ -303,7 +316,7 @@ func redundantConfig(threads int, skipIt bool) sim.Config {
 func measureRedundant(sink Sink, total uint64, threads, redundant int, skipIt, clean bool) float64 {
 	threads = clampThreads(total, threads)
 	cfg := redundantConfig(threads, skipIt)
-	s := sim.New(cfg)
+	s := newSystem(cfg)
 	per := total / uint64(threads)
 	progs := make([]*isa.Program, threads)
 	startIdx := make([]int, threads)

@@ -23,6 +23,7 @@ import (
 	"skipit/internal/isa"
 	"skipit/internal/l1"
 	"skipit/internal/metrics"
+	"skipit/internal/tilelink"
 )
 
 // Config sets the core's queue sizes and widths to SonicBOOM-like values.
@@ -79,6 +80,10 @@ type entry struct {
 	state     entryState
 	nextTryAt int64
 	reqID     int
+	// stalling latches once a ROB-head fence has counted its first
+	// drain-stall cycle; from then on tryCompleteFence attributes every
+	// elapsed cycle — including fast-forwarded ones — to the stall counter.
+	stalling bool
 }
 
 // coreCounters holds the core's registry-backed instruments.
@@ -117,7 +122,21 @@ type Core struct {
 	stqCount int
 
 	nextReqID int
-	inflight  map[int]*entry
+	// inflight holds the entries with an outstanding data cache request,
+	// looked up by reqID. Its size is bounded by the LSU fire width times
+	// the cache latency, so a linear scan beats a map — and unlike a map it
+	// never allocates in steady state.
+	inflight []*entry
+
+	// freeEntries recycles retired ROB entry structs so steady-state
+	// dispatch does not allocate.
+	freeEntries []*entry
+
+	// prevTick is the cycle of the previous Tick. With the fast-forward
+	// clock the gap to the current tick can exceed one cycle; the skipped
+	// cycles are provably state-frozen, so per-cycle stall counters add the
+	// whole gap at once to stay identical to single-stepping.
+	prevTick int64
 
 	done bool
 }
@@ -129,7 +148,7 @@ func New(cfg Config, id int, dc *l1.DCache) *Core {
 		reg = metrics.NewRegistry()
 	}
 	name := fmt.Sprintf("core[%d]", id)
-	return &Core{cfg: cfg, id: id, dc: dc, ctr: newCoreCounters(reg, name), inflight: make(map[int]*entry)}
+	return &Core{cfg: cfg, id: id, dc: dc, ctr: newCoreCounters(reg, name)}
 }
 
 // ID returns the core's index.
@@ -149,7 +168,8 @@ func (c *Core) SetProgram(p *isa.Program) {
 	c.rob = c.rob[:0]
 	c.ldqCount = 0
 	c.stqCount = 0
-	c.inflight = make(map[int]*entry)
+	c.inflight = c.inflight[:0]
+	c.prevTick = -1
 	c.done = p.Len() == 0
 }
 
@@ -173,15 +193,15 @@ func (c *Core) Tick(now int64) {
 	c.issue(now)
 	c.commit(now)
 	c.ctr.robOccupancy.Set(int64(len(c.rob)))
+	c.prevTick = now
 }
 
 func (c *Core) pollResponses(now int64) {
 	for _, resp := range c.dc.PollResponses(now) {
-		e, ok := c.inflight[resp.ID]
-		if !ok {
+		e := c.takeInflight(resp.ID)
+		if e == nil {
 			panic(fmt.Sprintf("boom[%d]: response for unknown request %d", c.id, resp.ID))
 		}
-		delete(c.inflight, resp.ID)
 		t := &c.timings[e.instrIdx]
 		if resp.Nack {
 			t.Nacks++
@@ -197,6 +217,33 @@ func (c *Core) pollResponses(now int64) {
 			t.LoadValue = resp.Data // AMOs report the old value
 		}
 	}
+}
+
+// takeInflight removes and returns the entry owning request id, or nil.
+func (c *Core) takeInflight(id int) *entry {
+	for i, e := range c.inflight {
+		if e.reqID == id {
+			last := len(c.inflight) - 1
+			c.inflight[i] = c.inflight[last]
+			c.inflight[last] = nil
+			c.inflight = c.inflight[:last]
+			return e
+		}
+	}
+	return nil
+}
+
+// newEntry pops a recycled ROB entry from the free list, or allocates one.
+func (c *Core) newEntry() *entry {
+	n := len(c.freeEntries)
+	if n == 0 {
+		return &entry{}
+	}
+	e := c.freeEntries[n-1]
+	c.freeEntries[n-1] = nil
+	c.freeEntries = c.freeEntries[:n-1]
+	*e = entry{}
+	return e
 }
 
 func (c *Core) dispatch(now int64) {
@@ -217,7 +264,9 @@ func (c *Core) dispatch(now int64) {
 			}
 			c.stqCount++
 		}
-		e := &entry{instrIdx: c.pc, instr: in}
+		e := c.newEntry()
+		e.instrIdx = c.pc
+		e.instr = in
 		if in.Op == isa.OpNop {
 			e.state = esDone
 			c.timings[c.pc].CompletedAt = now
@@ -285,10 +334,27 @@ func (c *Core) stqHead() *entry {
 
 // tryCompleteFence completes a fence when all older work is done (implied by
 // ROB-head position) and no CBO.X is pending in the flush unit (§5.3).
+//
+// Drain-stall accounting is fast-forward aware: once a fence has latched its
+// first stall cycle, no new request can reach the flush unit (nothing younger
+// fires past a waiting fence), so any cycles the clock skipped since the
+// previous tick were provably identical stalls and are attributed in bulk —
+// the counter matches single-stepping exactly.
 func (c *Core) tryCompleteFence(now int64, e *entry) {
+	delta := uint64(now - c.prevTick) // 1 unless cycles were fast-forwarded
 	if c.dc.Flushing() {
-		c.ctr.fenceDrainStalls.Inc()
+		if e.stalling {
+			c.ctr.fenceDrainStalls.Add(delta)
+		} else {
+			e.stalling = true
+			c.ctr.fenceDrainStalls.Inc()
+		}
 		return
+	}
+	if e.stalling {
+		// The drain finished during the cycle now being ticked; cycles
+		// skipped since the previous tick were still stalls.
+		c.ctr.fenceDrainStalls.Add(delta - 1)
 	}
 	e.state = esDone
 	c.timings[e.instrIdx].CompletedAt = now
@@ -366,13 +432,94 @@ func (c *Core) fire(now int64, e *entry) bool {
 		return false
 	}
 	c.nextReqID++
-	c.inflight[req.ID] = e
 	e.reqID = req.ID
+	c.inflight = append(c.inflight, e)
 	e.state = esIssued
 	if c.timings[e.instrIdx].IssuedAt < 0 {
 		c.timings[e.instrIdx].IssuedAt = now
 	}
 	return true
+}
+
+// NextEvent reports the earliest future cycle at which the core can change
+// state without external input, for the fast-forward clock. Conservative
+// (earlier) answers are always safe; the rules below return now+1 for every
+// state in which the core acts each cycle, and a concrete wake-up time for
+// pure timer waits (nack retries). Entries waiting on the data cache are
+// covered by the cache's own NextEvent (its response queue readyAt is the
+// event), entries blocked behind older instructions by the events that
+// retire those instructions, and a fence stalling on the flush-unit drain by
+// the flush unit's (and memory's) own events — tryCompleteFence attributes
+// the skipped stall cycles in bulk.
+func (c *Core) NextEvent(now int64) int64 {
+	if c.done || c.prog == nil {
+		return tilelink.NoEvent
+	}
+	// Anything dispatchable keeps the front end active every cycle.
+	if c.pc < c.prog.Len() && len(c.rob) < c.cfg.ROBEntries {
+		in := c.prog.Instrs[c.pc]
+		roomOK := true
+		switch {
+		case in.Op == isa.OpLoad:
+			roomOK = c.ldqCount < c.cfg.LDQEntries
+		case in.Op.IsStoreQueue():
+			roomOK = c.stqCount < c.cfg.STQEntries
+		}
+		if roomOK {
+			return now + 1
+		}
+	}
+	if len(c.rob) > 0 && c.rob[0].state == esDone {
+		return now + 1 // commit retires from the head next cycle
+	}
+	next := tilelink.NoEvent
+	head := c.stqHead()
+	for _, e := range c.rob {
+		switch e.state {
+		case esIssued:
+			// Waiting on the data cache; the cache reports that event.
+		case esDone:
+			// Inert unless at the ROB head (checked above).
+		case esWaiting:
+			if e.instr.Op == isa.OpFence {
+				if e != head {
+					// Gated until every older instruction retires; the
+					// events completing those cover the wake-up.
+					continue
+				}
+				if e.stalling && c.dc.Flushing() {
+					// Stalling on the drain. Nothing younger can feed the
+					// flush unit past a waiting fence, so the stall ends
+					// only on a flush-unit/memory event; tryCompleteFence
+					// bulk-counts the cycles in between.
+					continue
+				}
+				// Completes, or latches its first stall count, next cycle.
+				return now + 1
+			}
+			if e.nextTryAt > now {
+				if e.nextTryAt < next {
+					next = e.nextTryAt
+				}
+				continue
+			}
+			if e == head {
+				return now + 1 // the STQ head fires next cycle
+			}
+			if e.instr.Op == isa.OpLoad {
+				if _, _, blocked := c.loadForward(e); !blocked {
+					return now + 1 // fires (or forwards) next cycle
+				}
+				// Blocked by an older fence/AMO/CBO (§3.2); only that
+				// entry's completion unblocks it, and the events driving
+				// that completion are reported elsewhere.
+				continue
+			}
+			// A ready store/AMO/CBO behind the STQ head fires only once
+			// every older instruction is done; those events cover it.
+		}
+	}
+	return next
 }
 
 // Committed returns the number of retired instructions; the watchdog reads
@@ -425,7 +572,11 @@ func (c *Core) commit(now int64) {
 			c.stqCount--
 		}
 		copy(c.rob, c.rob[1:])
+		c.rob[len(c.rob)-1] = nil
 		c.rob = c.rob[:len(c.rob)-1]
+		// Retired entries are never referenced again (inflight only holds
+		// issued, not-yet-done entries); recycle the struct.
+		c.freeEntries = append(c.freeEntries, e)
 		if c.pc >= c.prog.Len() && len(c.rob) == 0 {
 			c.done = true
 			return

@@ -3,6 +3,7 @@ package chaos
 import (
 	"os"
 	"reflect"
+	"strings"
 	"testing"
 
 	"skipit/internal/isa"
@@ -173,6 +174,89 @@ func TestCommittedHangArtifactReplays(t *testing.T) {
 	if fail.Kind != r.Failure.Kind || fail.Cycle != r.Failure.Cycle {
 		t.Fatalf("replay diverged: got %s@%d, recorded %s@%d",
 			fail.Kind, fail.Cycle, r.Failure.Kind, r.Failure.Cycle)
+	}
+}
+
+// TestCommittedArtifactsReplayEitherClock replays every committed .chaos.json
+// artifact twice — fast-forward clock on and off — and requires both runs to
+// produce the recorded verdict and identical stats. This is the end-to-end
+// guarantee that the next-event clock skips only no-op cycles: hang reports
+// (trip cycle, window) and timeout cycles must not move by a single cycle.
+func TestCommittedArtifactsReplayEitherClock(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	artifacts := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".chaos.json") {
+			continue
+		}
+		artifacts++
+		t.Run(e.Name(), func(t *testing.T) {
+			data, err := os.ReadFile("testdata/" + e.Name())
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := DecodeRepro(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Failure == nil {
+				t.Fatal("artifact records no failure")
+			}
+			in, err := r.Input()
+			if err != nil {
+				t.Fatal(err)
+			}
+			failFF, stFF := runInput(in, true)
+			failSlow, stSlow := runInput(in, false)
+			for _, got := range []*Failure{failFF, failSlow} {
+				if got == nil {
+					t.Fatal("replay ran clean")
+				}
+				if got.Kind != r.Failure.Kind || got.Cycle != r.Failure.Cycle {
+					t.Fatalf("replay diverged: got %s@%d, recorded %s@%d",
+						got.Kind, got.Cycle, r.Failure.Kind, r.Failure.Cycle)
+				}
+			}
+			if !reflect.DeepEqual(failFF, failSlow) {
+				t.Fatalf("fast-forward changed the verdict:\nff:   %+v\nslow: %+v",
+					failFF, failSlow)
+			}
+			if r.Failure.Report != nil {
+				if failFF.Report == nil ||
+					failFF.Report.Cycle != r.Failure.Report.Cycle ||
+					failFF.Report.Window != r.Failure.Report.Window {
+					t.Fatalf("hang report diverged:\ngot      %+v\nrecorded %+v",
+						failFF.Report, r.Failure.Report)
+				}
+			}
+			if !reflect.DeepEqual(stFF, stSlow) {
+				t.Fatalf("fast-forward changed the stats:\nff:   %+v\nslow: %+v",
+					stFF, stSlow)
+			}
+		})
+	}
+	if artifacts < 2 {
+		t.Fatalf("expected at least 2 committed artifacts, found %d", artifacts)
+	}
+}
+
+// TestFuzzEquivalenceEitherClock runs a handful of full fuzzer cases with the
+// fast-forward clock on and off; verdicts, cycle counts and every chaos stat
+// must match bit for bit.
+func TestFuzzEquivalenceEitherClock(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		in := BuildInput(DefaultCase(seed, 2))
+		failFF, stFF := runInput(in, true)
+		failSlow, stSlow := runInput(in, false)
+		if !reflect.DeepEqual(failFF, failSlow) {
+			t.Fatalf("seed %d: verdicts differ:\nff:   %+v\nslow: %+v", seed, failFF, failSlow)
+		}
+		if !reflect.DeepEqual(stFF, stSlow) {
+			t.Fatalf("seed %d: stats differ:\nff:   %+v\nslow: %+v", seed, stFF, stSlow)
+		}
 	}
 }
 

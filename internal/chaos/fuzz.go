@@ -159,7 +159,15 @@ func genProgram(rng *rand.Rand, core, length int) (*isa.Program, []uint64) {
 // verified against the golden model afterwards. A nil Failure means the run
 // survived.
 func RunInput(in Input) (*Failure, Stats) {
+	return runInput(in, true)
+}
+
+// runInput is RunInput with the fast-forward clock switchable, so the
+// equivalence tests can pin fast-forwarded replays against single-stepped
+// ones.
+func runInput(in Input, fastForward bool) (*Failure, Stats) {
 	s := sim.New(sim.DefaultConfig(len(in.Progs)))
+	s.SetFastForward(fastForward)
 	if in.WatchdogLimit > 0 {
 		s.ArmWatchdog(in.WatchdogLimit)
 	}
@@ -194,7 +202,7 @@ func RunInput(in Input) (*Failure, Stats) {
 			}
 			break
 		}
-		if err := r.StepChecked(); err != nil {
+		if err := r.StepChecked(in.CycleLimit); err != nil {
 			fail = classify(err, s.Now())
 			break
 		}

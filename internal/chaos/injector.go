@@ -129,12 +129,41 @@ func (r *Runner) advance(now int64) {
 
 // StepChecked applies due faults, advances one cycle under the watchdog and
 // panic guard, then verifies the cross-layer invariants. The first error wins.
-func (r *Runner) StepChecked() error {
+// After a clean step it lets the fast-forward clock skip a provably idle
+// window, clamped to the next scheduled fault's cycle: push faults must fire
+// exactly at their scheduled cycle, and a window fault's opening must be
+// observed (counted) there too. Invariants need no re-check across a skipped
+// window — by construction nothing changes state in it.
+//
+// Callers with their own cycle bounds pass them as limits so a verdict's
+// cycle number (e.g. a timeout's) is the same with fast-forwarding on or
+// off: the clock never lands past a limit it would have single-stepped to.
+func (r *Runner) StepChecked(limits ...int64) error {
 	r.advance(r.s.Now())
 	if err := r.s.StepGuarded(); err != nil {
 		return err
 	}
-	return r.s.CheckInvariants()
+	if err := r.s.CheckInvariants(); err != nil {
+		return err
+	}
+	// Terminal state: every core done and the memory system quiescent. The
+	// driving loop is about to break; skipping ahead (e.g. to the watchdog's
+	// trip cycle) would only distort the final cycle count.
+	done := true
+	for _, c := range r.s.Cores {
+		if !c.Done() {
+			done = false
+			break
+		}
+	}
+	if done && r.s.Quiescent() {
+		return nil
+	}
+	if r.next < len(r.sched.Faults) {
+		limits = append(limits, r.sched.Faults[r.next].Cycle)
+	}
+	r.s.FastForward(limits...)
+	return nil
 }
 
 // Flips returns the outcome log of all bit-flip faults applied so far.

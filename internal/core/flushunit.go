@@ -162,7 +162,9 @@ func (u *FlushUnit) Offer(now int64, addr uint64, clean bool, meta LineMeta) Off
 			}
 			if q.isClean == clean {
 				u.ctr.coalesced.Inc()
-				trace.Emit(u.tr, now, u.name, "cbo-coalesce", addr, "merged with queued "+q.kind())
+				if u.tr != nil {
+					trace.Emit(u.tr, now, u.name, "cbo-coalesce", addr, "merged with queued "+q.kind())
+				}
 				return OfferDropped
 			}
 			if !u.cfg.CoalesceCrossKind {
@@ -207,8 +209,10 @@ func (u *FlushUnit) Offer(now int64, addr uint64, clean bool, meta LineMeta) Off
 	u.queue = append(u.queue, req)
 	u.counter++
 	u.ctr.enqueued.Inc()
-	trace.Emit(u.tr, now, u.name, "cbo-enqueue", addr,
-		fmt.Sprintf("%s hit=%v dirty=%v depth=%d", req.kind(), req.isHit, req.isDirty, len(u.queue)))
+	if u.tr != nil {
+		trace.Emit(u.tr, now, u.name, "cbo-enqueue", addr,
+			fmt.Sprintf("%s hit=%v dirty=%v depth=%d", req.kind(), req.isHit, req.isDirty, len(u.queue)))
+	}
 	return OfferAccepted
 }
 
@@ -279,8 +283,10 @@ func (u *FlushUnit) Tick(now int64, probeRdy, wbRdy bool) {
 		copy(u.queue, u.queue[1:])
 		u.queue = u.queue[:len(u.queue)-1]
 		u.fshrs[i].allocate(head, now)
-		trace.Emit(u.tr, now, u.name, "fshr-alloc", head.addr,
-			fmt.Sprintf("fshr=%d %s hit=%v dirty=%v", i, head.kind(), head.isHit, head.isDirty))
+		if u.tr != nil {
+			trace.Emit(u.tr, now, u.name, "fshr-alloc", head.addr,
+				fmt.Sprintf("fshr=%d %s hit=%v dirty=%v", i, head.kind(), head.isHit, head.isDirty))
+		}
 		// Give the freshly allocated FSHR its first state's work this
 		// cycle, mirroring hardware where allocation and the first
 		// state action share the dequeue cycle boundary.
@@ -288,6 +294,27 @@ func (u *FlushUnit) Tick(now int64, probeRdy, wbRdy bool) {
 		return
 	}
 	u.ctr.stallFSHRFull.Inc()
+}
+
+// NextEvent reports the earliest future cycle at which the flush unit can
+// change state without external input, for the fast-forward clock. A
+// non-empty queue runs dequeue arbitration (and its stall-attribution
+// counters) every cycle; any FSHR that has not yet sent its RootRelease acts
+// every cycle too. FSHRs parked in root_release_ack are woken by a TL-D
+// delivery, which the link itself reports as an event.
+func (u *FlushUnit) NextEvent(now int64) int64 {
+	if len(u.queue) > 0 {
+		return now + 1
+	}
+	for i := range u.fshrs {
+		switch u.fshrs[i].state {
+		case FSHRInvalid, FSHRRootReleaseAck:
+			// Idle, or waiting on the D channel.
+		default:
+			return now + 1
+		}
+	}
+	return tilelink.NoEvent
 }
 
 // OnRootReleaseAck routes a RootReleaseAck from TL-D to the FSHR waiting on
@@ -307,9 +334,15 @@ func (u *FlushUnit) OnRootReleaseAck(now int64, addr uint64) {
 				u.ctr.skipBitsSet.Inc()
 			}
 		}
-		trace.Emit(u.tr, now, u.name, "fshr-ack", addr, f.req.kind()+" complete")
+		if u.tr != nil {
+			trace.Emit(u.tr, now, u.name, "fshr-ack", addr, f.req.kind()+" complete")
+		}
 		u.ctr.flushLatency.Observe(uint64(now - f.allocAt))
 		f.state = FSHRInvalid
+		// The FSHR owned its buffer through the whole writeback (loads
+		// forwarded from it, §5.3); its transaction retires here, so the
+		// buffer is recycled here and nowhere else.
+		u.cfg.Pool.Put(f.buffer)
 		f.buffer = nil
 		f.bufferFilled = false
 		u.counter--
@@ -379,9 +412,10 @@ func (u *FlushUnit) LoadConflict(addr uint64) (forward []byte, nack bool) {
 		return nil, false
 	}
 	if f.bufferFilled {
-		line := make([]byte, len(f.buffer))
-		copy(line, f.buffer)
-		return line, false
+		// The returned slice aliases the FSHR's buffer: the caller reads
+		// the word it needs in the same cycle and must not retain the
+		// slice (the buffer is recycled at the RootReleaseAck).
+		return f.buffer, false
 	}
 	return nil, true
 }

@@ -166,7 +166,9 @@ func (u *FlushUnit) stepFSHR(now int64, f *fshr) {
 		if u.ports.SendRootRelease(now, m) {
 			u.ctr.rootReleases.Inc()
 			u.ctr.dataWritebacks.Inc()
-			trace.Emit(u.tr, now, u.name, "root-release", f.req.addr, m.Op.String())
+			if u.tr != nil {
+				trace.Emit(u.tr, now, u.name, "root-release", f.req.addr, m.Op.String())
+			}
 			f.state = FSHRRootReleaseAck
 		} else {
 			u.ctr.stallLinkBusy.Inc()
@@ -181,7 +183,9 @@ func (u *FlushUnit) stepFSHR(now int64, f *fshr) {
 		}
 		if u.ports.SendRootRelease(now, m) {
 			u.ctr.rootReleases.Inc()
-			trace.Emit(u.tr, now, u.name, "root-release", f.req.addr, m.Op.String())
+			if u.tr != nil {
+				trace.Emit(u.tr, now, u.name, "root-release", f.req.addr, m.Op.String())
+			}
 			f.state = FSHRRootReleaseAck
 		} else {
 			u.ctr.stallLinkBusy.Inc()

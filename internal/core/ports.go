@@ -10,6 +10,7 @@
 package core
 
 import (
+	"skipit/internal/linepool"
 	"skipit/internal/metrics"
 	"skipit/internal/tilelink"
 )
@@ -83,6 +84,11 @@ type Config struct {
 	// standalone units (unit tests) work unchanged; the system simulator
 	// injects one shared registry for the whole SoC.
 	Metrics *metrics.Registry
+	// Pool recycles the FSHR data buffers. The buffer an FSHR fills via
+	// DataRead is owned by the FSHR until its RootReleaseAck arrives (loads
+	// forward from it, §5.3), so the FSHR — not the L2 — returns it to the
+	// pool. Nil degrades to plain allocation (unit tests).
+	Pool *linepool.Pool `json:"-"`
 }
 
 // DefaultConfig returns the paper's configuration: 8-entry queue, 8 FSHRs,

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"skipit/internal/core"
+	"skipit/internal/linepool"
 	"skipit/internal/metrics"
 	"skipit/internal/tilelink"
 	"skipit/internal/trace"
@@ -77,6 +78,9 @@ type Config struct {
 	// the instance name "l1[Source]"; the embedded flush unit inherits it
 	// as "flush[Source]". Nil gets a private registry.
 	Metrics *metrics.Registry
+	// Pool recycles line buffers for writebacks, probe downgrades and FSHR
+	// fills; the embedded flush unit inherits it. Nil disables pooling.
+	Pool *linepool.Pool `json:"-"`
 }
 
 // DefaultConfig returns the SonicBOOM L1: 32 KiB, 8-way, 64 B lines
@@ -210,6 +214,10 @@ type DCache struct {
 	inQ   []pendingReq
 	respQ []timedResp
 
+	// respScratch backs PollResponses' return slice across cycles so the
+	// steady-state loop does not allocate.
+	respScratch []Resp
+
 	tr   trace.Tracer
 	name string
 
@@ -249,6 +257,7 @@ func New(cfg Config, port *tilelink.ClientPort) *DCache {
 	fcfg.LineBytes = cfg.LineBytes
 	fcfg.Source = cfg.Source
 	fcfg.Metrics = reg
+	fcfg.Pool = cfg.Pool
 	d.flush = core.NewFlushUnit(fcfg, (*flushPorts)(d))
 	return d
 }
@@ -383,6 +392,48 @@ func (d *DCache) Busy() bool {
 	return false
 }
 
+// NextEvent returns the earliest cycle after now at which the cache can
+// change state without an incoming message: pipelined requests and timed
+// responses mature at their readyAt, the probe/writeback units and most MSHR
+// states act every cycle, and the flush unit reports its own horizon. MSHRs
+// waiting on a grant (and the WBU waiting on its ReleaseAck) generate no
+// event of their own — the D-channel link reports the delivery cycle.
+func (d *DCache) NextEvent(now int64) int64 {
+	next := tilelink.NoEvent
+	for i := range d.inQ {
+		if r := d.inQ[i].readyAt; r <= now {
+			return now + 1
+		} else if r < next {
+			next = r
+		}
+	}
+	for i := range d.respQ {
+		if r := d.respQ[i].readyAt; r <= now {
+			return now + 1
+		} else if r < next {
+			next = r
+		}
+	}
+	if d.probe.busy() {
+		return now + 1
+	}
+	if d.wb.state == wbSendRelease {
+		return now + 1
+	}
+	if t := d.flush.NextEvent(now); t < next {
+		next = t
+	}
+	for i := range d.mshrs {
+		switch d.mshrs[i].state {
+		case mFree, mWaitGrant:
+			// idle, or waiting on TL-D
+		default:
+			return now + 1
+		}
+	}
+	return next
+}
+
 // Reset drops all volatile state (simulated crash).
 func (d *DCache) Reset() {
 	for s := range d.meta {
@@ -472,7 +523,7 @@ func (p *flushPorts) DataRead(addr uint64) []byte {
 		panic(fmt.Sprintf("l1: FSHR data read for unknown line %#x", addr))
 	}
 	set := d.index(addr)
-	out := make([]byte, d.cfg.LineBytes)
+	out := d.cfg.Pool.Get(int(d.cfg.LineBytes))
 	copy(out, d.data[set][way])
 	return out
 }

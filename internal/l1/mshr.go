@@ -112,7 +112,16 @@ func (d *DCache) allocMSHR(m *mshr, req Req) {
 			grow = tilelink.GrowBtoT
 		}
 	}
-	*m = mshr{state: mSendAcquire, addr: addr, grow: grow, rpq: []Req{req}, way: -1}
+	// Reuse the replay queue's backing array across the MSHR's lifetimes;
+	// the steady-state cycle loop must not allocate.
+	rpq := append(m.rpq[:0], req)
+	*m = mshr{state: mSendAcquire, addr: addr, grow: grow, rpq: rpq, way: -1}
+}
+
+// release frees the MSHR, keeping the replay queue's backing array for reuse.
+func (m *mshr) release() {
+	rpq := m.rpq[:0]
+	*m = mshr{rpq: rpq}
 }
 
 // tickMSHRs advances every MSHR one cycle.
@@ -153,6 +162,8 @@ func (d *DCache) tickMSHR(now int64, m *mshr) {
 		}
 		copy(d.data[set][m.way], m.grantData)
 		d.clearPoison(m.addr)
+		// The grant payload's transaction retires here: recycle it.
+		d.cfg.Pool.Put(m.grantData)
 		m.grantData = nil
 		m.state = mReplay
 
@@ -169,7 +180,7 @@ func (d *DCache) tickMSHR(now int64, m *mshr) {
 
 	case mGrantAck:
 		if d.port.E.Send(now, tilelink.Msg{Op: tilelink.OpGrantAck, Addr: m.addr, Source: d.cfg.Source}) {
-			*m = mshr{}
+			m.release()
 		}
 	}
 }
@@ -183,8 +194,10 @@ func (d *DCache) onGrant(now int64, msg tilelink.Msg) {
 	m.grantData = msg.Data
 	m.grantCap = msg.Cap
 	m.grantDirty = msg.Op == tilelink.OpGrantDataDirty
-	trace.Emit(d.tr, now, d.name, "grant", m.addr,
-		fmt.Sprintf("%v cap=%v (skip=%v)", msg.Op, msg.Cap, !m.grantDirty))
+	if d.tr != nil {
+		trace.Emit(d.tr, now, d.name, "grant", m.addr,
+			fmt.Sprintf("%v cap=%v (skip=%v)", msg.Op, msg.Cap, !m.grantDirty))
+	}
 	m.state = mVictim
 	d.tickVictim(now, m)
 }
@@ -241,10 +254,12 @@ func (d *DCache) tickVictim(now int64, m *mshr) {
 	// line it evicts.
 	d.flush.EvictInvalidate(victimAddr)
 	d.clearPoison(victimAddr)
-	d.wb.start(victimAddr, d.data[set][best], meta.dirty, meta.perm)
+	d.wb.start(d.cfg.Pool, victimAddr, d.data[set][best], meta.dirty, meta.perm)
 	d.ctr.writebacks.Inc()
-	trace.Emit(d.tr, now, d.name, "evict", victimAddr,
-		fmt.Sprintf("dirty=%v for refill of %#x", meta.dirty, m.addr))
+	if d.tr != nil {
+		trace.Emit(d.tr, now, d.name, "evict", victimAddr,
+			fmt.Sprintf("dirty=%v for refill of %#x", meta.dirty, m.addr))
+	}
 	meta.valid = false
 	meta.dirty = false
 	meta.skip = false

@@ -35,9 +35,11 @@ func (d *DCache) Submit(now int64, req Req) bool {
 	return true
 }
 
-// PollResponses returns every response ready at cycle now.
+// PollResponses returns every response ready at cycle now. The returned
+// slice is valid only until the next PollResponses call: it reuses a scratch
+// buffer so the steady-state cycle loop does not allocate.
 func (d *DCache) PollResponses(now int64) []Resp {
-	var out []Resp
+	out := d.respScratch[:0]
 	kept := d.respQ[:0]
 	for _, r := range d.respQ {
 		if r.readyAt <= now {
@@ -47,6 +49,7 @@ func (d *DCache) PollResponses(now int64) []Resp {
 		}
 	}
 	d.respQ = kept
+	d.respScratch = out
 	return out
 }
 
@@ -221,7 +224,7 @@ func (d *DCache) processCflushDL1(now int64, req Req, lineAddr uint64) {
 	d.clearPoison(lineAddr)
 	way := d.findWay(lineAddr, true)
 	set := d.index(lineAddr)
-	d.wb.start(lineAddr, d.data[set][way], meta.dirty, meta.perm)
+	d.wb.start(d.cfg.Pool, lineAddr, d.data[set][way], meta.dirty, meta.perm)
 	d.ctr.writebacks.Inc()
 	meta.valid = false
 	meta.dirty = false

@@ -3,6 +3,7 @@ package l1
 import (
 	"fmt"
 
+	"skipit/internal/linepool"
 	"skipit/internal/tilelink"
 	"skipit/internal/trace"
 )
@@ -28,15 +29,21 @@ const (
 
 func (w *wbUnit) idle() bool { return w.state == wbIdle }
 
-func (w *wbUnit) start(addr uint64, data []byte, dirty bool, perm tilelink.Perm) {
+// start snapshots an eviction. Only a dirty line's data travels with the
+// Release, so only that case draws a (pooled) buffer; a clean Release carries
+// no payload and needs no copy at all.
+func (w *wbUnit) start(pool *linepool.Pool, addr uint64, data []byte, dirty bool, perm tilelink.Perm) {
 	if w.state != wbIdle {
 		panic("l1: writeback unit double start")
 	}
 	w.addr = addr
 	w.dirty = dirty
 	w.perm = perm
-	w.data = make([]byte, len(data))
-	copy(w.data, data)
+	w.data = nil
+	if dirty {
+		w.data = pool.Get(len(data))
+		copy(w.data, data)
+	}
 	w.state = wbSendRelease
 }
 
@@ -140,7 +147,9 @@ func (d *DCache) tickProbe2(now int64) {
 	}
 	if d.port.C.Send(now, p.resp) {
 		d.ctr.probesServed.Inc()
-		trace.Emit(d.tr, now, d.name, "probe-ack", p.resp.Addr, p.resp.Op.String())
+		if d.tr != nil {
+			trace.Emit(d.tr, now, d.name, "probe-ack", p.resp.Addr, p.resp.Op.String())
+		}
 		p.state = pIdle
 		p.cur = tilelink.Msg{}
 		p.resp = tilelink.Msg{}
@@ -179,7 +188,7 @@ func (d *DCache) buildProbeAck(probe tilelink.Msg) tilelink.Msg {
 	if meta.dirty {
 		way := d.findWay(addr, true)
 		set := d.index(addr)
-		data := make([]byte, d.cfg.LineBytes)
+		data := d.cfg.Pool.Get(int(d.cfg.LineBytes))
 		copy(data, d.data[set][way])
 		msg.Op = tilelink.OpProbeAckData
 		msg.Data = data

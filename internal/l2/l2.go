@@ -16,6 +16,7 @@ package l2
 import (
 	"fmt"
 
+	"skipit/internal/linepool"
 	"skipit/internal/mem"
 	"skipit/internal/metrics"
 	"skipit/internal/tilelink"
@@ -38,6 +39,9 @@ type Config struct {
 	// Metrics is the registry the cache registers its counters with, under
 	// the instance name "l2". Nil gets a private registry.
 	Metrics *metrics.Registry
+	// Pool recycles line buffers for grants and DRAM writebacks. Nil
+	// disables pooling (plain allocation).
+	Pool *linepool.Pool `json:"-"`
 }
 
 // DefaultConfig returns the paper's L2: 512 KiB, 8-way, 64 B lines
@@ -161,6 +165,11 @@ type Cache struct {
 	// poisoned marks clean frames carrying an injected ECC flip, keyed by
 	// line address; nil until the first injection.
 	poisoned map[uint64]struct{}
+
+	// blockedScratch is retryListBuffer's reusable same-line-serialization
+	// set (a linear-scan slice: the ListBuffer is small and bounded), kept
+	// across cycles so the hot loop does not allocate.
+	blockedScratch []uint64
 }
 
 type buffered struct {
@@ -299,6 +308,46 @@ func (c *Cache) Busy() bool {
 		}
 	}
 	return false
+}
+
+// NextEvent returns the earliest cycle after now at which the cache can
+// change state without an incoming message: staged SourceB/SourceD messages
+// drain every cycle, buffered requests retry once their tag-pipeline delay
+// elapses, and MSHRs act every cycle except in the states where they purely
+// wait on a link delivery (probe/grant acknowledgements) or a memory
+// completion — both covered by the links' and controller's own NextEvent.
+func (c *Cache) NextEvent(now int64) int64 {
+	next := tilelink.NoEvent
+	for cl := 0; cl < c.cfg.NumClients; cl++ {
+		if len(c.outB[cl]) > 0 || len(c.outD[cl]) > 0 {
+			return now + 1
+		}
+	}
+	for i := range c.listBuffer {
+		r := c.listBuffer[i].readyAt
+		if r <= now {
+			return now + 1
+		}
+		if r < next {
+			next = r
+		}
+	}
+	for i := range c.mshrs {
+		switch m := &c.mshrs[i]; m.state {
+		case msFree:
+			// idle
+		case msEvictProbe, msProbe, msGrant:
+			// waiting on a C/E-channel delivery; the link reports it
+		case msEvictMemWrite, msMemRead, msMemWrite:
+			if !m.memSubmitted {
+				return now + 1 // resubmitting to the controller every cycle
+			}
+			// waiting on the controller; mem.NextEvent reports it
+		default: // msStart, msFinish act on the next tick
+			return now + 1
+		}
+	}
+	return next
 }
 
 // Reset clears all volatile state (simulated crash).

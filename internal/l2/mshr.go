@@ -210,12 +210,14 @@ func (c *Cache) probeForAcquire(m *mshr, l *line) {
 // revocation happen even if the requesting core did not possess the line.
 func (c *Cache) startRootRelease(now int64, m *mshr) {
 	c.ctr.rootReleases.Inc()
-	kind := "flush"
-	if m.clean {
-		kind = "clean"
+	if c.tr != nil {
+		kind := "flush"
+		if m.clean {
+			kind = "clean"
+		}
+		trace.Emit(c.tr, now, "l2", "root-release", m.addr,
+			fmt.Sprintf("%s from client %d", kind, m.client))
 	}
-	trace.Emit(c.tr, now, "l2", "root-release", m.addr,
-		fmt.Sprintf("%s from client %d", kind, m.client))
 	l := c.lookup(m.addr)
 	if l == nil {
 		if len(m.wbData) > 0 {
@@ -248,6 +250,7 @@ func (c *Cache) startRootRelease(now int64, m *mshr) {
 		copy(l.data, m.wbData)
 		l.dirty = true
 		c.clearPoison(m.addr)
+		c.cfg.Pool.Put(m.wbData)
 		m.wbData = nil
 	}
 
@@ -289,7 +292,7 @@ func (c *Cache) rootReleaseWriteback(now int64, m *mshr) {
 		c.finishRootRelease(m)
 		return
 	}
-	data := make([]byte, c.cfg.LineBytes)
+	data := c.cfg.Pool.Get(int(c.cfg.LineBytes))
 	copy(data, l.data)
 	m.state = msMemWrite
 	if c.mem.Submit(now, mem.Request{Kind: mem.Write, Addr: m.addr, Data: data, Tag: c.mshrIndex(m)}) {
@@ -298,6 +301,7 @@ func (c *Cache) rootReleaseWriteback(now int64, m *mshr) {
 	} else {
 		// Memory controller busy: retry from Tick next cycle.
 		m.memSubmitted = false
+		c.cfg.Pool.Put(data)
 	}
 }
 
@@ -323,7 +327,7 @@ func (c *Cache) finishEvict(now int64, m *mshr) {
 	v := &c.lines[m.victimSet][m.victimWay]
 	if v.dirty {
 		victimAddr := c.addrOf(m.victimSet, v.tag)
-		data := make([]byte, c.cfg.LineBytes)
+		data := c.cfg.Pool.Get(int(c.cfg.LineBytes))
 		copy(data, v.data)
 		m.state = msEvictMemWrite
 		if c.mem.Submit(now, mem.Request{Kind: mem.Write, Addr: victimAddr, Data: data, Tag: c.mshrIndex(m)}) {
@@ -331,6 +335,7 @@ func (c *Cache) finishEvict(now int64, m *mshr) {
 			m.memSubmitted = true
 		} else {
 			m.memSubmitted = false
+			c.cfg.Pool.Put(data)
 		}
 		return
 	}
@@ -371,13 +376,15 @@ func (c *Cache) sendGrant(now int64, m *mshr) {
 	} else {
 		c.ctr.grantsData.Inc()
 	}
-	trace.Emit(c.tr, now, "l2", "grant", m.addr,
-		fmt.Sprintf("%v to client %d", op, m.client))
+	if c.tr != nil {
+		trace.Emit(c.tr, now, "l2", "grant", m.addr,
+			fmt.Sprintf("%v to client %d", op, m.client))
+	}
 	capTo := tilelink.CapToT
 	if m.grow == tilelink.GrowNtoB {
 		capTo = tilelink.CapToB
 	}
-	data := make([]byte, c.cfg.LineBytes)
+	data := c.cfg.Pool.Get(int(c.cfg.LineBytes))
 	copy(data, l.data)
 	c.outD[m.client] = append(c.outD[m.client], tilelink.Msg{
 		Op:   op,

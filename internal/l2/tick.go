@@ -69,6 +69,8 @@ func (c *Cache) pollMemory(now int64) {
 			c.submitMemRead(now, m)
 		case m.state == msMemRead && r.Kind == mem.Read:
 			c.install(now, m, r.Data)
+			// The read response's transaction retires at install.
+			c.cfg.Pool.Put(r.Data)
 		case m.state == msMemWrite && r.Kind == mem.Write:
 			if l := c.lookup(m.addr); l != nil {
 				l.dirty = false
@@ -141,6 +143,10 @@ func (c *Cache) sinkC(now int64, cl int) {
 			c.ports[cl].C.Recv(now)
 			// §5.5: dirty data is written to the BankedStore
 			// immediately upon arrival.
+			// RootRelease payloads are NOT recycled here: the sending
+			// FSHR keeps forwarding loads from its buffer until the
+			// acknowledgement, so the buffer stays owned by the FSHR
+			// (which recycles it at OnRootReleaseAck).
 			var wbData []byte
 			if msg.Op.HasData() {
 				if l := c.lookup(msg.Addr); l != nil {
@@ -153,9 +159,11 @@ func (c *Cache) sinkC(now int64, cl int) {
 					// L1 copy was already invalidated, so the
 					// evict probe saw nothing to hold it back).
 					// The carried data is the only live copy;
-					// hand it to the MSHR for a direct DRAM
-					// write-through.
-					wbData = msg.Data
+					// copy it for the MSHR's direct DRAM
+					// write-through (the FSHR still owns — and
+					// forwards loads from — the original).
+					wbData = c.cfg.Pool.Get(int(c.cfg.LineBytes))
+					copy(wbData, msg.Data)
 				}
 			}
 			c.listBuffer = append(c.listBuffer, buffered{msg: msg, client: cl, readyAt: now + int64(c.cfg.TagLatency), wbData: wbData})
@@ -178,6 +186,9 @@ func (c *Cache) onProbeAck(now int64, cl int, msg tilelink.Msg) {
 			l.dirty = true
 			c.clearPoison(msg.Addr)
 		}
+	}
+	if msg.Op == tilelink.OpProbeAckData {
+		c.cfg.Pool.Put(msg.Data)
 	}
 	m := c.probeOwner(msg.Addr)
 	if m == nil {
@@ -237,6 +248,7 @@ func (c *Cache) onRelease(now int64, cl int, msg tilelink.Msg) {
 		copy(l.data, msg.Data)
 		l.dirty = true
 		c.clearPoison(msg.Addr)
+		c.cfg.Pool.Put(msg.Data)
 	}
 	l.lastUsed = now
 	c.outD[cl] = append(c.outD[cl], tilelink.Msg{Op: tilelink.OpReleaseAck, Addr: msg.Addr})
@@ -269,18 +281,32 @@ func (c *Cache) sinkA(now int64, cl int) {
 // skipping entries whose line is under an active transaction or blocked
 // behind an earlier buffered entry for the same line.
 func (c *Cache) retryListBuffer(now int64) {
-	blocked := make(map[uint64]bool)
+	if len(c.listBuffer) == 0 {
+		return
+	}
+	// blocked is a linear-scan set (the ListBuffer is small and bounded);
+	// its backing array persists on the Cache so the hot loop is
+	// allocation-free.
+	blocked := c.blockedScratch[:0]
+	isBlocked := func(addr uint64) bool {
+		for _, a := range blocked {
+			if a == addr {
+				return true
+			}
+		}
+		return false
+	}
 	kept := c.listBuffer[:0]
 	for _, b := range c.listBuffer {
-		if b.readyAt > now || blocked[b.msg.Addr] || c.lineBusy(b.msg.Addr) {
-			blocked[b.msg.Addr] = true
+		if b.readyAt > now || isBlocked(b.msg.Addr) || c.lineBusy(b.msg.Addr) {
+			blocked = append(blocked, b.msg.Addr)
 			kept = append(kept, b)
 			continue
 		}
 		m := c.freeMSHR(now)
 		if m == nil {
 			c.ctr.mshrFullDefers.Inc()
-			blocked[b.msg.Addr] = true
+			blocked = append(blocked, b.msg.Addr)
 			kept = append(kept, b)
 			continue
 		}
@@ -293,9 +319,10 @@ func (c *Cache) retryListBuffer(now int64) {
 			m.clean = b.msg.Op.IsRootReleaseClean()
 			m.wbData = b.wbData
 		}
-		blocked[b.msg.Addr] = true // serialize same-line entries
+		blocked = append(blocked, b.msg.Addr) // serialize same-line entries
 	}
 	c.listBuffer = kept
+	c.blockedScratch = blocked
 }
 
 // advanceMSHRs performs the per-cycle state actions that are not driven by
@@ -363,7 +390,7 @@ func (c *Cache) resubmitWrite(now int64, m *mshr) {
 	}
 	var data []byte
 	if l != nil {
-		data = make([]byte, c.cfg.LineBytes)
+		data = c.cfg.Pool.Get(int(c.cfg.LineBytes))
 		copy(data, l.data)
 	} else if len(m.wbData) > 0 {
 		// RootRelease write-through for a line evicted in flight: the
@@ -375,5 +402,8 @@ func (c *Cache) resubmitWrite(now int64, m *mshr) {
 	if c.mem.Submit(now, mem.Request{Kind: mem.Write, Addr: addr, Data: data, Tag: c.mshrIndex(m)}) {
 		c.ctr.memWrites.Inc()
 		m.memSubmitted = true
+	} else if l != nil {
+		// The freshly drawn copy goes back; m.wbData stays with the MSHR.
+		c.cfg.Pool.Put(data)
 	}
 }

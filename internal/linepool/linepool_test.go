@@ -1,0 +1,74 @@
+package linepool
+
+import "testing"
+
+func TestGetPutRecycles(t *testing.T) {
+	p := New(64, nil)
+	a := p.Get(64)
+	if len(a) != 64 {
+		t.Fatalf("len(a) = %d", len(a))
+	}
+	b := p.Get(64)
+	p.Put(a)
+	p.Put(b)
+	if p.Free() != 2 {
+		t.Fatalf("free depth %d, want 2", p.Free())
+	}
+	// LIFO: the most recently returned buffer comes back first —
+	// deterministic reuse order is the whole point versus sync.Pool.
+	if c := p.Get(64); &c[0] != &b[0] {
+		t.Fatal("pool is not LIFO")
+	}
+	if d := p.Get(64); &d[0] != &a[0] {
+		t.Fatal("pool is not LIFO at depth 2")
+	}
+	hits, misses, recycles := p.Stats()
+	if hits != 2 || misses != 2 || recycles != 2 {
+		t.Fatalf("stats = (%d, %d, %d), want (2, 2, 2)", hits, misses, recycles)
+	}
+}
+
+func TestForeignSizesBypassPool(t *testing.T) {
+	p := New(64, nil)
+	b := p.Get(16) // smaller than the line: plain allocation, not counted
+	if len(b) != 16 {
+		t.Fatalf("len = %d", len(b))
+	}
+	p.Put(b) // ignored
+	p.Put(nil)
+	if p.Free() != 0 {
+		t.Fatalf("foreign buffer entered the free list (depth %d)", p.Free())
+	}
+	hits, misses, recycles := p.Stats()
+	if hits != 0 || misses != 0 || recycles != 0 {
+		t.Fatalf("foreign traffic counted: (%d, %d, %d)", hits, misses, recycles)
+	}
+}
+
+func TestNilPoolDegradesToAllocation(t *testing.T) {
+	var p *Pool
+	b := p.Get(64)
+	if len(b) != 64 {
+		t.Fatalf("nil pool Get: len %d", len(b))
+	}
+	p.Put(b)
+	if p.Free() != 0 {
+		t.Fatal("nil pool has a free list?")
+	}
+	hits, misses, recycles := p.Stats()
+	if hits != 0 || misses != 0 || recycles != 0 {
+		t.Fatal("nil pool counted something")
+	}
+}
+
+func TestZeroAllocSteadyState(t *testing.T) {
+	p := New(64, nil)
+	buf := p.Get(64)
+	p.Put(buf)
+	if n := testing.AllocsPerRun(1000, func() {
+		b := p.Get(64)
+		p.Put(b)
+	}); n != 0 {
+		t.Fatalf("steady-state Get/Put allocates %.1f per op", n)
+	}
+}

@@ -12,9 +12,15 @@ package mem
 
 import (
 	"fmt"
+	"math"
 
+	"skipit/internal/linepool"
 	"skipit/internal/metrics"
 )
+
+// noEvent mirrors tilelink.NoEvent without importing it: the sentinel for "no
+// self-generated future event".
+const noEvent int64 = math.MaxInt64 / 2
 
 // Config sets the controller's timing and geometry.
 type Config struct {
@@ -26,6 +32,9 @@ type Config struct {
 	// Metrics is the registry the controller registers its counters with,
 	// under the instance name "mem". Nil gets a private registry.
 	Metrics *metrics.Registry
+	// Pool recycles line buffers: read responses draw from it, applied
+	// write payloads return to it. Nil disables pooling (plain allocation).
+	Pool *linepool.Pool `json:"-"`
 }
 
 // DefaultConfig mirrors the calibration in DESIGN.md §3: ~60-cycle read
@@ -182,11 +191,13 @@ func (m *Memory) Tick(now int64) {
 		}
 		switch p.req.Kind {
 		case Read:
-			line := make([]byte, m.cfg.LineBytes)
+			line := m.cfg.Pool.Get(int(m.cfg.LineBytes))
 			copy(line, m.line(p.req.Addr))
 			m.done = append(m.done, Response{Kind: Read, Addr: p.req.Addr, Data: line, Tag: p.req.Tag})
 		case Write:
 			copy(m.line(p.req.Addr), p.req.Data)
+			// The write payload's transaction retires here: recycle it.
+			m.cfg.Pool.Put(p.req.Data)
 			m.done = append(m.done, Response{Kind: Write, Addr: p.req.Addr, Tag: p.req.Tag})
 		}
 	}
@@ -208,6 +219,28 @@ func (m *Memory) PollResponse() (Response, bool) {
 // Outstanding returns the number of accepted-but-incomplete requests plus
 // undelivered responses; zero means the controller is quiescent.
 func (m *Memory) Outstanding() int { return len(m.inflight) + len(m.done) }
+
+// NextEvent returns the earliest cycle after now at which the controller can
+// change state on its own: the completion cycle of the soonest in-flight
+// request, or now+1 while completed responses sit unpolled (the L2 collects
+// them on its next tick). The acceptance window (nextAccept) is not an event:
+// a client blocked on it reports now+1 itself.
+func (m *Memory) NextEvent(now int64) int64 {
+	if len(m.done) > 0 {
+		return now + 1
+	}
+	next := noEvent
+	for i := range m.inflight {
+		r := m.inflight[i].readyAt
+		if r <= now {
+			return now + 1
+		}
+		if r < next {
+			next = r
+		}
+	}
+	return next
+}
 
 // Stats returns the traffic counters as one struct, read back from the
 // metrics registry (thin view; see package metrics).

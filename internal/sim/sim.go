@@ -9,11 +9,13 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"skipit/internal/boom"
 	"skipit/internal/isa"
 	"skipit/internal/l1"
 	"skipit/internal/l2"
+	"skipit/internal/linepool"
 	"skipit/internal/mem"
 	"skipit/internal/metrics"
 	"skipit/internal/tilelink"
@@ -63,6 +65,20 @@ type System struct {
 
 	now int64
 
+	// pool recycles cache-line buffers across mem, L2, L1s and flush units;
+	// see package linepool for the ownership discipline.
+	pool *linepool.Pool
+
+	// fastForward enables the next-event clock (see fastforward.go); on by
+	// default, switchable for A/B validation.
+	fastForward bool
+	ctrSkipped  *metrics.Counter
+
+	// hostNanos accumulates wall-clock time spent inside Run and Drain, for
+	// the host-throughput figures in Snapshot. Host time never enters the
+	// sweep result store — records would stop being host-independent.
+	hostNanos int64
+
 	// Forward-progress watchdog state (see ArmWatchdog / StepGuarded).
 	wdLimit          int64
 	wdLastSig        uint64
@@ -77,9 +93,11 @@ func New(cfg Config) *System {
 	if cfg.NumCores <= 0 {
 		panic("sim: need at least one core")
 	}
-	s := &System{cfg: cfg, reg: metrics.NewRegistry()}
+	s := &System{cfg: cfg, reg: metrics.NewRegistry(), fastForward: true}
+	s.pool = linepool.New(int(cfg.L1.LineBytes), s.reg)
 	memCfg := cfg.Mem
 	memCfg.Metrics = s.reg
+	memCfg.Pool = s.pool
 	s.Mem = mem.New(memCfg)
 	s.ports = make([]*tilelink.ClientPort, cfg.NumCores)
 	s.L1s = make([]*l1.DCache, cfg.NumCores)
@@ -90,6 +108,7 @@ func New(cfg Config) *System {
 		l1cfg := cfg.L1
 		l1cfg.Source = i
 		l1cfg.Metrics = s.reg
+		l1cfg.Pool = s.pool
 		s.L1s[i] = l1.New(l1cfg, s.ports[i])
 		coreCfg := cfg.Core
 		coreCfg.Metrics = s.reg
@@ -98,6 +117,7 @@ func New(cfg Config) *System {
 	l2cfg := cfg.L2
 	l2cfg.NumClients = cfg.NumCores
 	l2cfg.Metrics = s.reg
+	l2cfg.Pool = s.pool
 	s.L2 = l2.New(l2cfg, s.ports, s.Mem)
 	// Pre-register the chaos and watchdog instruments so they appear in
 	// every Snapshot even when nothing is armed (get-or-create: the L1/L2
@@ -107,6 +127,7 @@ func New(cfg Config) *System {
 	s.reg.Counter("chaos", "ecc_dirty_unrecoverable")
 	s.reg.Counter("chaos", "refetch_recoveries")
 	s.ctrWatchdogTrips = s.reg.Counter("sim", "watchdog_trips")
+	s.ctrSkipped = s.reg.Counter("sim", "skipped_cycles")
 	return s
 }
 
@@ -170,6 +191,8 @@ func (s *System) Run(progs []*isa.Program, limit int64) (int64, error) {
 		}
 		s.Cores[i].SetProgram(p)
 	}
+	t0 := time.Now()
+	defer func() { s.hostNanos += time.Since(t0).Nanoseconds() }()
 	deadline := s.now + limit
 	coresDone := int64(-1)
 	for s.now < deadline {
@@ -183,11 +206,17 @@ func (s *System) Run(progs []*isa.Program, limit int64) (int64, error) {
 				}
 			}
 			if all {
+				// Defer the quiescence check to the next iteration, as
+				// the single-stepping loop always has, instead of
+				// fast-forwarding past it (a fully idle SoC reports no
+				// next event at all).
 				coresDone = s.now
+				continue
 			}
 		} else if s.Quiescent() {
 			return coresDone, nil
 		}
+		s.FastForward(deadline)
 	}
 	return 0, fmt.Errorf("%w (limit %d): %s", ErrTimeout, limit, s.describeStall())
 }
@@ -212,12 +241,20 @@ func (s *System) Quiescent() bool {
 
 // Drain steps until quiescence or the limit elapses.
 func (s *System) Drain(limit int64) error {
+	t0 := time.Now()
+	defer func() { s.hostNanos += time.Since(t0).Nanoseconds() }()
 	deadline := s.now + limit
 	for s.now < deadline {
 		if s.Quiescent() {
 			return nil
 		}
 		s.Step()
+		// Re-check before fast-forwarding: a freshly quiescent SoC reports
+		// no next event, and skipping to the deadline would miss the exit.
+		if s.Quiescent() {
+			return nil
+		}
+		s.FastForward(deadline)
 	}
 	return fmt.Errorf("%w while draining: %s", ErrTimeout, s.describeStall())
 }

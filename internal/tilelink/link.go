@@ -1,6 +1,15 @@
 package tilelink
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
+
+// NoEvent is the NextEvent sentinel meaning "no self-generated future event":
+// the component cannot change state until some other component acts on it. It
+// is far enough from MaxInt64 that callers can add small offsets without
+// overflow.
+const NoEvent int64 = math.MaxInt64 / 2
 
 // Chaos is the fault-injection hook a link consults when armed. All methods
 // must be pure functions of their arguments and the injector's schedule state
@@ -125,6 +134,24 @@ func (l *Link) Peek(now int64) (Msg, bool) {
 	return l.q[0].msg, true
 }
 
+// NextEvent returns the earliest cycle after now at which this channel can
+// change observable state on its own: the arrival cycle of the oldest
+// undelivered message. Delivery is strictly in send order, so the head
+// message gates everything behind it. A head that is already receivable (for
+// example held back by a chaos RecvStall window) reports now+1 — the
+// conservative answer that forbids skipping while a consumer could act.
+// Channel occupancy (busyUntil) is deliberately not an event: a sender
+// blocked on it is itself active and reports now+1 from its own NextEvent.
+func (l *Link) NextEvent(now int64) int64 {
+	if len(l.q) == 0 {
+		return NoEvent
+	}
+	if r := l.q[0].readyAt; r > now {
+		return r
+	}
+	return now + 1
+}
+
 // SetChaos installs (or, with nil, removes) the fault-injection hook.
 func (l *Link) SetChaos(c Chaos) { l.chaos = c }
 
@@ -173,6 +200,25 @@ func (p *ClientPort) Reset() {
 	p.C.Reset()
 	p.D.Reset()
 	p.E.Reset()
+}
+
+// NextEvent returns the earliest cycle after now at which any of the five
+// channels can deliver a message; NoEvent when the bundle is quiescent.
+func (p *ClientPort) NextEvent(now int64) int64 {
+	next := p.A.NextEvent(now)
+	if t := p.B.NextEvent(now); t < next {
+		next = t
+	}
+	if t := p.C.NextEvent(now); t < next {
+		next = t
+	}
+	if t := p.D.NextEvent(now); t < next {
+		next = t
+	}
+	if t := p.E.NextEvent(now); t < next {
+		next = t
+	}
+	return next
 }
 
 // Events sums the activity counters of all five channels.
