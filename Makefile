@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race lint fmt bench
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs the stock vet suite plus skipit-vet, the project's own
+# go/analysis suite (determinism, hotalloc, poolown, nextevent, metricname).
+# See internal/analysis/README.md for the rules and the waiver syntax.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/skipit-vet ./...
+
+fmt:
+	gofmt -w ./cmd ./internal
+
+bench:
+	$(GO) test ./internal/bench -run '^$$' -bench . -benchmem -benchtime 50x

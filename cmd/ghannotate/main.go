@@ -1,0 +1,65 @@
+// Command ghannotate turns skipit-vet's JSON findings into GitHub Actions
+// workflow annotations, so lint findings appear inline on the pull-request
+// diff:
+//
+//	go run ./cmd/skipit-vet -json ./... | go run ./cmd/ghannotate
+//
+// Each finding becomes an ::error command; paths are made repo-relative
+// (annotations require it) against the current working directory or
+// $GITHUB_WORKSPACE. Exit status: 0 when the input holds no findings,
+// 1 otherwise — so the pipeline fails the job exactly when annotations were
+// emitted.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func main() {
+	var findings []finding
+	if err := json.NewDecoder(os.Stdin).Decode(&findings); err != nil {
+		fmt.Fprintf(os.Stderr, "ghannotate: reading findings: %v\n", err)
+		os.Exit(2)
+	}
+
+	root := os.Getenv("GITHUB_WORKSPACE")
+	if root == "" {
+		root, _ = os.Getwd()
+	}
+
+	for _, f := range findings {
+		file := f.File
+		if root != "" {
+			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		fmt.Printf("::error file=%s,line=%d,col=%d,title=skipit-vet/%s::%s\n",
+			file, f.Line, f.Col, f.Analyzer, escape(f.Message))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "ghannotate: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// escape encodes the characters the workflow-command grammar reserves in
+// message data.
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}

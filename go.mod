@@ -1,3 +1,9 @@
 module skipit
 
 go 1.22
+
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e
+
+// Vendored subset of x/tools (go/analysis and friends), copied from the Go
+// toolchain's cmd/vendor tree; see third_party/golang.org/x/tools/README.md.
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

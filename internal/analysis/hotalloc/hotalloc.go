@@ -1,0 +1,313 @@
+// Package hotalloc implements the skipit-vet analyzer that makes the CI
+// alloc-gate's steady-state guarantee (BenchmarkStep: 1 alloc/op) a
+// compile-time property. Functions annotated with a
+//
+//	//skipit:hotpath
+//
+// directive in their doc comment are the per-cycle paths — Step, the
+// NextEvent fold, the linepool and tilelink fast paths. Inside them the
+// analyzer reports every construct that allocates (or is indistinguishable,
+// statically, from one that allocates), with the precise source position the
+// benchmark-based gate cannot give:
+//
+//   - make / new
+//   - append (growth cannot be bounded statically, so any append is suspect)
+//   - map, slice, and pointer-to-composite literals
+//   - closures that capture variables (the closure header is heap-allocated
+//     when it escapes, e.g. via defer in a loop or storage)
+//   - interface boxing: converting a non-pointer concrete value to an
+//     interface type (call arguments, assignments, returns, conversions)
+//   - string <-> []byte / []rune conversions
+//   - defer inside a loop (deferred records are heap-allocated there)
+//
+// Cold fallbacks that live inside a hot function (the linepool's make on
+// pool miss) carry //skipit:ignore waivers with reasons, keeping every
+// intentional allocation documented at its site.
+package hotalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"skipit/internal/analysis/suppress"
+)
+
+// Directive marks a function as a zero-alloc hot path.
+const Directive = "//skipit:hotpath"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "report allocation sites inside //skipit:hotpath functions\n\n" +
+		"Turns the benchmark-based 1-alloc/op CI gate into a static check with exact positions.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	suppress.Apply(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fn := n.(*ast.FuncDecl)
+		if fn.Body == nil || !isHotpath(fn) {
+			return
+		}
+		checkBody(pass, fn)
+	})
+	return nil, nil
+}
+
+// isHotpath reports whether the function's doc comment carries the
+// //skipit:hotpath directive.
+func isHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == Directive || strings.HasPrefix(c.Text, Directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkBody(pass *analysis.Pass, fn *ast.FuncDecl) {
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		pass.Report(analysis.Diagnostic{
+			Pos:     pos,
+			Message: fmt.Sprintf(format, args...) + fmt.Sprintf(" in hot path %s", fn.Name.Name),
+		})
+	}
+
+	// ast.Inspect has no exit hook, so track loop nesting with an interval
+	// stack instead: a node is inside a loop if its position falls within a
+	// recorded loop body.
+	var loops []ast.Node
+	inLoop := func(pos token.Pos) bool {
+		for _, l := range loops {
+			if l.Pos() <= pos && pos <= l.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+
+		case *ast.CallExpr:
+			checkCall(pass, fn, n, report)
+
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, n, report)
+
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "pointer-to-composite literal allocates")
+				}
+			}
+
+		case *ast.FuncLit:
+			if captured := captures(pass, n); len(captured) > 0 {
+				report(n.Pos(), "closure captures %s and may heap-allocate its environment", strings.Join(captured, ", "))
+			}
+
+		case *ast.DeferStmt:
+			if inLoop(n.Pos()) {
+				report(n.Pos(), "defer inside a loop heap-allocates its record")
+			}
+
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				if i < len(n.Rhs) {
+					checkBoxing(pass, pass.TypesInfo.TypeOf(n.Lhs[i]), n.Rhs[i], report)
+				}
+			}
+
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					checkBoxing(pass, pass.TypesInfo.TypeOf(name), n.Values[i], report)
+				}
+			}
+
+		case *ast.ReturnStmt:
+			sig, ok := pass.TypesInfo.TypeOf(fn.Name).(*types.Signature)
+			if !ok || sig.Results() == nil || len(n.Results) != sig.Results().Len() {
+				break
+			}
+			for i, res := range n.Results {
+				checkBoxing(pass, sig.Results().At(i).Type(), res, report)
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags make/new/append, allocation-shaped conversions, and
+// interface boxing at call argument positions.
+func checkCall(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr, report func(token.Pos, string, ...interface{})) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "append":
+				report(call.Pos(), "append may grow and allocate (growth is not statically boundable)")
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x).
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		target := tv.Type
+		if len(call.Args) == 1 {
+			argT := pass.TypesInfo.TypeOf(call.Args[0])
+			if isInterface(target) {
+				checkBoxing(pass, target, call.Args[0], report)
+			} else if argT != nil && convAllocates(target, argT) {
+				report(call.Pos(), "conversion %s -> %s copies and allocates", types.TypeString(argT, types.RelativeTo(pass.Pkg)), types.TypeString(target, types.RelativeTo(pass.Pkg)))
+			}
+		}
+		return
+	}
+
+	// Ordinary calls: box-check each argument against its parameter type.
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var paramT types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				paramT = sig.Params().At(sig.Params().Len() - 1).Type()
+			} else {
+				paramT = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < sig.Params().Len():
+			paramT = sig.Params().At(i).Type()
+		}
+		if paramT != nil {
+			checkBoxing(pass, paramT, arg, report)
+		}
+	}
+}
+
+// checkCompositeLit flags literals that always allocate.
+func checkCompositeLit(pass *analysis.Pass, lit *ast.CompositeLit, report func(token.Pos, string, ...interface{})) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		report(lit.Pos(), "map literal allocates")
+	case *types.Slice:
+		report(lit.Pos(), "slice literal allocates")
+	}
+	// Struct and array value literals live on the stack unless their address
+	// escapes; the &T{...} case is reported at the UnaryExpr.
+}
+
+// checkBoxing reports a conversion of a concrete non-pointer-shaped value
+// into an interface slot.
+func checkBoxing(pass *analysis.Pass, dst types.Type, src ast.Expr, report func(token.Pos, string, ...interface{})) {
+	if dst == nil || !isInterface(dst) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[src]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.IsNil() || isInterface(tv.Type) {
+		return
+	}
+	if pointerShaped(tv.Type) {
+		return // the interface data word holds the value directly; no allocation
+	}
+	report(src.Pos(), "interface boxing of %s value allocates", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+}
+
+// convAllocates reports conversions that copy backing storage.
+func convAllocates(dst, src types.Type) bool {
+	d, s := dst.Underlying(), src.Underlying()
+	isStr := func(t types.Type) bool {
+		b, ok := t.(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteOrRuneSlice := func(t types.Type) bool {
+		sl, ok := t.(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := sl.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(s) && isByteOrRuneSlice(d)) || (isByteOrRuneSlice(s) && isStr(d))
+}
+
+// isInterface reports whether t's underlying type is an interface.
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// pointerShaped reports whether values of t fit in an interface's data word
+// without allocation: pointers, channels, maps, funcs, unsafe.Pointer.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// captures returns the names of variables a function literal captures from
+// enclosing scopes (package-level objects do not count).
+func captures(pass *analysis.Pass, lit *ast.FuncLit) []string {
+	seen := make(map[string]bool)
+	var out []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared outside the literal but not at package scope.
+		if v.Parent() == nil || v.Parent() == pass.Pkg.Scope() || v.Pkg() == nil || v.Pkg().Scope() == v.Parent() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true
+		}
+		if !seen[v.Name()] {
+			seen[v.Name()] = true
+			out = append(out, v.Name())
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"skipit/internal/analysis/antest"
+	"skipit/internal/analysis/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	antest.Run(t, hotalloc.Analyzer, antest.Dir(t, "internal/linepool"))
+}

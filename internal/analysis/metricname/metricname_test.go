@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"skipit/internal/analysis/antest"
+	"skipit/internal/analysis/metricname"
+)
+
+func TestMetricName(t *testing.T) {
+	antest.Run(t, metricname.Analyzer, antest.Dir(t, "metricname/consumer"))
+}

@@ -1,0 +1,12 @@
+package nextevent_test
+
+import (
+	"testing"
+
+	"skipit/internal/analysis/antest"
+	"skipit/internal/analysis/nextevent"
+)
+
+func TestNextEvent(t *testing.T) {
+	antest.Run(t, nextevent.Analyzer, antest.Dir(t, "internal/mem"), antest.Dir(t, "nextevent/internal/sim"))
+}

@@ -1,0 +1,415 @@
+// Package poolown implements the skipit-vet analyzer that checks the
+// linepool ownership discipline (see the package comment of
+// internal/linepool): a line buffer obtained from (*linepool.Pool).Get must,
+// on every control-flow path, be either
+//
+//   - released exactly once with (*linepool.Pool).Put, or
+//   - handed off — stored into a transaction structure, passed to another
+//     component, sent in a message, or returned — transferring ownership
+//     with it,
+//
+// and must never be touched again after its release or be parked in a
+// package-level variable (which would outlive every transaction scope).
+//
+// The check is intra-procedural and path-sensitive: it walks the control
+// flow graph from each Get with a small owned/released state machine, so a
+// release missing from only one error branch is still caught, with the
+// diagnostic naming the acquisition site. Aliasing (b2 := b) is treated as
+// an ownership transfer; the alias becomes the owner and is not re-tracked.
+package poolown
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/cfg"
+	"skipit/internal/analysis/suppress"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "poolown",
+	Doc: "check that linepool buffers are released exactly once on every path and never outlive their transaction\n\n" +
+		"Path-sensitively tracks each (*linepool.Pool).Get result to a Put, a handoff, or a leak.",
+	Requires: []*analysis.Analyzer{ctrlflow.Analyzer},
+	Run:      run,
+}
+
+// poolPkgSuffix identifies the linepool package by import-path suffix, so
+// fixture trees mirroring the layout under testdata/src/ also match.
+const poolPkgSuffix = "internal/linepool"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	suppress.Apply(pass)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			g := cfgs.FuncDecl(fn)
+			if g == nil {
+				continue
+			}
+			checkFunc(pass, fn, g)
+		}
+	}
+	return nil, nil
+}
+
+// isPoolMethod reports whether call invokes the named method on a
+// linepool.Pool receiver.
+func isPoolMethod(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	return p == poolPkgSuffix || strings.HasSuffix(p, "/"+poolPkgSuffix)
+}
+
+// acquisition is one tracked `b := pool.Get(...)` site.
+type acquisition struct {
+	obj  types.Object
+	call *ast.CallExpr
+	stmt ast.Node // the assignment node, to locate it in the CFG
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, g *cfg.CFG) {
+	// Collect acquisitions: pool.Get results bound to a local variable. A
+	// Get used directly as an argument or stored immediately is an immediate
+	// handoff; a Get whose result is discarded is a leak right away.
+	var acqs []*acquisition
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		stmt, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && isPoolMethod(pass, call, "Get") {
+				pass.Report(analysis.Diagnostic{
+					Pos:     call.Pos(),
+					Message: "linepool.Get result discarded: the buffer leaks from the pool immediately",
+				})
+			}
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return true
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok || !isPoolMethod(pass, call, "Get") {
+				return true
+			}
+			id, ok := s.Lhs[0].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return true
+			}
+			obj := pass.TypesInfo.ObjectOf(id)
+			if obj == nil {
+				return true
+			}
+			acqs = append(acqs, &acquisition{obj: obj, call: call, stmt: s})
+		}
+		return true
+	})
+
+	for _, a := range acqs {
+		trackAcquisition(pass, g, a)
+	}
+}
+
+// ownState is the per-path tracking state of one buffer.
+type ownState int
+
+const (
+	owned ownState = iota
+	released
+)
+
+// event kinds, ordered by source position within a node.
+type eventKind int
+
+const (
+	evRelease eventKind = iota
+	evTransfer
+	evGlobalStore
+	evOverwrite
+	evUse
+)
+
+type event struct {
+	pos  token.Pos
+	kind eventKind
+}
+
+// trackAcquisition walks the CFG from the acquisition with a
+// depth-first search over (block, state), reporting ownership violations.
+func trackAcquisition(pass *analysis.Pass, g *cfg.CFG, a *acquisition) {
+	// Locate the acquisition inside the CFG.
+	startBlock, startIdx := -1, -1
+	for bi, b := range g.Blocks {
+		for ni, n := range b.Nodes {
+			if n == a.stmt {
+				startBlock, startIdx = bi, ni
+				break
+			}
+		}
+		if startBlock >= 0 {
+			break
+		}
+	}
+	if startBlock < 0 {
+		return // unreachable code; the CFG dropped it
+	}
+
+	leakReported := false
+	leak := func() {
+		if !leakReported {
+			leakReported = true
+			pass.Report(analysis.Diagnostic{
+				Pos:     a.call.Pos(),
+				Message: fmt.Sprintf("linepool buffer %s is not released or handed off on every path (missing Put or ownership transfer)", a.obj.Name()),
+			})
+		}
+	}
+
+	type visitKey struct {
+		block int
+		state ownState
+	}
+	visited := make(map[visitKey]bool)
+
+	// walk processes block bi starting at node index ni with the given
+	// state; it returns nothing — violations are reported as found.
+	var walk func(bi, ni int, state ownState)
+	walk = func(bi, ni int, state ownState) {
+		b := g.Blocks[bi]
+		for ; ni < len(b.Nodes); ni++ {
+			for _, ev := range nodeEvents(pass, b.Nodes[ni], a) {
+				switch ev.kind {
+				case evRelease:
+					if state == released {
+						pass.Report(analysis.Diagnostic{
+							Pos:     ev.pos,
+							Message: fmt.Sprintf("linepool buffer %s released twice on this path (double Put corrupts the free list)", a.obj.Name()),
+						})
+						return
+					}
+					state = released
+				case evTransfer:
+					if state == released {
+						pass.Report(analysis.Diagnostic{
+							Pos:     ev.pos,
+							Message: fmt.Sprintf("use of linepool buffer %s after Put: the pool may already have recycled it", a.obj.Name()),
+						})
+						return
+					}
+					return // ownership handed off; this path is done
+				case evGlobalStore:
+					pass.Report(analysis.Diagnostic{
+						Pos:     ev.pos,
+						Message: fmt.Sprintf("linepool buffer %s stored in a package-level variable: buffers must not outlive their transaction scope", a.obj.Name()),
+					})
+					return
+				case evOverwrite:
+					if state == owned {
+						pass.Report(analysis.Diagnostic{
+							Pos:     ev.pos,
+							Message: fmt.Sprintf("linepool buffer %s overwritten while still owned (the previous buffer leaks)", a.obj.Name()),
+						})
+					}
+					return
+				case evUse:
+					if state == released {
+						pass.Report(analysis.Diagnostic{
+							Pos:     ev.pos,
+							Message: fmt.Sprintf("use of linepool buffer %s after Put: the pool may already have recycled it", a.obj.Name()),
+						})
+						return
+					}
+				}
+			}
+		}
+		if len(b.Succs) == 0 {
+			if state == owned {
+				leak()
+			}
+			return
+		}
+		for _, succ := range b.Succs {
+			key := visitKey{block: int(succ.Index), state: state}
+			if visited[key] {
+				continue
+			}
+			visited[key] = true
+			walk(int(succ.Index), 0, state)
+		}
+	}
+	// Start just past the acquisition itself.
+	walk(startBlock, startIdx+1, owned)
+}
+
+// nodeEvents extracts the ordered ownership events node n produces for the
+// tracked buffer.
+func nodeEvents(pass *analysis.Pass, n ast.Node, a *acquisition) []event {
+	var evs []event
+	add := func(pos token.Pos, k eventKind) { evs = append(evs, event{pos: pos, kind: k}) }
+
+	// usesObj reports whether expr reads the tracked variable.
+	usesObj := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == a.obj {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			if isPoolMethod(pass, m, "Put") && len(m.Args) == 1 && usesObj(m.Args[0]) {
+				add(m.Pos(), evRelease)
+				return false
+			}
+			// Builtins (len, cap, copy, append as a read) inspect the buffer
+			// without taking ownership.
+			if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					for _, arg := range m.Args {
+						if usesObj(arg) {
+							add(arg.Pos(), evUse)
+						}
+					}
+					return false
+				}
+			}
+			for _, arg := range m.Args {
+				if valueEscapes(pass, a, arg) {
+					add(arg.Pos(), evTransfer)
+					return false
+				}
+				if usesObj(arg) {
+					add(arg.Pos(), evUse) // e.g. b[0], len(b): a read, not a handoff
+				}
+			}
+			// Still examine the function expression (method receiver reads).
+			if usesObj(m.Fun) {
+				add(m.Fun.Pos(), evUse)
+			}
+			return false
+		case *ast.AssignStmt:
+			for i, lhs := range m.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == a.obj {
+					add(lhs.Pos(), evOverwrite)
+				} else if usesObj(lhs) {
+					add(lhs.Pos(), evUse) // b[i] = x writes through the buffer
+				}
+				if i < len(m.Rhs) {
+					classifyStore(pass, a, m.Lhs[i], m.Rhs[i], add, usesObj)
+				}
+			}
+			if len(m.Rhs) == 1 && len(m.Lhs) != 1 {
+				classifyStore(pass, a, nil, m.Rhs[0], add, usesObj)
+			}
+			return false
+		case *ast.SendStmt:
+			if usesObj(m.Value) {
+				add(m.Value.Pos(), evTransfer)
+			}
+			if usesObj(m.Chan) {
+				add(m.Chan.Pos(), evUse)
+			}
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range m.Results {
+				if usesObj(r) {
+					add(r.Pos(), evTransfer)
+				}
+			}
+			return false
+		case *ast.CompositeLit:
+			for _, elt := range m.Elts {
+				if usesObj(elt) {
+					add(elt.Pos(), evTransfer)
+					return false
+				}
+			}
+		case *ast.Ident:
+			if pass.TypesInfo.Uses[m] == a.obj {
+				add(m.Pos(), evUse)
+			}
+		}
+		return true
+	})
+
+	// Source order.
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j-1].pos > evs[j].pos; j-- {
+			evs[j-1], evs[j] = evs[j], evs[j-1]
+		}
+	}
+	return evs
+}
+
+// valueEscapes reports whether e embeds the tracked buffer itself — the bare
+// identifier, possibly wrapped in composite literals (mem.Request{Data: b}),
+// key-value pairs, address-of, or nested calls/conversions — as opposed to a
+// read through it (b[0], len(b)). An embedding argument hands the slice
+// header to the callee, which may retain it, so it counts as a transfer.
+func valueEscapes(pass *analysis.Pass, a *acquisition, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e] == a.obj
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if valueEscapes(pass, a, elt) {
+				return true
+			}
+		}
+	case *ast.KeyValueExpr:
+		return valueEscapes(pass, a, e.Value)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return valueEscapes(pass, a, e.X)
+		}
+	case *ast.CallExpr:
+		for _, arg := range e.Args {
+			if valueEscapes(pass, a, arg) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// classifyStore decides what an assignment of the tracked buffer into lhs
+// means: a package-level store is forbidden; anything else (field, slice
+// slot, local alias) transfers ownership.
+func classifyStore(pass *analysis.Pass, a *acquisition, lhs, rhs ast.Expr, add func(token.Pos, eventKind), usesObj func(ast.Expr) bool) {
+	if !usesObj(rhs) {
+		return
+	}
+	if lhs != nil {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil && obj.Parent() == pass.Pkg.Scope() {
+				add(rhs.Pos(), evGlobalStore)
+				return
+			}
+		}
+	}
+	add(rhs.Pos(), evTransfer)
+}

@@ -1,0 +1,12 @@
+package poolown_test
+
+import (
+	"testing"
+
+	"skipit/internal/analysis/antest"
+	"skipit/internal/analysis/poolown"
+)
+
+func TestPoolOwn(t *testing.T) {
+	antest.Run(t, poolown.Analyzer, antest.Dir(t, "internal/l1"))
+}

@@ -1,0 +1,24 @@
+// Package skipvet assembles the skipit-vet analyzer suite: the five
+// analyzers that statically enforce the simulator's determinism, zero-alloc
+// and ownership invariants. cmd/skipit-vet runs exactly this list; tests and
+// future tools should import it rather than enumerating analyzers
+// themselves so the suite cannot drift between entry points.
+package skipvet
+
+import (
+	"golang.org/x/tools/go/analysis"
+	"skipit/internal/analysis/determinism"
+	"skipit/internal/analysis/hotalloc"
+	"skipit/internal/analysis/metricname"
+	"skipit/internal/analysis/nextevent"
+	"skipit/internal/analysis/poolown"
+)
+
+// Analyzers is the full skipit-vet suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
+	hotalloc.Analyzer,
+	poolown.Analyzer,
+	nextevent.Analyzer,
+	metricname.Analyzer,
+}

@@ -1,0 +1,130 @@
+// Package suppress implements the shared suppression mechanism for the
+// skipit-vet analyzers (see internal/analysis).
+//
+// A diagnostic is silenced by a directive comment:
+//
+//	//skipit:ignore <analyzer> <reason>
+//
+// placed either at the end of the offending line or alone on the line
+// immediately above it. The reason is mandatory: a directive without one is
+// itself reported as a diagnostic, so every waiver in the tree documents why
+// the invariant does not apply at that site. A directive names exactly one
+// analyzer and silences only that analyzer's diagnostics, and only on its
+// target line — it never blankets a file or function.
+//
+// Every analyzer in the suite opts in by calling Apply(pass) as the first
+// statement of its Run function; Apply wraps pass.Report with the filter and
+// reports malformed directives that name the wrapped analyzer.
+package suppress
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Prefix is the directive marker. Like //go: directives it must start the
+// comment with no space after the slashes.
+const Prefix = "//skipit:ignore"
+
+// directive is one parsed //skipit:ignore comment.
+type directive struct {
+	pos      token.Pos // position of the comment
+	analyzer string    // analyzer it names ("" if absent)
+	reason   string    // justification ("" if absent)
+	line     int       // line the directive appears on
+	trailing bool      // shares its line with code (suppresses that line)
+}
+
+// Apply wraps pass.Report so that diagnostics on lines covered by a
+// well-formed //skipit:ignore directive naming this analyzer are dropped,
+// and reports directives naming this analyzer that are missing a reason.
+// Call it first in every analyzer's Run.
+func Apply(pass *analysis.Pass) {
+	dirs := collect(pass)
+
+	// A well-formed trailing directive covers its own line; a standalone
+	// directive covers the next line.
+	covered := make(map[int]bool)
+	for _, d := range dirs {
+		if d.analyzer != pass.Analyzer.Name || d.reason == "" {
+			continue
+		}
+		if d.trailing {
+			covered[d.line] = true
+		} else {
+			covered[d.line+1] = true
+		}
+	}
+
+	orig := pass.Report
+	pass.Report = func(diag analysis.Diagnostic) {
+		if covered[pass.Fset.Position(diag.Pos).Line] {
+			return
+		}
+		orig(diag)
+	}
+
+	// Malformed directives that name this analyzer are diagnostics in their
+	// own right (and do not suppress anything, so the original finding
+	// surfaces too).
+	for _, d := range dirs {
+		if d.analyzer != pass.Analyzer.Name || d.reason != "" {
+			continue
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos:     d.pos,
+			Message: "skipit:ignore directive needs a reason: //skipit:ignore " + pass.Analyzer.Name + " <why this site is exempt>",
+		})
+	}
+}
+
+// collect parses every skipit:ignore directive in the package's files.
+func collect(pass *analysis.Pass) []directive {
+	var out []directive
+	for _, f := range pass.Files {
+		// Record, per line, the earliest offset of any code token so that a
+		// directive can be classified as trailing (code before it on the
+		// line) or standalone.
+		codeOn := make(map[int]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil || !n.Pos().IsValid() {
+				return true
+			}
+			if _, ok := n.(*ast.Comment); ok {
+				return true
+			}
+			if _, ok := n.(*ast.CommentGroup); ok {
+				return true
+			}
+			codeOn[pass.Fset.Position(n.Pos()).Line] = true
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, Prefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				d := directive{
+					pos:  c.Pos(),
+					line: pass.Fset.Position(c.Pos()).Line,
+				}
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				// The AST walk above sees the comment's own line as code-free
+				// unless a statement shares it, because comments were skipped.
+				d.trailing = codeOn[d.line]
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package suppress_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"skipit/internal/analysis/antest"
+	"skipit/internal/analysis/suppress"
+)
+
+// testlint reports every call to a function named boom; it exists only to
+// give the suppression fixture something deterministic to silence.
+var testlint = &analysis.Analyzer{
+	Name: "testlint",
+	Doc:  "report every call to boom (suppression-mechanism fixture analyzer)",
+	Run: func(pass *analysis.Pass) (interface{}, error) {
+		suppress.Apply(pass)
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "boom" {
+					pass.Report(analysis.Diagnostic{Pos: call.Pos(), Message: "call to boom"})
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+func TestSuppression(t *testing.T) {
+	antest.Run(t, testlint, antest.Dir(t, "suppresscheck"))
+}

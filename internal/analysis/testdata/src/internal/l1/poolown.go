@@ -1,0 +1,118 @@
+// Package l1fix is the poolown-analyzer fixture. It exercises the linepool
+// ownership discipline against the real skipit/internal/linepool package.
+package l1fix
+
+import "skipit/internal/linepool"
+
+type msg struct {
+	data []byte
+}
+
+type mshr struct {
+	line []byte
+}
+
+var parked []byte // package-level: buffers must never land here
+
+// exactlyOnce is the happy path: one Get, one Put on every path.
+func exactlyOnce(p *linepool.Pool, n int, dirty bool) {
+	b := p.Get(n)
+	if dirty {
+		b[0] = 1
+	}
+	p.Put(b)
+}
+
+// handoffField transfers ownership into a transaction structure.
+func handoffField(p *linepool.Pool, m *mshr, n int) {
+	b := p.Get(n)
+	m.line = b // ok: the MSHR owns it now
+}
+
+// handoffCall transfers ownership to another component.
+func handoffCall(p *linepool.Pool, n int, sink func([]byte)) {
+	b := p.Get(n)
+	sink(b) // ok: the callee owns it now
+}
+
+// handoffReturn transfers ownership to the caller.
+func handoffReturn(p *linepool.Pool, n int) []byte {
+	b := p.Get(n)
+	return b // ok: the caller owns it now
+}
+
+// handoffMsg transfers ownership inside a composite literal.
+func handoffMsg(p *linepool.Pool, n int, ch chan msg) {
+	b := p.Get(n)
+	ch <- msg{data: b} // ok: the message owns it now
+}
+
+// handoffNested transfers ownership inside a struct literal built directly
+// in the argument list (the L2's mem.Submit(now, Request{Data: b}) shape);
+// the conditional Put covers the callee-rejected branch.
+func handoffNested(p *linepool.Pool, n int, submit func(m msg) bool) {
+	b := p.Get(n)
+	if !submit(msg{data: b}) { // ok: the callee owns it on acceptance
+		p.Put(b)
+	}
+}
+
+// leakOnBranch forgets the buffer on the error path.
+func leakOnBranch(p *linepool.Pool, n int, ready bool) {
+	b := p.Get(n) // want `buffer b is not released or handed off on every path`
+	if !ready {
+		return // leaks here
+	}
+	p.Put(b)
+}
+
+// doublePut releases twice on the same path.
+func doublePut(p *linepool.Pool, n int, flush bool) {
+	b := p.Get(n)
+	if flush {
+		p.Put(b)
+	}
+	p.Put(b) // want `released twice on this path`
+}
+
+// useAfterPut touches the buffer once the pool may have recycled it.
+func useAfterPut(p *linepool.Pool, n int) byte {
+	b := p.Get(n)
+	p.Put(b)
+	return b[0] // want `use of linepool buffer b after Put`
+}
+
+// globalStore parks a buffer beyond any transaction scope.
+func globalStore(p *linepool.Pool, n int) {
+	b := p.Get(n)
+	parked = b // want `stored in a package-level variable`
+}
+
+// discarded drops the buffer on the floor.
+func discarded(p *linepool.Pool, n int) {
+	p.Get(n) // want `linepool.Get result discarded`
+}
+
+// overwritten re-Gets into the same variable while still owning a buffer.
+func overwritten(p *linepool.Pool, n int) {
+	b := p.Get(n)
+	b = p.Get(n) // want `overwritten while still owned`
+	p.Put(b)
+}
+
+// loopPaired is fine: each iteration releases what it acquired.
+func loopPaired(p *linepool.Pool, n, iters int) {
+	for i := 0; i < iters; i++ {
+		b := p.Get(n)
+		b[0] = byte(i)
+		p.Put(b)
+	}
+}
+
+// waived documents an intentional hold (the WBU-style reference that is
+// dropped without Put after a successful send).
+func waived(p *linepool.Pool, n int) {
+	//skipit:ignore poolown reference dropped without Put after successful send, consumer releases
+	b := p.Get(n)
+	b[0] = 1
+}

@@ -1,0 +1,29 @@
+// Package memfix is the nextevent-analyzer component fixture: its import
+// path ends in internal/mem, so every Tick-bearing type here must implement
+// NextEvent(int64) int64.
+package memfix
+
+// Good ticks and reports its next event.
+type Good struct{ busyUntil int64 }
+
+func (g *Good) Tick(now int64) { g.busyUntil = now + 1 }
+
+func (g *Good) NextEvent(now int64) int64 { return g.busyUntil }
+
+// Forgot ticks but cannot tell the clock when it next acts.
+type Forgot struct{ n int64 }
+
+func (f *Forgot) Tick(now int64) { f.n = now } // want `Forgot has a Tick method but no NextEvent`
+
+// WrongShape has a NextEvent with the wrong signature, which the
+// fast-forward fold cannot call.
+type WrongShape struct{ n int64 }
+
+func (w *WrongShape) Tick(now int64) { w.n = now } // want `WrongShape has a Tick method but no NextEvent`
+
+func (w *WrongShape) NextEvent() int64 { return w.n }
+
+// NotClocked has no Tick; it does not participate in the cycle loop.
+type NotClocked struct{}
+
+func (n *NotClocked) Poke() {}

@@ -1,0 +1,69 @@
+// Package simfix is the determinism-analyzer fixture. Its import path ends
+// in internal/sim, so the analyzer treats it as a simulator package.
+package simfix
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// Wall-clock reads.
+func wallClock() int64 {
+	t0 := time.Now()                 // want `wall-clock read time\.Now`
+	_ = time.Since(t0).Nanoseconds() // want `wall-clock read time\.Since`
+	deadline := time.Unix(0, 0)      // ok: conversion, not a clock read
+	return deadline.UnixNano()
+}
+
+// Global versus seeded rand.
+func randomness(seed int64) int {
+	n := rand.Intn(8)                     // want `global rand\.Intn`
+	rand.Shuffle(n, func(i, j int) {})    // want `global rand\.Shuffle`
+	rng := rand.New(rand.NewSource(seed)) // ok: explicitly seeded
+	return rng.Intn(8)
+}
+
+// Goroutines.
+func spawn(done chan struct{}) {
+	go func() { close(done) }() // want `goroutine launched in a simulator package`
+}
+
+// Order-sensitive map iteration.
+func mapOrder(m map[string]uint64, sink chan string, w *os.File) {
+	// Writing to the map being ranged.
+	for k, v := range m {
+		m[k+"!"] = v // want `writing to the map being ranged over`
+	}
+
+	// Channel sends and printing follow visit order.
+	for k := range m {
+		sink <- k          // want `channel send inside a map range`
+		fmt.Fprintln(w, k) // want `printing per map entry`
+	}
+
+	// Float accumulation is order-sensitive; integer sums are not.
+	var fsum float64
+	var isum uint64
+	for _, v := range m {
+		fsum += float64(v) // want `float accumulation across map entries`
+		isum += v          // ok: integer addition is commutative
+	}
+	_, _ = fsum, isum
+
+	// Appending in visit order without a sort leaks the order...
+	var leaked []string
+	for k := range m {
+		leaked = append(leaked, k) // want `appending to an outer slice in map-visit order`
+	}
+	_ = leaked
+
+	// ...but the collect-then-sort idiom is the approved pattern.
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+}

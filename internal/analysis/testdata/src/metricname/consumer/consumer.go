@@ -1,0 +1,40 @@
+// Package consumer is the metricname fixture: naming-format violations,
+// in-package duplicates, and a cross-package collision with the producer
+// package's exported registration fact.
+package consumer
+
+import (
+	"skipit/internal/analysis/testdata/src/metricname/producer"
+	"skipit/internal/metrics"
+)
+
+type core struct {
+	reads  *metrics.Counter
+	depth  *metrics.Gauge
+	histos *metrics.Histogram
+}
+
+// register exercises every rule.
+func register(r *metrics.Registry, suffix string) *core {
+	producer.Register(r)
+
+	c := &core{
+		reads:  r.Counter("mem", "reads"),
+		depth:  r.Gauge("mem", "inflight.depth"), // ok: dots form hierarchies
+		histos: r.Histogram("mem", "latency", nil),
+	}
+
+	r.Counter("mem", "reads")             // want `metric key "mem.reads" already registered`
+	r.Counter("mem", "Reads")             // want `metric name "Reads" is not snake_case`
+	r.Counter("Mem", "writes")            // want `metric component "Mem" is not snake_case`
+	r.Counter("mem", "reads-"+suffix)     // want `metric name passed to Counter must be a literal string`
+	r.Counter("l1[0]", "loads")           // ok: literal instance index
+	_ = r.Counter("mem", "reads").Value() // ok: read-through, not a registration
+
+	r.Counter("l2", "acquires") // want `metric key "l2.acquires" also registered by package .*producer`
+
+	//skipit:ignore metricname intentionally shared with producer for the fixture
+	r.Gauge("l2", "mshr_occupancy")
+
+	return c
+}

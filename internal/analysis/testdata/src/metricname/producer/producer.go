@@ -1,0 +1,11 @@
+// Package producer is the upstream half of the metricname cross-package
+// fixture: it registers keys that the consumer package then collides with.
+package producer
+
+import "skipit/internal/metrics"
+
+// Register claims this package's instrument keys.
+func Register(r *metrics.Registry) {
+	r.Counter("l2", "acquires")
+	r.Gauge("l2", "mshr_occupancy")
+}

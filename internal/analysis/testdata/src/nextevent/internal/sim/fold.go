@@ -1,0 +1,33 @@
+package simfold
+
+// This file is the nextevent-analyzer fold fixture: a System mirroring the
+// real sim.System, with one component folded into nextEventCycle and one
+// forgotten.
+
+type core struct{ wake int64 }
+
+func (c *core) Tick(now int64)            {}
+func (c *core) NextEvent(now int64) int64 { return c.wake }
+
+type dma struct{ wake int64 }
+
+func (d *dma) Tick(now int64)            {}
+func (d *dma) NextEvent(now int64) int64 { return d.wake }
+
+// System folds Cores but forgot the DMA engine.
+type System struct {
+	Cores []*core
+	DMA   *dma // want `System field DMA implements NextEvent but is not folded into nextEventCycle`
+
+	now int64 // ok: not a component
+}
+
+func (s *System) nextEventCycle(last int64) int64 {
+	next := int64(1 << 62)
+	for _, c := range s.Cores {
+		if t := c.NextEvent(last); t < next {
+			next = t
+		}
+	}
+	return next
+}

@@ -1,0 +1,41 @@
+// Package suppresscheck exercises the //skipit:ignore mechanism itself,
+// against a test-only analyzer that reports every call to boom. The contract
+// under test: a well-formed directive silences exactly one line for exactly
+// one analyzer, and a reason-less directive is itself a diagnostic that
+// suppresses nothing.
+package suppresscheck
+
+func boom() {}
+
+// unwaived: every call reports.
+func unwaived() {
+	boom() // want `call to boom`
+	boom() // want `call to boom`
+}
+
+// standalone: a directive alone on a line silences exactly the next line.
+func standalone() {
+	//skipit:ignore testlint fixture waiver with a documented reason
+	boom()
+	boom() // want `call to boom`
+}
+
+// trailing: a directive at the end of a line silences that line only.
+func trailing() {
+	boom() //skipit:ignore testlint fixture waiver with a documented reason
+	boom() // want `call to boom`
+}
+
+// wrongAnalyzer: a directive naming a different analyzer suppresses nothing
+// here (and testlint does not complain about the foreign directive).
+func wrongAnalyzer() {
+	//skipit:ignore otherlint belongs to a different analyzer
+	boom() // want `call to boom`
+}
+
+// missingReason: a reason-less directive is reported in its own right and
+// does not suppress the finding it hoped to cover.
+func missingReason() {
+	/* want `skipit:ignore directive needs a reason` */ //skipit:ignore testlint
+	boom()                                              // want `call to boom`
+}

@@ -76,7 +76,7 @@ func TestStepSteadyStateZeroAlloc(t *testing.T) {
 // CI compares allocs/op against the committed baseline (bench_baseline.txt).
 func BenchmarkStep(b *testing.B) {
 	s := sim.New(sim.DefaultConfig(1))
-	s.SetFastForward(false) // measure the honest per-cycle cost
+	s.SetFastForward(false)               // measure the honest per-cycle cost
 	runSteadyState(s, 2*len(steadyProgs)) // warm the pool and DRAM backing store
 	b.ReportAllocs()
 	b.ResetTimer()

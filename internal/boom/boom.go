@@ -451,6 +451,8 @@ func (c *Core) fire(now int64, e *entry) bool {
 // retire those instructions, and a fence stalling on the flush-unit drain by
 // the flush unit's (and memory's) own events — tryCompleteFence attributes
 // the skipped stall cycles in bulk.
+//
+//skipit:hotpath
 func (c *Core) NextEvent(now int64) int64 {
 	if c.done || c.prog == nil {
 		return tilelink.NoEvent

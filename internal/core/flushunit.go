@@ -302,6 +302,8 @@ func (u *FlushUnit) Tick(now int64, probeRdy, wbRdy bool) {
 // counters) every cycle; any FSHR that has not yet sent its RootRelease acts
 // every cycle too. FSHRs parked in root_release_ack are woken by a TL-D
 // delivery, which the link itself reports as an event.
+//
+//skipit:hotpath
 func (u *FlushUnit) NextEvent(now int64) int64 {
 	if len(u.queue) > 0 {
 		return now + 1

@@ -398,6 +398,8 @@ func (d *DCache) Busy() bool {
 // states act every cycle, and the flush unit reports its own horizon. MSHRs
 // waiting on a grant (and the WBU waiting on its ReleaseAck) generate no
 // event of their own — the D-channel link reports the delivery cycle.
+//
+//skipit:hotpath
 func (d *DCache) NextEvent(now int64) int64 {
 	next := tilelink.NoEvent
 	for i := range d.inQ {

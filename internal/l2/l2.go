@@ -316,6 +316,8 @@ func (c *Cache) Busy() bool {
 // elapses, and MSHRs act every cycle except in the states where they purely
 // wait on a link delivery (probe/grant acknowledgements) or a memory
 // completion — both covered by the links' and controller's own NextEvent.
+//
+//skipit:hotpath
 func (c *Cache) NextEvent(now int64) int64 {
 	next := tilelink.NoEvent
 	for cl := 0; cl < c.cfg.NumClients; cl++ {

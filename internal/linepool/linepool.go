@@ -57,9 +57,11 @@ func New(lineBytes int, reg *metrics.Registry) *Pool {
 // Get returns a buffer of exactly size bytes. Buffers are recycled dirty —
 // every call site overwrites the full line before use. A nil pool, or a size
 // the pool was not built for, falls back to a fresh allocation.
+//
+//skipit:hotpath
 func (p *Pool) Get(size int) []byte {
 	if p == nil || size != p.lineBytes {
-		return make([]byte, size)
+		return make([]byte, size) //skipit:ignore hotalloc cold fallback for nil pool or foreign size, off the steady-state path
 	}
 	if n := len(p.free); n > 0 {
 		b := p.free[n-1]
@@ -69,18 +71,20 @@ func (p *Pool) Get(size int) []byte {
 		return b
 	}
 	p.misses.Inc()
-	return make([]byte, p.lineBytes)
+	return make([]byte, p.lineBytes) //skipit:ignore hotalloc pool-miss fallback taken only until the working set is seeded
 }
 
 // Put returns a buffer to the free list. Nil pools, nil buffers and
 // foreign-sized buffers are ignored, so consumption points may Put whatever
 // payload reached them without caring where it was allocated.
+//
+//skipit:hotpath
 func (p *Pool) Put(b []byte) {
 	if p == nil || b == nil || len(b) != p.lineBytes {
 		return
 	}
 	p.recycles.Inc()
-	p.free = append(p.free, b)
+	p.free = append(p.free, b) //skipit:ignore hotalloc free-list growth is amortized, steady state reuses capacity
 }
 
 // Free returns the current free-list depth (for tests).

@@ -16,10 +16,10 @@ func TestGetPutRecycles(t *testing.T) {
 	}
 	// LIFO: the most recently returned buffer comes back first —
 	// deterministic reuse order is the whole point versus sync.Pool.
-	if c := p.Get(64); &c[0] != &b[0] {
+	if c := p.Get(64); &c[0] != &b[0] { //skipit:ignore poolown test compares recycled buffer identity by design
 		t.Fatal("pool is not LIFO")
 	}
-	if d := p.Get(64); &d[0] != &a[0] {
+	if d := p.Get(64); &d[0] != &a[0] { //skipit:ignore poolown test compares recycled buffer identity by design
 		t.Fatal("pool is not LIFO at depth 2")
 	}
 	hits, misses, recycles := p.Stats()

@@ -225,6 +225,8 @@ func (m *Memory) Outstanding() int { return len(m.inflight) + len(m.done) }
 // request, or now+1 while completed responses sit unpolled (the L2 collects
 // them on its next tick). The acceptance window (nextAccept) is not an event:
 // a client blocked on it reports now+1 itself.
+//
+//skipit:hotpath
 func (m *Memory) NextEvent(now int64) int64 {
 	if len(m.done) > 0 {
 		return now + 1

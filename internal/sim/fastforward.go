@@ -46,6 +46,8 @@ func (s *System) SkippedCycles() uint64 { return s.ctrSkipped.Value() }
 // Components are queried busiest-first and the fold bails out as soon as the
 // floor (last+1, nothing skippable) is reached, so on cycles with no idle
 // window the scan usually stops at the first core.
+//
+//skipit:hotpath
 func (s *System) nextEventCycle(last int64) int64 {
 	floor := last + 1
 	next := tilelink.NoEvent
@@ -91,6 +93,8 @@ func (s *System) nextEventCycle(last int64) int64 {
 // the sampler's next interval boundary, the watchdog's trip cycle, and any
 // caller-provided limits. Returns the number of cycles skipped (0 when the
 // next cycle is not skippable or fast-forwarding is off).
+//
+//skipit:hotpath
 func (s *System) FastForward(limits ...int64) int64 {
 	if !s.fastForward {
 		return 0

@@ -122,10 +122,10 @@ func New(cfg Config) *System {
 	// Pre-register the chaos and watchdog instruments so they appear in
 	// every Snapshot even when nothing is armed (get-or-create: the L1/L2
 	// constructors above share the same "chaos" counters).
-	s.reg.Counter("chaos", "faults_injected")
-	s.reg.Counter("chaos", "ecc_flips")
-	s.reg.Counter("chaos", "ecc_dirty_unrecoverable")
-	s.reg.Counter("chaos", "refetch_recoveries")
+	s.reg.Counter("chaos", "faults_injected")         //skipit:ignore metricname shared SoC-wide chaos counter, pre-registered here by design
+	s.reg.Counter("chaos", "ecc_flips")               //skipit:ignore metricname shared SoC-wide chaos counter, pre-registered here by design
+	s.reg.Counter("chaos", "ecc_dirty_unrecoverable") //skipit:ignore metricname shared SoC-wide chaos counter, pre-registered here by design
+	s.reg.Counter("chaos", "refetch_recoveries")      //skipit:ignore metricname shared SoC-wide chaos counter, pre-registered here by design
 	s.ctrWatchdogTrips = s.reg.Counter("sim", "watchdog_trips")
 	s.ctrSkipped = s.reg.Counter("sim", "skipped_cycles")
 	return s
@@ -160,6 +160,8 @@ func (s *System) SetTracer(t trace.Tracer) {
 func (s *System) Now() int64 { return s.now }
 
 // Step advances the whole SoC by one cycle.
+//
+//skipit:hotpath
 func (s *System) Step() {
 	s.Mem.Tick(s.now)
 	s.L2.Tick(s.now)
@@ -191,8 +193,8 @@ func (s *System) Run(progs []*isa.Program, limit int64) (int64, error) {
 		}
 		s.Cores[i].SetProgram(p)
 	}
-	t0 := time.Now()
-	defer func() { s.hostNanos += time.Since(t0).Nanoseconds() }()
+	t0 := time.Now()                                               //skipit:ignore determinism host-side throughput timer, never read by simulated state
+	defer func() { s.hostNanos += time.Since(t0).Nanoseconds() }() //skipit:ignore determinism host-side throughput timer, never read by simulated state
 	deadline := s.now + limit
 	coresDone := int64(-1)
 	for s.now < deadline {
@@ -241,8 +243,8 @@ func (s *System) Quiescent() bool {
 
 // Drain steps until quiescence or the limit elapses.
 func (s *System) Drain(limit int64) error {
-	t0 := time.Now()
-	defer func() { s.hostNanos += time.Since(t0).Nanoseconds() }()
+	t0 := time.Now()                                               //skipit:ignore determinism host-side throughput timer, never read by simulated state
+	defer func() { s.hostNanos += time.Since(t0).Nanoseconds() }() //skipit:ignore determinism host-side throughput timer, never read by simulated state
 	deadline := s.now + limit
 	for s.now < deadline {
 		if s.Quiescent() {

@@ -20,10 +20,17 @@ import (
 func (s *System) Snapshot() metrics.Snapshot {
 	snap := s.reg.Snapshot(s.now)
 
+	// Two-phase so the ranged map is never written mid-iteration: entries
+	// added during a range may or may not be visited in that same loop, so
+	// the single-pass version's output depended on map iteration order.
+	agg := make(map[string]uint64)
 	for key, v := range snap.Counters {
-		if agg, ok := aggregateKey(key); ok {
-			snap.Counters[agg] += v
+		if a, ok := aggregateKey(key); ok {
+			agg[a] += v
 		}
+	}
+	for a, v := range agg {
+		snap.Counters[a] += v
 	}
 
 	c := snap.Counters

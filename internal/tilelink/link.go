@@ -67,6 +67,8 @@ func NewLink(name string, beatBytes, lineBytes uint64, latency int) *Link {
 }
 
 // Beats returns the number of beats the message occupies on this link.
+//
+//skipit:hotpath
 func (l *Link) Beats(m Msg) int64 {
 	if m.Op.HasData() {
 		return int64(l.LineBytes / l.BeatBytes)
@@ -76,11 +78,15 @@ func (l *Link) Beats(m Msg) int64 {
 
 // CanSend reports whether the channel can accept the first beat of a new
 // message at cycle now.
+//
+//skipit:hotpath
 func (l *Link) CanSend(now int64) bool { return l.busyUntil <= now }
 
 // Send enqueues a message at cycle now. It reports false without side
 // effects when the channel is occupied; the caller must retry on a later
 // cycle, as hardware would hold valid high until ready.
+//
+//skipit:hotpath
 func (l *Link) Send(now int64, m Msg) bool {
 	if !l.CanSend(now) {
 		return false
@@ -98,13 +104,15 @@ func (l *Link) Send(now int64, m Msg) bool {
 	}
 	beats := l.Beats(m)
 	l.busyUntil = now + beats
-	l.q = append(l.q, inflight{msg: m, readyAt: now + beats + int64(l.Latency) + extra})
+	l.q = append(l.q, inflight{msg: m, readyAt: now + beats + int64(l.Latency) + extra}) //skipit:ignore hotalloc queue growth is amortized, capacity is bounded by channel occupancy
 	l.events++
 	return true
 }
 
 // Recv returns the oldest message that has fully arrived by cycle now, or
 // ok=false. Messages are delivered strictly in send order.
+//
+//skipit:hotpath
 func (l *Link) Recv(now int64) (Msg, bool) {
 	if len(l.q) == 0 || l.q[0].readyAt > now {
 		return Msg{}, false
@@ -124,6 +132,8 @@ func (l *Link) Recv(now int64) (Msg, bool) {
 // Peek is Recv without consuming the message. It consults the same chaos
 // stall predicate as Recv so that a Peek-then-Recv sequence within one cycle
 // sees consistent answers.
+//
+//skipit:hotpath
 func (l *Link) Peek(now int64) (Msg, bool) {
 	if len(l.q) == 0 || l.q[0].readyAt > now {
 		return Msg{}, false
@@ -142,6 +152,8 @@ func (l *Link) Peek(now int64) (Msg, bool) {
 // conservative answer that forbids skipping while a consumer could act.
 // Channel occupancy (busyUntil) is deliberately not an event: a sender
 // blocked on it is itself active and reports now+1 from its own NextEvent.
+//
+//skipit:hotpath
 func (l *Link) NextEvent(now int64) int64 {
 	if len(l.q) == 0 {
 		return NoEvent
@@ -204,6 +216,8 @@ func (p *ClientPort) Reset() {
 
 // NextEvent returns the earliest cycle after now at which any of the five
 // channels can deliver a message; NoEvent when the bundle is quiescent.
+//
+//skipit:hotpath
 func (p *ClientPort) NextEvent(now int64) int64 {
 	next := p.A.NextEvent(now)
 	if t := p.B.NextEvent(now); t < next {
