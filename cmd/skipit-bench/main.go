@@ -9,7 +9,7 @@
 //
 //	skipit-bench [-fig 9|10|...|16|ablations|all | comma list, e.g. -fig 9,13]
 //	             [-quick] [-csv] [-jobs N] [-out DIR] [-force]
-//	             [-baseline FILE] [-gate PCT] [-metrics-dir DIR]
+//	             [-baseline FILE] [-gate PCT] [-metrics-dir DIR] [-http ADDR]
 //
 // -quick shrinks sweep sizes and operation counts so the full set completes
 // in well under a minute; -csv emits machine-readable rows (figure,series,
@@ -39,8 +39,11 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"skipit/internal/bench"
+	"skipit/internal/introspect"
+	"skipit/internal/metrics"
 	"skipit/internal/sweep"
 )
 
@@ -148,6 +151,7 @@ func run() int {
 	baseline := flag.String("baseline", "", "baseline store file to gate against")
 	gate := flag.Float64("gate", 10, "regression tolerance in percent (with -baseline)")
 	metricsDir := flag.String("metrics-dir", "", "write per-figure metrics sidecar JSON files into this directory")
+	httpAddr := flag.String("http", "", "serve live sweep introspection on this address (e.g. localhost:6060; empty disables)")
 	fastForward := onOff(true)
 	flag.Var(&fastForward, "fast-forward", "next-event clock: on skips provably idle cycles, off single-steps (results are identical)")
 	flag.Parse()
@@ -210,6 +214,16 @@ func run() int {
 		Store:         store,
 		Force:         *force,
 		WithSnapshots: *metricsDir != "",
+	}
+	if *httpAddr != "" {
+		srv, err := introspect.New(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer srv.Close()
+		runner.Progress = sweepPublisher(srv, len(allJobs))
+		fmt.Fprintf(os.Stderr, "introspection server on http://%s (/metrics /snapshot /events)\n", srv.Addr())
 	}
 	results := runner.Run(allJobs)
 
@@ -294,6 +308,35 @@ func run() int {
 		fmt.Println("regression gate passed")
 	}
 	return exit
+}
+
+// sweepPublisher bridges the runner's progress callback onto the
+// introspection server: every job transition goes out as an SSE "sweep"
+// event, and a registry of sweep-level counters is published as a fresh
+// snapshot so /metrics and /snapshot track completion live. The callback
+// runs on worker goroutines; the counters are atomic and PublishSnapshot is
+// safe for concurrent use.
+func sweepPublisher(srv *introspect.Server, total int) func(sweep.ProgressEvent) {
+	reg := metrics.NewRegistry()
+	reg.Gauge("sweep", "jobs_total").Set(int64(total))
+	var published atomic.Int64
+	return func(ev sweep.ProgressEvent) {
+		switch ev.State {
+		case "done":
+			reg.Counter("sweep", "jobs_done").Inc()
+		case "cached":
+			reg.Counter("sweep", "jobs_cached").Inc()
+		case "failed":
+			reg.Counter("sweep", "jobs_failed").Inc()
+		case "running":
+			reg.Gauge("sweep", "jobs_running").Add(1)
+		}
+		if ev.State == "done" || ev.State == "failed" {
+			reg.Gauge("sweep", "jobs_running").Add(-1)
+		}
+		srv.PublishEvent("sweep", ev)
+		srv.PublishSnapshot(reg.Snapshot(published.Add(1)))
+	}
 }
 
 // renderRecord formats one human-readable result line.

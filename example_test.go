@@ -70,8 +70,10 @@ func Example_tracing() {
 	}
 	// Output:
 	// l1[0] store-miss
+	// l1[0] acquire
 	// l2 grant
 	// l1[0] grant
+	// l1[0] grant-ack
 	// flush[0] cbo-enqueue
 	// flush[0] fshr-alloc
 	// flush[0] root-release

@@ -87,6 +87,45 @@ func BenchmarkStep(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(cycles), "ns/cycle")
 }
 
+// BenchmarkStepRecorder is BenchmarkStep with the flight recorder armed: the
+// per-component rings record every coherence event on the hot path, and this
+// variant exists to prove (against the same committed baseline) that doing
+// so adds zero allocations per op — recording is a plain struct store into a
+// preallocated slot.
+func BenchmarkStepRecorder(b *testing.B) {
+	s := sim.New(sim.DefaultConfig(1))
+	s.SetFastForward(false)               // measure the honest per-cycle cost
+	s.EnableFlightRecorder(64)
+	runSteadyState(s, 2*len(steadyProgs)) // warm the pool and DRAM backing store
+	b.ReportAllocs()
+	b.ResetTimer()
+	cycles := int64(0)
+	for b.Loop() {
+		cycles += runSteadyState(s, 1)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(cycles), "ns/cycle")
+}
+
+// TestStepRecorderSteadyStateZeroAlloc is TestStepSteadyStateZeroAlloc with
+// the flight recorder armed: the same amortized budget must hold, proving
+// the recorder adds no per-event allocation.
+func TestStepRecorderSteadyStateZeroAlloc(t *testing.T) {
+	s := sim.New(sim.DefaultConfig(1))
+	s.EnableFlightRecorder(64)
+	runSteadyState(s, 2*len(steadyProgs)) // warm: pool, scratch slices, DRAM first-touch
+	var cycles int64
+	allocs := testing.AllocsPerRun(1, func() {
+		cycles = runSteadyState(s, 4)
+	})
+	if cycles == 0 {
+		t.Fatal("workload ran no cycles")
+	}
+	if perKCycle := allocs / float64(cycles) * 1000; perKCycle > 2 {
+		t.Fatalf("recorder-armed steady state allocates %.0f objects over %d cycles (%.1f per kcycle)",
+			allocs, cycles, perKCycle)
+	}
+}
+
 // BenchmarkRunFigure measures one real evaluation point (a Fig. 9 sweep,
 // 4 KiB / 1 thread) end to end, fast-forward clock on, as the sweep runner
 // executes it.

@@ -7,7 +7,13 @@ import (
 
 	"skipit/internal/isa"
 	"skipit/internal/sim"
+	"skipit/internal/trace"
 )
+
+// recorderDepth is the per-component flight-recorder ring depth armed for
+// every chaos run: enough history to see the transactions surrounding a
+// failure without bloating .chaos.json artifacts.
+const recorderDepth = 64
 
 // FailKind classifies a failing run.
 type FailKind string
@@ -32,6 +38,11 @@ type Failure struct {
 	Message string          `json:"message"`
 	Cycle   int64           `json:"cycle"`
 	Report  *sim.HangReport `json:"report,omitempty"` // hang/panic only
+	// FlightRecorder holds the per-component event-ring dump for failures
+	// without a HangReport (timeout, invariant, corruption); hang and panic
+	// failures carry the dump inside Report instead. Deterministic, so
+	// fast-forwarded and single-stepped replays produce identical dumps.
+	FlightRecorder []trace.RecDump `json:"flight_recorder,omitempty"`
 }
 
 func (f *Failure) Error() string {
@@ -168,6 +179,7 @@ func RunInput(in Input) (*Failure, Stats) {
 func runInput(in Input, fastForward bool) (*Failure, Stats) {
 	s := sim.New(sim.DefaultConfig(len(in.Progs)))
 	s.SetFastForward(fastForward)
+	s.EnableFlightRecorder(recorderDepth)
 	if in.WatchdogLimit > 0 {
 		s.ArmWatchdog(in.WatchdogLimit)
 	}
@@ -209,6 +221,9 @@ func runInput(in Input, fastForward bool) (*Failure, Stats) {
 	}
 	if fail == nil {
 		fail = checkValues(in.Progs, s)
+	}
+	if fail != nil && fail.Report == nil {
+		fail.FlightRecorder = s.FlightRecorder().Dump()
 	}
 	m := s.Metrics()
 	st := Stats{

@@ -22,6 +22,7 @@ type FlushUnit struct {
 	cfg   Config
 	ports CachePorts
 	tr    trace.Tracer
+	rec   *trace.Rec // flight recorder ring; nil records nothing
 	name  string
 
 	queue   []flushReq
@@ -86,6 +87,9 @@ func NewFlushUnit(cfg Config, ports CachePorts) *FlushUnit {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	if cfg.Txns == nil {
+		cfg.Txns = &trace.TxnSeq{}
+	}
 	u := &FlushUnit{
 		cfg:   cfg,
 		ports: ports,
@@ -101,6 +105,9 @@ func (u *FlushUnit) Config() Config { return u.cfg }
 
 // SetTracer attaches an event tracer (nil disables tracing).
 func (u *FlushUnit) SetTracer(t trace.Tracer) { u.tr = t }
+
+// SetRecorder attaches a flight-recorder ring (nil disables recording).
+func (u *FlushUnit) SetRecorder(r *trace.Rec) { u.rec = r }
 
 // Stats returns the activity counters as one struct, read back from the
 // metrics registry (thin view; see package metrics).
@@ -146,6 +153,9 @@ func (u *FlushUnit) Offer(now int64, addr uint64, clean bool, meta LineMeta) Off
 	if u.cfg.SkipIt && meta.Hit && !meta.Dirty && meta.Skip {
 		u.ctr.skipDropped.Inc()
 		trace.Emit(u.tr, now, u.name, "cbo-drop", addr, "redundant: skip bit set (§6.1)")
+		// Skip-audit: the primary §6.1 elimination — the CBO never becomes
+		// a transaction, so no txn id exists for it.
+		u.rec.Record(now, trace.RecSkipAudit, trace.CauseSkipBit, 0, addr, 0)
 		return OfferDropped
 	}
 
@@ -205,12 +215,14 @@ func (u *FlushUnit) Offer(now int64, addr uint64, clean bool, meta LineMeta) Off
 		isHit:   meta.Hit,
 		isDirty: meta.Hit && meta.Dirty,
 		isClean: clean,
+		txn:     u.cfg.Txns.Next(),
 	}
 	u.queue = append(u.queue, req)
 	u.counter++
 	u.ctr.enqueued.Inc()
+	u.rec.Record(now, trace.RecCboEnqueue, trace.CauseNone, req.txn, addr, uint64(len(u.queue)))
 	if u.tr != nil {
-		trace.Emit(u.tr, now, u.name, "cbo-enqueue", addr,
+		trace.EmitTxn(u.tr, now, u.name, "cbo-enqueue", req.txn, addr,
 			fmt.Sprintf("%s hit=%v dirty=%v depth=%d", req.kind(), req.isHit, req.isDirty, len(u.queue)))
 	}
 	return OfferAccepted
@@ -283,8 +295,9 @@ func (u *FlushUnit) Tick(now int64, probeRdy, wbRdy bool) {
 		copy(u.queue, u.queue[1:])
 		u.queue = u.queue[:len(u.queue)-1]
 		u.fshrs[i].allocate(head, now)
+		u.rec.Record(now, trace.RecFSHRAlloc, trace.CauseNone, head.txn, head.addr, uint64(i))
 		if u.tr != nil {
-			trace.Emit(u.tr, now, u.name, "fshr-alloc", head.addr,
+			trace.EmitTxn(u.tr, now, u.name, "fshr-alloc", head.txn, head.addr,
 				fmt.Sprintf("fshr=%d %s hit=%v dirty=%v", i, head.kind(), head.isHit, head.isDirty))
 		}
 		// Give the freshly allocated FSHR its first state's work this
@@ -336,8 +349,9 @@ func (u *FlushUnit) OnRootReleaseAck(now int64, addr uint64) {
 				u.ctr.skipBitsSet.Inc()
 			}
 		}
+		u.rec.Record(now, trace.RecFSHRAck, trace.CauseNone, f.req.txn, addr, uint64(now-f.allocAt))
 		if u.tr != nil {
-			trace.Emit(u.tr, now, u.name, "fshr-ack", addr, f.req.kind()+" complete")
+			trace.EmitTxn(u.tr, now, u.name, "fshr-ack", f.req.txn, addr, f.req.kind()+" complete")
 		}
 		u.ctr.flushLatency.Observe(uint64(now - f.allocAt))
 		f.state = FSHRInvalid

@@ -72,6 +72,9 @@ type flushReq struct {
 	isHit   bool
 	isDirty bool
 	isClean bool // CBO.CLEAN (vs CBO.FLUSH)
+	// txn is the transaction id assigned at enqueue; the whole CBO
+	// lifecycle — queue entry, FSHR, RootRelease, ack — shares it.
+	txn uint64
 }
 
 func (r flushReq) kind() string {
@@ -162,13 +165,18 @@ func (u *FlushUnit) stepFSHR(now int64, f *fshr) {
 			Source: u.cfg.Source,
 			Dirty:  true,
 			Data:   f.buffer,
+			Txn:    f.req.txn,
 		}
 		if u.ports.SendRootRelease(now, m) {
 			u.ctr.rootReleases.Inc()
 			u.ctr.dataWritebacks.Inc()
 			if u.tr != nil {
-				trace.Emit(u.tr, now, u.name, "root-release", f.req.addr, m.Op.String())
+				trace.EmitTxn(u.tr, now, u.name, "root-release", f.req.txn, f.req.addr, m.Op.String())
 			}
+			u.rec.Record(now, trace.RecRootRelease, trace.CauseDirtyLine, f.req.txn, f.req.addr, 1)
+			// Skip-audit: the line was dirty in L1, so this CBO issues a
+			// full data writeback.
+			u.rec.Record(now, trace.RecSkipAudit, trace.CauseDirtyLine, f.req.txn, f.req.addr, 1)
 			f.state = FSHRRootReleaseAck
 		} else {
 			u.ctr.stallLinkBusy.Inc()
@@ -180,12 +188,22 @@ func (u *FlushUnit) stepFSHR(now int64, f *fshr) {
 			Op:     rootReleaseOp(f.req.isClean, false),
 			Addr:   f.req.addr,
 			Source: u.cfg.Source,
+			Txn:    f.req.txn,
 		}
 		if u.ports.SendRootRelease(now, m) {
 			u.ctr.rootReleases.Inc()
 			if u.tr != nil {
-				trace.Emit(u.tr, now, u.name, "root-release", f.req.addr, m.Op.String())
+				trace.EmitTxn(u.tr, now, u.name, "root-release", f.req.txn, f.req.addr, m.Op.String())
 			}
+			u.rec.Record(now, trace.RecRootRelease, trace.CauseNone, f.req.txn, f.req.addr, 0)
+			// Skip-audit: no data travels from this L1 — either the line
+			// was clean here (the LLC decides whether anything is dirty
+			// below us) or a flush forced a data-less release.
+			cause := trace.CauseCleanLine
+			if !f.req.isClean {
+				cause = trace.CauseFlushForced
+			}
+			u.rec.Record(now, trace.RecSkipAudit, cause, f.req.txn, f.req.addr, 0)
 			f.state = FSHRRootReleaseAck
 		} else {
 			u.ctr.stallLinkBusy.Inc()

@@ -13,6 +13,7 @@ import (
 	"skipit/internal/linepool"
 	"skipit/internal/metrics"
 	"skipit/internal/tilelink"
+	"skipit/internal/trace"
 )
 
 // LineMeta is the cache-line bookkeeping a CBO.X request snapshots when it
@@ -89,6 +90,11 @@ type Config struct {
 	// forward from it, §5.3), so the FSHR — not the L2 — returns it to the
 	// pool. Nil degrades to plain allocation (unit tests).
 	Pool *linepool.Pool `json:"-"`
+	// Txns hands out coherence-transaction ids for CBO lifecycles (enqueue
+	// through RootReleaseAck); the embedding L1 injects the SoC-wide
+	// sequence. Nil gets a private sequence (standalone unit tests).
+	// Excluded from fingerprints: ids never change simulated behavior.
+	Txns *trace.TxnSeq `json:"-"`
 }
 
 // DefaultConfig returns the paper's configuration: 8-entry queue, 8 FSHRs,

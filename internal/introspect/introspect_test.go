@@ -1,0 +1,225 @@
+package introspect
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"skipit/internal/metrics"
+	"skipit/internal/trace"
+)
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, body
+}
+
+func testSnapshot() metrics.Snapshot {
+	r := metrics.NewRegistry()
+	r.Counter("l1[0]", "writebacks").Add(7)
+	r.Counter("l1[1]", "writebacks").Add(3)
+	r.Gauge("l2", "listbuffer_depth").Set(2)
+	r.Histogram("flush[0]", "latency", []uint64{10, 100}).Observe(42)
+	snap := r.Snapshot(1234)
+	snap.Derived["skip_rate"] = 0.5
+	snap.Derived["host_sim_cycles_per_sec"] = 1e6
+	return snap
+}
+
+func TestEndpointsBeforePublish(t *testing.T) {
+	s, err := New("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+	if code, _ := get(t, base+"/metrics"); code != http.StatusServiceUnavailable {
+		t.Errorf("/metrics before publish: status %d, want 503", code)
+	}
+	if code, _ := get(t, base+"/snapshot"); code != http.StatusServiceUnavailable {
+		t.Errorf("/snapshot before publish: status %d, want 503", code)
+	}
+	if code, _ := get(t, base+"/trace"); code != http.StatusNotFound {
+		t.Errorf("/trace without tracer: status %d, want 404", code)
+	}
+	if code, _ := get(t, base+"/recorder"); code != http.StatusNotFound {
+		t.Errorf("/recorder without recorder: status %d, want 404", code)
+	}
+	if code, body := get(t, base+"/"); code != http.StatusOK || !strings.Contains(string(body), "/metrics") {
+		t.Errorf("index: status %d body %q", code, body)
+	}
+}
+
+func TestSnapshotAndMetrics(t *testing.T) {
+	s, err := New("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.PublishSnapshot(testSnapshot())
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("/snapshot: status %d", code)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/snapshot: bad JSON: %v", err)
+	}
+	if snap.Cycle != 1234 || snap.Counters["l1[0].writebacks"] != 7 {
+		t.Errorf("/snapshot: cycle=%d counters=%v", snap.Cycle, snap.Counters)
+	}
+
+	code, body = get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"skipit_cycle 1234",
+		`skipit_l1_writebacks{instance="0"} 7`,
+		`skipit_l1_writebacks{instance="1"} 3`,
+		"skipit_l2_listbuffer_depth 2",
+		"skipit_derived_skip_rate 0.5",
+		`skipit_flush_latency_bucket{instance="0",le="100"} 1`,
+		`skipit_flush_latency_sum{instance="0"} 42`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics: missing %q in:\n%s", want, text)
+		}
+	}
+	// Every sample line must be "name value" or "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("/metrics: malformed sample line %q", line)
+		}
+	}
+}
+
+func TestTraceAndRecorderEndpoints(t *testing.T) {
+	s, err := New("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var sink bytes.Buffer
+	ct := trace.NewChromeTracer(&sink)
+	ct.Emit(trace.Event{Cycle: 5, Source: "l1[0]", Kind: "acquire", Addr: 0x1000, HasAddr: true, Txn: 1})
+	s.AttachChromeTrace(ct)
+
+	rec := trace.NewRecorder(8)
+	rec.Component("l1[0]").Record(5, trace.RecAcquire, trace.CauseNone, 1, 0x1000, 0)
+	s.AttachRecorder(rec)
+
+	base := "http://" + s.Addr()
+	code, body := get(t, base+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace: status %d", code)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/trace: bad JSON: %v", err)
+	}
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if id, ok := ev["id"].(string); ok && id == "txn1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("/trace: no txn1 span in %d events", len(doc.TraceEvents))
+	}
+
+	code, body = get(t, base+"/recorder")
+	if code != http.StatusOK {
+		t.Fatalf("/recorder: status %d", code)
+	}
+	var dump []trace.RecDump
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatalf("/recorder: bad JSON: %v", err)
+	}
+	if len(dump) != 1 || dump[0].Component != "l1[0]" || len(dump[0].Events) != 1 {
+		t.Errorf("/recorder: dump %+v", dump)
+	}
+}
+
+func TestEventsStream(t *testing.T) {
+	s, err := New("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	resp, err := http.Get("http://" + s.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/events: status %d", resp.StatusCode)
+	}
+
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+
+	// The subscriber registers before the handler's first flush reaches us;
+	// wait for the comment line so the publish below cannot race it.
+	waitFor := func(want string) string {
+		deadline := time.After(5 * time.Second)
+		for {
+			select {
+			case l, ok := <-lines:
+				if !ok {
+					t.Fatalf("stream closed waiting for %q", want)
+				}
+				if strings.Contains(l, want) {
+					return l
+				}
+			case <-deadline:
+				t.Fatalf("timed out waiting for %q", want)
+			}
+		}
+	}
+	waitFor(": connected")
+	s.PublishSnapshot(testSnapshot())
+	waitFor("event: snapshot")
+	data := waitFor("data: ")
+	var payload map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimPrefix(data, "data: ")), &payload); err != nil {
+		t.Fatalf("bad event payload %q: %v", data, err)
+	}
+	if payload["cycle"] != float64(1234) {
+		t.Errorf("payload = %v, want cycle 1234", payload)
+	}
+
+	s.PublishEvent("sweep", map[string]any{"name": "fig09/x", "state": "done"})
+	waitFor("event: sweep")
+}

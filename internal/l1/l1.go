@@ -81,6 +81,11 @@ type Config struct {
 	// Pool recycles line buffers for writebacks, probe downgrades and FSHR
 	// fills; the embedded flush unit inherits it. Nil disables pooling.
 	Pool *linepool.Pool `json:"-"`
+	// Txns hands out coherence-transaction ids; sim.New injects the SoC-wide
+	// sequence and the embedded flush unit inherits it. Nil gets a private
+	// sequence (standalone unit tests). Excluded from fingerprints: ids are
+	// observational and never change simulated behavior.
+	Txns *trace.TxnSeq `json:"-"`
 }
 
 // DefaultConfig returns the SonicBOOM L1: 32 KiB, 8-way, 64 B lines
@@ -219,6 +224,7 @@ type DCache struct {
 	respScratch []Resp
 
 	tr   trace.Tracer
+	rec  *trace.Rec // flight recorder ring; nil records nothing
 	name string
 
 	acceptedThisCycle int
@@ -241,6 +247,9 @@ func New(cfg Config, port *tilelink.ClientPort) *DCache {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	if cfg.Txns == nil {
+		cfg.Txns = &trace.TxnSeq{}
+	}
 	d := &DCache{cfg: cfg, port: port, name: fmt.Sprintf("l1[%d]", cfg.Source)}
 	d.ctr = newL1Counters(reg, d.name)
 	d.meta = make([][]wayMeta, cfg.Sets)
@@ -258,6 +267,7 @@ func New(cfg Config, port *tilelink.ClientPort) *DCache {
 	fcfg.Source = cfg.Source
 	fcfg.Metrics = reg
 	fcfg.Pool = cfg.Pool
+	fcfg.Txns = cfg.Txns
 	d.flush = core.NewFlushUnit(fcfg, (*flushPorts)(d))
 	return d
 }
@@ -296,6 +306,11 @@ func (d *DCache) SetTracer(t trace.Tracer) {
 	d.tr = t
 	d.flush.SetTracer(t)
 }
+
+// SetRecorder attaches a flight-recorder ring to the cache (nil disables
+// recording). The embedded flush unit has its own ring; wire it via
+// FlushUnit().SetRecorder.
+func (d *DCache) SetRecorder(r *trace.Rec) { d.rec = r }
 
 // Flushing mirrors the §5.3 fence gate: true while CBO.X requests are
 // pending anywhere in the flush unit.

@@ -32,6 +32,7 @@ type mshr struct {
 	addr  uint64 // line-aligned
 	grow  tilelink.Grow
 	rpq   []Req
+	txn   uint64 // transaction id of the miss's Acquire→Grant→GrantAck chain
 
 	// Grant payload, held until install.
 	grantData  []byte
@@ -103,10 +104,14 @@ func (d *DCache) freeMSHR(now int64) *mshr {
 
 // allocMSHR sets up a new miss. The growth parameter depends on the request
 // kind and whether a read-only copy is already held (store upgrade).
-func (d *DCache) allocMSHR(m *mshr, req Req) {
+//
+//skipit:hotpath
+func (d *DCache) allocMSHR(now int64, m *mshr, req Req) {
 	addr := d.lineAddr(req.Addr)
 	grow := tilelink.GrowNtoB
+	code := trace.RecLoadMiss
 	if req.Kind == Store || req.Kind.IsAmo() {
+		code = trace.RecStoreMiss
 		grow = tilelink.GrowNtoT
 		if meta := d.lookup(addr); meta != nil && meta.perm == tilelink.PermBranch {
 			grow = tilelink.GrowBtoT
@@ -114,8 +119,9 @@ func (d *DCache) allocMSHR(m *mshr, req Req) {
 	}
 	// Reuse the replay queue's backing array across the MSHR's lifetimes;
 	// the steady-state cycle loop must not allocate.
-	rpq := append(m.rpq[:0], req)
-	*m = mshr{state: mSendAcquire, addr: addr, grow: grow, rpq: rpq, way: -1}
+	rpq := append(m.rpq[:0], req) //skipit:ignore hotalloc appends one Req to a zero-length reslice of the MSHR's reused backing array; grows once per MSHR lifetime
+	*m = mshr{state: mSendAcquire, addr: addr, grow: grow, rpq: rpq, way: -1, txn: d.cfg.Txns.Next()}
+	d.rec.Record(now, code, trace.CauseNone, m.txn, addr, 0)
 }
 
 // release frees the MSHR, keeping the replay queue's backing array for reuse.
@@ -142,7 +148,12 @@ func (d *DCache) tickMSHR(now int64, m *mshr) {
 			Addr:   m.addr,
 			Source: d.cfg.Source,
 			Grow:   m.grow,
+			Txn:    m.txn,
 		}) {
+			if d.tr != nil {
+				trace.EmitTxn(d.tr, now, d.name, "acquire", m.txn, m.addr, m.grow.String())
+			}
+			d.rec.Record(now, trace.RecAcquire, trace.CauseNone, m.txn, m.addr, 0)
 			m.state = mWaitGrant
 		}
 
@@ -179,7 +190,11 @@ func (d *DCache) tickMSHR(now int64, m *mshr) {
 		d.replay(now, m, req)
 
 	case mGrantAck:
-		if d.port.E.Send(now, tilelink.Msg{Op: tilelink.OpGrantAck, Addr: m.addr, Source: d.cfg.Source}) {
+		if d.port.E.Send(now, tilelink.Msg{Op: tilelink.OpGrantAck, Addr: m.addr, Source: d.cfg.Source, Txn: m.txn}) {
+			if d.tr != nil {
+				trace.EmitTxn(d.tr, now, d.name, "grant-ack", m.txn, m.addr, "")
+			}
+			d.rec.Record(now, trace.RecGrantAck, trace.CauseNone, m.txn, m.addr, 0)
 			m.release()
 		}
 	}
@@ -195,8 +210,14 @@ func (d *DCache) onGrant(now int64, msg tilelink.Msg) {
 	m.grantCap = msg.Cap
 	m.grantDirty = msg.Op == tilelink.OpGrantDataDirty
 	if d.tr != nil {
-		trace.Emit(d.tr, now, d.name, "grant", m.addr,
+		trace.EmitTxn(d.tr, now, d.name, "grant", m.txn, m.addr,
 			fmt.Sprintf("%v cap=%v (skip=%v)", msg.Op, msg.Cap, !m.grantDirty))
+	}
+	d.rec.Record(now, trace.RecGrant, trace.CauseNone, m.txn, m.addr, 0)
+	if m.grantDirty {
+		// Skip-audit: the line arrived dirty-in-L2, so the skip bit stays
+		// unset and a future CBO on this line cannot be elided (§6).
+		d.rec.Record(now, trace.RecSkipAudit, trace.CauseGrantDataDirty, m.txn, m.addr, 0)
 	}
 	m.state = mVictim
 	d.tickVictim(now, m)
@@ -254,10 +275,14 @@ func (d *DCache) tickVictim(now int64, m *mshr) {
 	// line it evicts.
 	d.flush.EvictInvalidate(victimAddr)
 	d.clearPoison(victimAddr)
-	d.wb.start(d.cfg.Pool, victimAddr, d.data[set][best], meta.dirty, meta.perm)
+	// The eviction's Release→ReleaseAck chain is its own transaction,
+	// distinct from the Acquire that triggered it.
+	wbTxn := d.cfg.Txns.Next()
+	d.wb.start(d.cfg.Pool, victimAddr, d.data[set][best], meta.dirty, meta.perm, wbTxn)
 	d.ctr.writebacks.Inc()
+	d.rec.Record(now, trace.RecEvict, trace.CauseNone, wbTxn, victimAddr, 0)
 	if d.tr != nil {
-		trace.Emit(d.tr, now, d.name, "evict", victimAddr,
+		trace.EmitTxn(d.tr, now, d.name, "evict", wbTxn, victimAddr,
 			fmt.Sprintf("dirty=%v for refill of %#x", meta.dirty, m.addr))
 	}
 	meta.valid = false

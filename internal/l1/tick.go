@@ -82,7 +82,7 @@ func (d *DCache) sinkD(now int64) {
 		case tilelink.OpGrant, tilelink.OpGrantData, tilelink.OpGrantDataDirty:
 			d.onGrant(now, msg)
 		case tilelink.OpReleaseAck:
-			d.onReleaseAck(msg)
+			d.onReleaseAck(now, msg)
 		case tilelink.OpRootReleaseAck:
 			d.flush.OnRootReleaseAck(now, msg.Addr)
 		default:
@@ -224,7 +224,7 @@ func (d *DCache) processCflushDL1(now int64, req Req, lineAddr uint64) {
 	d.clearPoison(lineAddr)
 	way := d.findWay(lineAddr, true)
 	set := d.index(lineAddr)
-	d.wb.start(d.cfg.Pool, lineAddr, d.data[set][way], meta.dirty, meta.perm)
+	d.wb.start(d.cfg.Pool, lineAddr, d.data[set][way], meta.dirty, meta.perm, d.cfg.Txns.Next())
 	d.ctr.writebacks.Inc()
 	meta.valid = false
 	meta.dirty = false
@@ -361,7 +361,7 @@ func (d *DCache) missPath(now int64, req Req, lineAddr uint64) {
 		d.nack(now, req, d.ctr.nackMSHRFull)
 		return
 	}
-	d.allocMSHR(m, req)
+	d.allocMSHR(now, m, req)
 	if req.Kind == Store {
 		d.respond(now+int64(d.cfg.HitLatency), Resp{ID: req.ID})
 	}

@@ -17,6 +17,7 @@ type wbUnit struct {
 	data  []byte
 	dirty bool
 	perm  tilelink.Perm
+	txn   uint64 // transaction id of the Release→ReleaseAck chain
 }
 
 type wbState uint8
@@ -32,13 +33,14 @@ func (w *wbUnit) idle() bool { return w.state == wbIdle }
 // start snapshots an eviction. Only a dirty line's data travels with the
 // Release, so only that case draws a (pooled) buffer; a clean Release carries
 // no payload and needs no copy at all.
-func (w *wbUnit) start(pool *linepool.Pool, addr uint64, data []byte, dirty bool, perm tilelink.Perm) {
+func (w *wbUnit) start(pool *linepool.Pool, addr uint64, data []byte, dirty bool, perm tilelink.Perm, txn uint64) {
 	if w.state != wbIdle {
 		panic("l1: writeback unit double start")
 	}
 	w.addr = addr
 	w.dirty = dirty
 	w.perm = perm
+	w.txn = txn
 	w.data = nil
 	if dirty {
 		w.data = pool.Get(len(data))
@@ -53,21 +55,31 @@ func (d *DCache) tickWB(now int64) {
 		return
 	}
 	shrink := tilelink.ShrinkFor(w.perm, tilelink.PermNone)
-	msg := tilelink.Msg{Op: tilelink.OpRelease, Addr: w.addr, Source: d.cfg.Source, Shrink: shrink}
+	msg := tilelink.Msg{Op: tilelink.OpRelease, Addr: w.addr, Source: d.cfg.Source, Shrink: shrink, Txn: w.txn}
+	dirtyArg := uint64(0)
 	if w.dirty {
 		msg.Op = tilelink.OpReleaseData
 		msg.Data = w.data
+		dirtyArg = 1
 	}
 	if d.port.C.Send(now, msg) {
+		if d.tr != nil {
+			trace.EmitTxn(d.tr, now, d.name, "release", w.txn, w.addr, msg.Op.String())
+		}
+		d.rec.Record(now, trace.RecRelease, trace.CauseNone, w.txn, w.addr, dirtyArg)
 		w.state = wbWaitAck
 	}
 }
 
 // onReleaseAck completes the in-flight eviction.
-func (d *DCache) onReleaseAck(msg tilelink.Msg) {
+func (d *DCache) onReleaseAck(now int64, msg tilelink.Msg) {
 	if d.wb.state != wbWaitAck || d.wb.addr != msg.Addr {
 		panic(fmt.Sprintf("l1[%d]: stray ReleaseAck %#x", d.cfg.Source, msg.Addr))
 	}
+	if d.tr != nil {
+		trace.EmitTxn(d.tr, now, d.name, "release-ack", d.wb.txn, d.wb.addr, "")
+	}
+	d.rec.Record(now, trace.RecReleaseAck, trace.CauseNone, d.wb.txn, d.wb.addr, 0)
 	d.wb = wbUnit{}
 }
 
@@ -131,7 +143,7 @@ func (d *DCache) tickProbe(now int64) {
 
 	case pInvalFlushQ:
 		// Second cycle: downgrade the line and build the response.
-		p.resp = d.buildProbeAck(p.cur)
+		p.resp = d.buildProbeAck(now, p.cur)
 		p.state = pRespond
 		d.tickProbe2(now)
 
@@ -147,8 +159,9 @@ func (d *DCache) tickProbe2(now int64) {
 	}
 	if d.port.C.Send(now, p.resp) {
 		d.ctr.probesServed.Inc()
+		d.rec.Record(now, trace.RecProbeAck, trace.CauseNone, p.resp.Txn, p.resp.Addr, 0)
 		if d.tr != nil {
-			trace.Emit(d.tr, now, d.name, "probe-ack", p.resp.Addr, p.resp.Op.String())
+			trace.EmitTxn(d.tr, now, d.name, "probe-ack", p.resp.Txn, p.resp.Addr, p.resp.Op.String())
 		}
 		p.state = pIdle
 		p.cur = tilelink.Msg{}
@@ -161,7 +174,7 @@ func (d *DCache) tickProbe2(now int64) {
 // surrenders it. Surrendering dirty data to a toB probe leaves our copy
 // clean while making L2 dirty, so the skip bit is cleared to preserve the
 // §6.2 invariant.
-func (d *DCache) buildProbeAck(probe tilelink.Msg) tilelink.Msg {
+func (d *DCache) buildProbeAck(now int64, probe tilelink.Msg) tilelink.Msg {
 	addr := probe.Addr
 	meta := d.lookup(addr)
 	if meta == nil {
@@ -170,6 +183,7 @@ func (d *DCache) buildProbeAck(probe tilelink.Msg) tilelink.Msg {
 			Addr:   addr,
 			Source: d.cfg.Source,
 			Shrink: tilelink.ShrinkNtoN,
+			Txn:    probe.Txn,
 		}
 	}
 	from := meta.perm
@@ -181,10 +195,11 @@ func (d *DCache) buildProbeAck(probe tilelink.Msg) tilelink.Msg {
 			Addr:   addr,
 			Source: d.cfg.Source,
 			Shrink: tilelink.ShrinkFor(from, from),
+			Txn:    probe.Txn,
 		}
 	}
 	shrink := tilelink.ShrinkFor(from, to)
-	msg := tilelink.Msg{Op: tilelink.OpProbeAck, Addr: addr, Source: d.cfg.Source, Shrink: shrink}
+	msg := tilelink.Msg{Op: tilelink.OpProbeAck, Addr: addr, Source: d.cfg.Source, Shrink: shrink, Txn: probe.Txn}
 	if meta.dirty {
 		way := d.findWay(addr, true)
 		set := d.index(addr)
@@ -205,6 +220,9 @@ func (d *DCache) buildProbeAck(probe tilelink.Msg) tilelink.Msg {
 			// L2 is now the dirty holder; our clean copy is not
 			// persisted (§6.2 case 3 boundary).
 			meta.skip = false
+			// Skip-audit: the surrendered data clears the skip bit, so a
+			// future CBO on this line will issue again.
+			d.rec.Record(now, trace.RecSkipAudit, trace.CauseDataSurrendered, probe.Txn, addr, 0)
 		}
 	}
 	return msg

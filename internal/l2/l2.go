@@ -159,6 +159,7 @@ type Cache struct {
 	outD [][]tilelink.Msg
 
 	tr  trace.Tracer
+	rec *trace.Rec // flight recorder ring; nil records nothing
 	ctr l2Counters
 
 	chaos Chaos // nil unless a fault schedule is armed
@@ -242,6 +243,9 @@ func (c *Cache) Stats() Stats {
 
 // SetTracer attaches an event tracer (nil disables tracing).
 func (c *Cache) SetTracer(t trace.Tracer) { c.tr = t }
+
+// SetRecorder attaches a flight-recorder ring (nil disables recording).
+func (c *Cache) SetRecorder(r *trace.Rec) { c.rec = r }
 
 func (c *Cache) index(addr uint64) int {
 	return int((addr / c.cfg.LineBytes) % uint64(c.cfg.Sets))

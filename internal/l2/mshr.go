@@ -39,6 +39,10 @@ type mshr struct {
 	addr   uint64
 	client int
 	since  int64 // cycle the MSHR may begin work (tag pipeline latency)
+	// txn is the initiating client's transaction id, echoed on every probe,
+	// grant, ack and memory request this MSHR issues so the whole chain
+	// shares one causal span. Eviction sub-actions inherit it.
+	txn uint64
 
 	// Acquire fields.
 	grow tilelink.Grow
@@ -131,6 +135,7 @@ func (c *Cache) sendProbe(m *mshr, client int, addr uint64, cap tilelink.Cap) {
 		Op:   tilelink.OpProbe,
 		Addr: addr,
 		Cap:  cap,
+		Txn:  m.txn,
 	})
 	m.pendingProbes++
 	c.ctr.probesSent.Inc()
@@ -210,12 +215,13 @@ func (c *Cache) probeForAcquire(m *mshr, l *line) {
 // revocation happen even if the requesting core did not possess the line.
 func (c *Cache) startRootRelease(now int64, m *mshr) {
 	c.ctr.rootReleases.Inc()
+	c.rec.Record(now, trace.RecRootRelease, trace.CauseNone, m.txn, m.addr, uint64(m.client))
 	if c.tr != nil {
 		kind := "flush"
 		if m.clean {
 			kind = "clean"
 		}
-		trace.Emit(c.tr, now, "l2", "root-release", m.addr,
+		trace.EmitTxn(c.tr, now, "l2", "root-release", m.txn, m.addr,
 			fmt.Sprintf("%s from client %d", kind, m.client))
 	}
 	l := c.lookup(m.addr)
@@ -225,10 +231,11 @@ func (c *Cache) startRootRelease(now int64, m *mshr) {
 			// arrived after the L2 dropped the line, so it never
 			// reached the BankedStore. It is the freshest copy —
 			// write it through to DRAM before acknowledging.
-			trace.Emit(c.tr, now, "l2", "root-release-race", m.addr,
+			trace.EmitTxn(c.tr, now, "l2", "root-release-race", m.txn, m.addr,
 				"line evicted in flight; writing carried data to DRAM")
+			c.rec.Record(now, trace.RecSkipAudit, trace.CauseDirtyLine, m.txn, m.addr, 1)
 			m.state = msMemWrite
-			if c.mem.Submit(now, mem.Request{Kind: mem.Write, Addr: m.addr, Data: m.wbData, Tag: c.mshrIndex(m)}) {
+			if c.mem.Submit(now, mem.Request{Kind: mem.Write, Addr: m.addr, Data: m.wbData, Tag: c.mshrIndex(m), Txn: m.txn}) {
 				c.ctr.memWrites.Inc()
 				m.memSubmitted = true
 			} else {
@@ -240,6 +247,8 @@ func (c *Cache) startRootRelease(now int64, m *mshr) {
 		// anywhere, so DRAM already holds the authoritative data.
 		// Acknowledge immediately (the §5.5 trivial skip).
 		c.ctr.rootReleaseSkips.Inc()
+		// Skip-audit: no LLC copy, nothing to write back.
+		c.rec.Record(now, trace.RecSkipAudit, trace.CauseMissNoCopy, m.txn, m.addr, 0)
 		m.state = msFinish
 		return
 	}
@@ -288,14 +297,19 @@ func (c *Cache) rootReleaseWriteback(now int64, m *mshr) {
 	l := c.lookup(m.addr)
 	if l == nil || !l.dirty {
 		c.ctr.rootReleaseSkips.Inc()
-		trace.Emit(c.tr, now, "l2", "trivial-skip", m.addr, "line clean in LLC (§5.5)")
+		trace.EmitTxn(c.tr, now, "l2", "trivial-skip", m.txn, m.addr, "line clean in LLC (§5.5)")
+		// Skip-audit: the §5.5 trivial skip — clean in the LLC, no DRAM
+		// write issued.
+		c.rec.Record(now, trace.RecSkipAudit, trace.CauseCleanLine, m.txn, m.addr, 0)
 		c.finishRootRelease(m)
 		return
 	}
 	data := c.cfg.Pool.Get(int(c.cfg.LineBytes))
 	copy(data, l.data)
 	m.state = msMemWrite
-	if c.mem.Submit(now, mem.Request{Kind: mem.Write, Addr: m.addr, Data: data, Tag: c.mshrIndex(m)}) {
+	// Skip-audit: dirty in the LLC — the flush issues a real DRAM write.
+	c.rec.Record(now, trace.RecSkipAudit, trace.CauseDirtyLine, m.txn, m.addr, 1)
+	if c.mem.Submit(now, mem.Request{Kind: mem.Write, Addr: m.addr, Data: data, Tag: c.mshrIndex(m), Txn: m.txn}) {
 		c.ctr.memWrites.Inc()
 		m.memSubmitted = true
 	} else {
@@ -330,7 +344,7 @@ func (c *Cache) finishEvict(now int64, m *mshr) {
 		data := c.cfg.Pool.Get(int(c.cfg.LineBytes))
 		copy(data, v.data)
 		m.state = msEvictMemWrite
-		if c.mem.Submit(now, mem.Request{Kind: mem.Write, Addr: victimAddr, Data: data, Tag: c.mshrIndex(m)}) {
+		if c.mem.Submit(now, mem.Request{Kind: mem.Write, Addr: victimAddr, Data: data, Tag: c.mshrIndex(m), Txn: m.txn}) {
 			c.ctr.memWrites.Inc()
 			m.memSubmitted = true
 		} else {
@@ -348,7 +362,7 @@ func (c *Cache) finishEvict(now int64, m *mshr) {
 // controller is busy).
 func (c *Cache) submitMemRead(now int64, m *mshr) {
 	m.state = msMemRead
-	if c.mem.Submit(now, mem.Request{Kind: mem.Read, Addr: m.addr, Tag: c.mshrIndex(m)}) {
+	if c.mem.Submit(now, mem.Request{Kind: mem.Read, Addr: m.addr, Tag: c.mshrIndex(m), Txn: m.txn}) {
 		c.ctr.memReads.Inc()
 		m.memSubmitted = true
 	} else {
@@ -370,14 +384,17 @@ func (c *Cache) sendGrant(now int64, m *mshr) {
 		c.eccRestore(now, l, m.addr)
 	}
 	op := tilelink.OpGrantData
+	dirtyArg := uint64(0)
 	if l.dirty {
 		op = tilelink.OpGrantDataDirty
 		c.ctr.grantsDataDirty.Inc()
+		dirtyArg = 1
 	} else {
 		c.ctr.grantsData.Inc()
 	}
+	c.rec.Record(now, trace.RecGrant, trace.CauseNone, m.txn, m.addr, dirtyArg)
 	if c.tr != nil {
-		trace.Emit(c.tr, now, "l2", "grant", m.addr,
+		trace.EmitTxn(c.tr, now, "l2", "grant", m.txn, m.addr,
 			fmt.Sprintf("%v to client %d", op, m.client))
 	}
 	capTo := tilelink.CapToT
@@ -391,6 +408,7 @@ func (c *Cache) sendGrant(now int64, m *mshr) {
 		Addr: m.addr,
 		Cap:  capTo,
 		Data: data,
+		Txn:  m.txn,
 	})
 	l.perms[m.client] = capTo.Perm()
 	l.lastUsed = now

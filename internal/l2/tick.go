@@ -251,7 +251,7 @@ func (c *Cache) onRelease(now int64, cl int, msg tilelink.Msg) {
 		c.cfg.Pool.Put(msg.Data)
 	}
 	l.lastUsed = now
-	c.outD[cl] = append(c.outD[cl], tilelink.Msg{Op: tilelink.OpReleaseAck, Addr: msg.Addr})
+	c.outD[cl] = append(c.outD[cl], tilelink.Msg{Op: tilelink.OpReleaseAck, Addr: msg.Addr, Txn: msg.Txn})
 }
 
 // sinkA ingests Acquire requests, allocating an MSHR or buffering.
@@ -310,7 +310,7 @@ func (c *Cache) retryListBuffer(now int64) {
 			kept = append(kept, b)
 			continue
 		}
-		*m = mshr{state: msStart, addr: b.msg.Addr, client: b.client, since: now}
+		*m = mshr{state: msStart, addr: b.msg.Addr, client: b.client, since: now, txn: b.msg.Txn}
 		if b.msg.Op == tilelink.OpAcquireBlock {
 			m.kind = txnAcquire
 			m.grow = b.msg.Grow
@@ -373,7 +373,7 @@ func (c *Cache) maybeFinish(m *mshr) {
 	if m.state != msFinish {
 		return
 	}
-	c.outD[m.client] = append(c.outD[m.client], tilelink.Msg{Op: tilelink.OpRootReleaseAck, Addr: m.addr})
+	c.outD[m.client] = append(c.outD[m.client], tilelink.Msg{Op: tilelink.OpRootReleaseAck, Addr: m.addr, Txn: m.txn})
 	*m = mshr{}
 }
 
@@ -399,7 +399,7 @@ func (c *Cache) resubmitWrite(now int64, m *mshr) {
 	} else {
 		panic("l2: write retry for absent line")
 	}
-	if c.mem.Submit(now, mem.Request{Kind: mem.Write, Addr: addr, Data: data, Tag: c.mshrIndex(m)}) {
+	if c.mem.Submit(now, mem.Request{Kind: mem.Write, Addr: addr, Data: data, Tag: c.mshrIndex(m), Txn: m.txn}) {
 		c.ctr.memWrites.Inc()
 		m.memSubmitted = true
 	} else if l != nil {

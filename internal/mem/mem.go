@@ -16,6 +16,7 @@ import (
 
 	"skipit/internal/linepool"
 	"skipit/internal/metrics"
+	"skipit/internal/trace"
 )
 
 // noEvent mirrors tilelink.NoEvent without importing it: the sentinel for "no
@@ -74,6 +75,9 @@ type Request struct {
 	Addr uint64
 	Data []byte // nil for reads
 	Tag  int
+	// Txn is the coherence-transaction id that caused this memory
+	// operation, echoed for observability only; 0 means unattributed.
+	Txn uint64
 }
 
 // Response completes a Request. Data is the line contents for reads and nil
@@ -123,7 +127,12 @@ type Memory struct {
 	done       []Response
 	nextAccept int64
 	ctr        memCounters
+	rec        *trace.Rec
 }
+
+// SetRecorder attaches a flight-recorder ring; read/write retirements are
+// recorded into it. Nil (the default) records nothing.
+func (m *Memory) SetRecorder(r *trace.Rec) { m.rec = r }
 
 // New returns an empty memory with the given configuration.
 func New(cfg Config) *Memory {
@@ -193,11 +202,13 @@ func (m *Memory) Tick(now int64) {
 		case Read:
 			line := m.cfg.Pool.Get(int(m.cfg.LineBytes))
 			copy(line, m.line(p.req.Addr))
+			m.rec.Record(now, trace.RecMemRead, trace.CauseNone, p.req.Txn, p.req.Addr, 0)
 			m.done = append(m.done, Response{Kind: Read, Addr: p.req.Addr, Data: line, Tag: p.req.Tag})
 		case Write:
 			copy(m.line(p.req.Addr), p.req.Data)
 			// The write payload's transaction retires here: recycle it.
 			m.cfg.Pool.Put(p.req.Data)
+			m.rec.Record(now, trace.RecMemWrite, trace.CauseNone, p.req.Txn, p.req.Addr, 0)
 			m.done = append(m.done, Response{Kind: Write, Addr: p.req.Addr, Tag: p.req.Tag})
 		}
 	}

@@ -14,10 +14,36 @@
 package metrics
 
 import (
+	"fmt"
+	"regexp"
 	"sort"
 	"sync"
 	"sync/atomic"
 )
+
+// Instrument keys must be mechanically convertible to valid Prometheus
+// exposition-format metric names (see WritePrometheus): lower_snake
+// components with an optional numeric instance index, and dot-separated
+// lower_snake metric names. These are the same rules the skipit-vet
+// metricname analyzer enforces statically on call sites with literal
+// arguments; the runtime check below catches computed names the analyzer
+// cannot see.
+var (
+	componentRE = regexp.MustCompile(`^[a-z0-9_]+(\[[0-9]+\])?$`)
+	nameRE      = regexp.MustCompile(`^[a-z0-9_]+(\.[a-z0-9_]+)*$`)
+)
+
+// validateKey panics on an instrument key that could not be exposed as a
+// Prometheus metric. It runs only on the create path of the get-or-create
+// methods, so steady-state lookups never pay for the regexes.
+func validateKey(kind, component, name string) {
+	if !componentRE.MatchString(component) {
+		panic(fmt.Sprintf("metrics: %s component %q invalid (want lower_snake with optional [index], e.g. \"l1[0]\")", kind, component))
+	}
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("metrics: %s name %q invalid (want dot-separated lower_snake, e.g. \"writebacks\" or \"inflight.depth\")", kind, name))
+	}
+}
 
 // Counter is a monotonically increasing event count (an HPM event counter).
 type Counter struct {
@@ -199,6 +225,7 @@ func (r *Registry) Counter(component, name string) *Counter {
 	defer r.mu.Unlock()
 	c, ok := r.counters[k]
 	if !ok {
+		validateKey("counter", component, name)
 		c = &Counter{}
 		r.counters[k] = c
 	}
@@ -212,6 +239,7 @@ func (r *Registry) Gauge(component, name string) *Gauge {
 	defer r.mu.Unlock()
 	g, ok := r.gauges[k]
 	if !ok {
+		validateKey("gauge", component, name)
 		g = &Gauge{}
 		r.gauges[k] = g
 	}
@@ -227,6 +255,7 @@ func (r *Registry) Histogram(component, name string, bounds []uint64) *Histogram
 	defer r.mu.Unlock()
 	h, ok := r.hists[k]
 	if !ok {
+		validateKey("histogram", component, name)
 		h = newHistogram(bounds)
 		r.hists[k] = h
 	}

@@ -197,3 +197,57 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 		t.Fatalf("histogram lost: %+v", back.Histograms)
 	}
 }
+
+// TestKeyValidation pins the registration-time guard: any component or name
+// that could not be rendered as a legal Prometheus series (see prom.go and
+// the skipit-vet metricname analyzer) must panic at the instrument's creation
+// site, not surface later as a scrape error.
+func TestKeyValidation(t *testing.T) {
+	valid := [][2]string{
+		{"l1[0]", "writebacks"},
+		{"l2", "listbuffer.depth"},
+		{"flush[12]", "latency"},
+		{"mem", "read_hits"},
+	}
+	for _, kv := range valid {
+		r := NewRegistry()
+		r.Counter(kv[0], kv[1])             //skipit:ignore metricname validation test exercises the runtime guard with table-driven keys
+		r.Gauge(kv[0], kv[1]+".g")          //skipit:ignore metricname validation test exercises the runtime guard with table-driven keys
+		r.Histogram(kv[0], kv[1]+".h", nil) //skipit:ignore metricname validation test exercises the runtime guard with table-driven keys
+	}
+
+	invalid := [][2]string{
+		{"L1", "writebacks"},     // uppercase component
+		{"l1[x]", "writebacks"},  // non-numeric instance
+		{"l1[0]x", "writebacks"}, // trailing junk after instance
+		{"", "writebacks"},       // empty component
+		{"l1[0]", "Writebacks"},  // uppercase name
+		{"l1[0]", "foo-bar"},     // dash in name
+		{"l1[0]", ".loads"},      // leading dot
+		{"l1[0]", "loads."},      // trailing dot
+		{"l1[0]", ""},            // empty name
+	}
+	mustPanic := func(component, name string, create func(*Registry)) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("component=%q name=%q: expected panic, got none", component, name)
+			}
+		}()
+		create(NewRegistry())
+	}
+	for _, kv := range invalid {
+		component, name := kv[0], kv[1]
+		mustPanic(component, name, func(r *Registry) { r.Counter(component, name) })        //skipit:ignore metricname validation test feeds deliberately bad keys
+		mustPanic(component, name, func(r *Registry) { r.Gauge(component, name) })          //skipit:ignore metricname validation test feeds deliberately bad keys
+		mustPanic(component, name, func(r *Registry) { r.Histogram(component, name, nil) }) //skipit:ignore metricname validation test feeds deliberately bad keys
+	}
+
+	// The guard runs only on the create branch: a steady-state lookup of an
+	// existing instrument must not re-validate (hot-path cost is a map hit).
+	r := NewRegistry()
+	c := r.Counter("l1[0]", "loads")
+	if r.Counter("l1[0]", "loads") != c {
+		t.Fatal("lookup created a new instrument")
+	}
+}

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file renders a Snapshot in the Prometheus text exposition format
+// (version 0.0.4), for the introspection server's /metrics endpoint.
+//
+// Registry keys are mechanically rewritten into valid Prometheus names —
+// guaranteed to succeed because validateKey enforces the input grammar at
+// registration time:
+//
+//	"l1[0].writebacks"  ->  skipit_l1_writebacks{instance="0"}
+//	"mem.inflight.depth" -> skipit_mem_inflight_depth
+//
+// Instance indices become an "instance" label so one metric family covers
+// all cores; dots become underscores; everything gets a "skipit_" prefix so
+// the simulator's metrics can't collide with a scraper's own.
+
+// promSample is one rendered sample line-in-waiting.
+type promSample struct {
+	labels string // rendered label set, "" or `{instance="0"}`
+	value  string
+}
+
+// promKey splits a registry key into its Prometheus family name and the
+// instance label, if any.
+func promKey(key string) (family, labels string) {
+	family = key
+	var instance string
+	if open := strings.IndexByte(key, '['); open >= 0 {
+		if close := strings.IndexByte(key[open:], ']'); close >= 0 {
+			instance = key[open+1 : open+close]
+			family = key[:open] + key[open+close+1:]
+		}
+	}
+	family = "skipit_" + strings.ReplaceAll(family, ".", "_")
+	if instance != "" {
+		labels = fmt.Sprintf("{instance=%q}", instance)
+	}
+	return family, labels
+}
+
+// writeFamilies renders one TYPE block per family, families sorted by name
+// and samples sorted by label set, so the output is deterministic.
+func writeFamilies(w io.Writer, typ string, families map[string][]promSample) error {
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		samples := families[name]
+		sort.Slice(samples, func(i, j int) bool { return samples[i].labels < samples[j].labels })
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ); err != nil {
+			return err
+		}
+		for _, s := range samples {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", name, s.labels, s.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format. Counters, gauges, and histograms keep their registry identity (with
+// instance indices as labels); derived ratios are exposed as gauges under
+// skipit_derived_*; the snapshot cycle is exposed as skipit_cycle.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# TYPE skipit_cycle gauge\nskipit_cycle %d\n", s.Cycle); err != nil {
+		return err
+	}
+
+	counters := make(map[string][]promSample)
+	for key, v := range s.Counters {
+		name, labels := promKey(key)
+		counters[name] = append(counters[name], promSample{labels: labels, value: fmt.Sprintf("%d", v)})
+	}
+	if err := writeFamilies(w, "counter", counters); err != nil {
+		return err
+	}
+
+	gauges := make(map[string][]promSample)
+	for key, v := range s.Gauges {
+		name, labels := promKey(key)
+		gauges[name] = append(gauges[name], promSample{labels: labels, value: fmt.Sprintf("%d", v)})
+	}
+	for key, v := range s.Derived {
+		gauges["skipit_derived_"+strings.ReplaceAll(key, ".", "_")] = append(
+			gauges["skipit_derived_"+strings.ReplaceAll(key, ".", "_")],
+			promSample{value: fmt.Sprintf("%g", v)})
+	}
+	if err := writeFamilies(w, "gauge", gauges); err != nil {
+		return err
+	}
+
+	// Histograms expand into the _bucket/_sum/_count convention with
+	// cumulative le labels.
+	hists := make(map[string][]HistogramSnapshot)
+	histLabels := make(map[string][]string)
+	for key, h := range s.Histograms {
+		name, labels := promKey(key)
+		hists[name] = append(hists[name], h)
+		histLabels[name] = append(histLabels[name], labels)
+	}
+	names := make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		order := make([]int, len(hists[name]))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return histLabels[name][order[a]] < histLabels[name][order[b]] })
+		for _, i := range order {
+			h, labels := hists[name][i], histLabels[name][i]
+			cum := uint64(0)
+			for bi, bound := range h.Bounds {
+				cum += h.Buckets[bi]
+				if err := writeBucket(w, name, labels, fmt.Sprintf("%d", bound), cum); err != nil {
+					return err
+				}
+			}
+			if len(h.Buckets) > len(h.Bounds) {
+				cum += h.Buckets[len(h.Bounds)]
+			}
+			if err := writeBucket(w, name, labels, "+Inf", cum); err != nil {
+				return err
+			}
+			inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+			sumLabels, countLabels := "", ""
+			if inner != "" {
+				sumLabels = "{" + inner + "}"
+				countLabels = sumLabels
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n",
+				name, sumLabels, h.Sum, name, countLabels, h.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeBucket renders one cumulative histogram bucket, merging the le label
+// into any existing label set.
+func writeBucket(w io.Writer, name, labels, le string, cum uint64) error {
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	if inner != "" {
+		inner += ","
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, inner, le, cum)
+	return err
+}

@@ -84,6 +84,21 @@ type System struct {
 	wdLastSig        uint64
 	wdLastChange     int64
 	ctrWatchdogTrips *metrics.Counter
+
+	// txns is the SoC-wide coherence-transaction id sequence shared by every
+	// L1 and flush unit. Ids are assigned unconditionally (tracing on or
+	// off), so a given workload produces identical ids regardless of
+	// observers or fast-forwarding.
+	txns *trace.TxnSeq
+
+	// recorder, when armed via EnableFlightRecorder, holds the per-component
+	// flight-recorder rings; its dump rides along in HangReports.
+	recorder *trace.Recorder
+
+	// progress hook (see SetProgressHook): called every hookInterval ticked
+	// cycles with the current cycle, for live introspection publishers.
+	hookInterval int64
+	hook         func(now int64)
 }
 
 // New assembles a system. All components share one metrics registry
@@ -93,7 +108,7 @@ func New(cfg Config) *System {
 	if cfg.NumCores <= 0 {
 		panic("sim: need at least one core")
 	}
-	s := &System{cfg: cfg, reg: metrics.NewRegistry(), fastForward: true}
+	s := &System{cfg: cfg, reg: metrics.NewRegistry(), fastForward: true, txns: &trace.TxnSeq{}}
 	s.pool = linepool.New(int(cfg.L1.LineBytes), s.reg)
 	memCfg := cfg.Mem
 	memCfg.Metrics = s.reg
@@ -109,6 +124,7 @@ func New(cfg Config) *System {
 		l1cfg.Source = i
 		l1cfg.Metrics = s.reg
 		l1cfg.Pool = s.pool
+		l1cfg.Txns = s.txns
 		s.L1s[i] = l1.New(l1cfg, s.ports[i])
 		coreCfg := cfg.Core
 		coreCfg.Metrics = s.reg
@@ -156,6 +172,38 @@ func (s *System) SetTracer(t trace.Tracer) {
 	s.L2.SetTracer(t)
 }
 
+// EnableFlightRecorder arms a per-component flight recorder holding the last
+// depth structured events for each of "l1[i]", "flush[i]", "l2", and "mem".
+// The rings are preallocated here; recording on the hot path is a plain
+// struct store. The dump rides along in every HangReport (and in chaos
+// artifacts built from them) and is available live via FlightRecorder.
+func (s *System) EnableFlightRecorder(depth int) {
+	s.recorder = trace.NewRecorder(depth)
+	for i, d := range s.L1s {
+		d.SetRecorder(s.recorder.Component(fmt.Sprintf("l1[%d]", i)))
+		d.FlushUnit().SetRecorder(s.recorder.Component(fmt.Sprintf("flush[%d]", i)))
+	}
+	s.L2.SetRecorder(s.recorder.Component("l2"))
+	s.Mem.SetRecorder(s.recorder.Component("mem"))
+}
+
+// FlightRecorder returns the armed recorder, or nil.
+func (s *System) FlightRecorder() *trace.Recorder { return s.recorder }
+
+// SetProgressHook installs a callback invoked every interval ticked cycles
+// (before the cycle counter advances), used by the live introspection server
+// to publish snapshots from the simulation goroutine. The fast-forward clock
+// lands on hook boundaries exactly as it does on sampler boundaries, so the
+// hook fires at the same cycles with fast-forwarding on or off. Interval <= 0
+// or fn == nil uninstalls the hook.
+func (s *System) SetProgressHook(interval int64, fn func(now int64)) {
+	if interval <= 0 || fn == nil {
+		s.hookInterval, s.hook = 0, nil
+		return
+	}
+	s.hookInterval, s.hook = interval, fn
+}
+
 // Now returns the current cycle.
 func (s *System) Now() int64 { return s.now }
 
@@ -173,6 +221,9 @@ func (s *System) Step() {
 	}
 	if s.sampler != nil {
 		s.sampler.Tick(s.now)
+	}
+	if s.hookInterval > 0 && s.now%s.hookInterval == 0 {
+		s.hook(s.now)
 	}
 	s.now++
 }

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"skipit/internal/isa"
+	"skipit/internal/trace"
+)
+
+// txnWorkload drives every transaction kind through the hierarchy: store and
+// load misses (Acquire chains), capacity evictions (Release writebacks), CBO
+// flush lifecycles (FSHR RootReleases), and redundant CBOs (skip-audit
+// drops).
+func txnWorkload(core int) *isa.Program {
+	base := 0x1000 + uint64(core)<<20
+	b := isa.NewBuilder()
+	b.StoreRegion(base, 2048, 64, 0xAB)
+	b.Fence()
+	b.CboRegion(base, 2048, 64, true)
+	b.CboRegion(base, 2048, 64, true) // redundant: Skip It drops these
+	b.Fence()
+	b.LoadRegion(base, 2048, 64)
+	b.StoreRegion(base+0x40000, 4096, 64, 0xCD) // forces victims in both L1 and L2
+	b.CboRegion(base+0x40000, 4096, 64, false)
+	b.Fence()
+	return b.Build()
+}
+
+// txnTrace runs the workload with the given fast-forward setting and returns
+// the full event stream plus the flight-recorder dump.
+func txnTrace(t *testing.T, cores int, ff bool) ([]trace.Event, []trace.RecDump) {
+	t.Helper()
+	s := New(DefaultConfig(cores))
+	s.SetFastForward(ff)
+	s.EnableFlightRecorder(128)
+	ring := trace.NewRing(1 << 16)
+	s.SetTracer(ring)
+	progs := make([]*isa.Program, cores)
+	for i := range progs {
+		progs[i] = txnWorkload(i)
+	}
+	if _, err := s.Run(progs, 5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return ring.Events(), s.FlightRecorder().Dump()
+}
+
+// TestTxnIDsDeterministicAcrossFastForward pins the transaction-id layer's
+// core promise: ids are assigned unconditionally on the simulation's own
+// event order, so the complete causal trace — every event's cycle, source,
+// kind, address, and txn id — and the flight-recorder rings are identical
+// with the next-event clock on or off. (Run under -race in CI, which also
+// proves id assignment involves no unsynchronized sharing.)
+func TestTxnIDsDeterministicAcrossFastForward(t *testing.T) {
+	for _, cores := range []int{1, 2} {
+		evFF, recFF := txnTrace(t, cores, true)
+		evSlow, recSlow := txnTrace(t, cores, false)
+		if len(evFF) == 0 {
+			t.Fatalf("cores=%d: no trace events", cores)
+		}
+		if !reflect.DeepEqual(evFF, evSlow) {
+			for i := range evFF {
+				if i >= len(evSlow) || evFF[i] != evSlow[i] {
+					t.Fatalf("cores=%d: event %d diverges: ff=%+v slow=%+v", cores, i, evFF[i], evSlow[i])
+				}
+			}
+			t.Fatalf("cores=%d: event streams diverge in length: %d vs %d", cores, len(evFF), len(evSlow))
+		}
+		if !reflect.DeepEqual(recFF, recSlow) {
+			t.Fatalf("cores=%d: flight-recorder dumps diverge", cores)
+		}
+	}
+}
+
+// TestTxnSpansComplete checks causal-chain integrity on a miss-heavy
+// workload: every grant-ack, release-ack, and fshr-ack closes a txn that an
+// acquire, evict/release, or cbo-enqueue opened, and skip-audit records
+// carry a cause.
+func TestTxnSpansComplete(t *testing.T) {
+	events, dumps := txnTrace(t, 2, true)
+	opened := map[uint64]bool{}
+	for _, e := range events {
+		switch e.Kind {
+		case "acquire", "evict", "cbo-enqueue":
+			if e.Txn == 0 {
+				t.Fatalf("%s event without txn id: %+v", e.Kind, e)
+			}
+			opened[e.Txn] = true
+		case "grant-ack", "release-ack", "fshr-ack":
+			if !opened[e.Txn] {
+				t.Fatalf("%s closes txn %d that nothing opened", e.Kind, e.Txn)
+			}
+		}
+	}
+	audits := 0
+	for _, d := range dumps {
+		for _, e := range d.Events {
+			if e.Code == "skip-audit" {
+				audits++
+				if e.Cause == "" {
+					t.Fatalf("skip-audit without cause in %s: %+v", d.Component, e)
+				}
+			}
+		}
+	}
+	if audits == 0 {
+		t.Fatal("workload produced no skip-audit records in the recorder rings")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"skipit/internal/l1"
 	"skipit/internal/l2"
 	"skipit/internal/tilelink"
+	"skipit/internal/trace"
 )
 
 // HangReport is the structured diagnosis emitted when the forward-progress
@@ -32,6 +33,11 @@ type HangReport struct {
 	// MemOutstanding counts accepted-but-incomplete DRAM requests plus
 	// undelivered responses.
 	MemOutstanding int `json:"mem_outstanding"`
+
+	// FlightRecorder is the dump of the per-component event rings, present
+	// when the system had a flight recorder armed (EnableFlightRecorder):
+	// the last N structured events each component saw before the hang.
+	FlightRecorder []trace.RecDump `json:"flight_recorder,omitempty"`
 }
 
 // JSON renders the report, indented for human eyes.
@@ -81,6 +87,7 @@ func (s *System) buildHangReport(reason string) *HangReport {
 	for _, p := range s.ports {
 		r.Links = append(r.Links, p.Debug())
 	}
+	r.FlightRecorder = s.recorder.Dump()
 	return r
 }
 

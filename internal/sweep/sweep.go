@@ -110,6 +110,24 @@ type Runner struct {
 	// WithSnapshots gives each job a collecting sink; otherwise jobs run
 	// with a nil sink and emit nothing.
 	WithSnapshots bool
+	// Progress, when non-nil, receives a ProgressEvent at every job state
+	// transition (cached, running, done, failed). It is invoked from worker
+	// goroutines and must be safe for concurrent use. Observability only:
+	// it must not mutate jobs or results.
+	Progress func(ev ProgressEvent)
+}
+
+// ProgressEvent is one job state transition, for live sweep introspection.
+type ProgressEvent struct {
+	// Index is the job's position in the submitted slice; Total the slice
+	// length.
+	Index int    `json:"index"`
+	Total int    `json:"total"`
+	Group string `json:"group"`
+	Name  string `json:"name"`
+	// State is "cached" (store hit, run skipped), "running", "done", or
+	// "failed".
+	State string `json:"state"`
 }
 
 // Run executes the jobs and returns one result per job, in submission order
@@ -133,16 +151,23 @@ func (r Runner) Run(jobs []Job) []JobResult {
 			if rec, ok := r.Store.Lookup(job.Group, job.Name, job.Fingerprint); ok {
 				res.Record = rec
 				res.Cached = true
+				r.notify(i, len(jobs), job, "cached")
 				continue
 			}
 		}
 		wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			r.notify(i, len(jobs), job, "running")
 			runJob(job, res, r.WithSnapshots)
-		}()
+			if res.Err != nil {
+				r.notify(i, len(jobs), job, "failed")
+			} else {
+				r.notify(i, len(jobs), job, "done")
+			}
+		}(i)
 	}
 	wg.Wait()
 	if r.Store != nil {
@@ -155,6 +180,14 @@ func (r Runner) Run(jobs []Job) []JobResult {
 		}
 	}
 	return results
+}
+
+// notify delivers one progress event, if a listener is installed.
+func (r Runner) notify(index, total int, job Job, state string) {
+	if r.Progress == nil {
+		return
+	}
+	r.Progress(ProgressEvent{Index: index, Total: total, Group: job.Group, Name: job.Name, State: state})
 }
 
 // runJob executes one job, converting panics (the measure harnesses panic on

@@ -172,6 +172,13 @@ type Msg struct {
 	// data and GrantDataDirty bookkeeping in assertions.
 	Dirty bool
 
+	// Txn is the coherence-transaction id the message belongs to: assigned
+	// by the initiating agent (L1 miss, writeback, flush FSHR) and echoed by
+	// the responder on every reply, so a whole Acquire→Grant→GrantAck or
+	// RootRelease→RootReleaseAck chain shares one id. Purely observational:
+	// no component's behavior may depend on it. 0 means unassigned.
+	Txn uint64
+
 	Data []byte
 }
 

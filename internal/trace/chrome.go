@@ -24,7 +24,8 @@ type ChromeTracer struct {
 	w      io.Writer
 	events []chromeEvent
 	tids   map[string]int
-	order  []string // sources in first-seen order, for stable thread ids
+	order  []string          // sources in first-seen order, for stable thread ids
+	open   map[uint64]string // open txn spans: id -> span name, for matching "e" records
 }
 
 // chromeEvent is one trace_event record. Field names follow the format
@@ -48,7 +49,29 @@ type chromeDoc struct {
 
 // NewChromeTracer returns a tracer that writes its document to w on Close.
 func NewChromeTracer(w io.Writer) *ChromeTracer {
-	return &ChromeTracer{w: w, tids: make(map[string]int)}
+	return &ChromeTracer{w: w, tids: make(map[string]int), open: make(map[uint64]string)}
+}
+
+// txnSpanNames maps the event kind that opens a transaction to the span's
+// display name. Any other txn-bearing kind that arrives first (partial
+// chains at trace start) opens the span under its own kind name.
+var txnSpanNames = map[string]string{
+	"load-miss":   "acquire",
+	"store-miss":  "acquire",
+	"acquire":     "acquire",
+	"evict":       "writeback",
+	"release":     "writeback",
+	"cbo-enqueue": "flush",
+	"fshr-alloc":  "flush",
+}
+
+// txnEndKinds are the kinds that close a transaction span: the final
+// message of each causal chain (E-channel GrantAck, D-channel ReleaseAck /
+// RootReleaseAck observed by the flush unit).
+var txnEndKinds = map[string]bool{
+	"grant-ack":   true,
+	"release-ack": true,
+	"fshr-ack":    true,
 }
 
 // Emit buffers one event.
@@ -71,13 +94,45 @@ func (t *ChromeTracer) Emit(e Event) {
 		}
 		ce.Args["addr"] = fmt.Sprintf("%#x", e.Addr)
 	}
-	switch e.Kind {
-	case "fshr-alloc":
+	switch {
+	case e.Txn != 0:
+		// Transaction-bearing events render as one async span per txn id:
+		// the first event opens it, the chain's final ack closes it, and
+		// everything in between nests inside as async instants. Perfetto
+		// then shows each miss→Acquire→Grant→GrantAck chain, writeback, and
+		// CBO→FSHR→RootRelease→ack flush as a single causal span.
+		ce.ID = fmt.Sprintf("txn%d", e.Txn)
+		ce.Cat = "txn"
+		if ce.Args == nil {
+			ce.Args = map[string]any{}
+		}
+		ce.Args["txn"] = e.Txn
+		name, isOpen := t.open[e.Txn]
+		switch {
+		case !isOpen:
+			name = txnSpanNames[e.Kind]
+			if name == "" {
+				name = e.Kind
+			}
+			t.open[e.Txn] = name
+			ce.Phase = "b"
+			ce.Name = name
+			ce.Args["begin"] = e.Kind
+		case txnEndKinds[e.Kind]:
+			delete(t.open, e.Txn)
+			ce.Phase = "e"
+			ce.Name = name
+			ce.Args["end"] = e.Kind
+		default:
+			ce.Phase = "n"
+			ce.Name = e.Kind
+		}
+	case e.Kind == "fshr-alloc":
 		ce.Phase = "b"
 		ce.Cat = "flush"
 		ce.Name = "flush"
 		ce.ID = fmt.Sprintf("%#x", e.Addr)
-	case "fshr-ack":
+	case e.Kind == "fshr-ack":
 		ce.Phase = "e"
 		ce.Cat = "flush"
 		ce.Name = "flush"
@@ -89,10 +144,9 @@ func (t *ChromeTracer) Emit(e Event) {
 	t.events = append(t.events, ce)
 }
 
-// Close writes the buffered document. The tracer must not be used after.
-func (t *ChromeTracer) Close() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+// document assembles the trace_event document from the buffered events.
+// Callers must hold t.mu.
+func (t *ChromeTracer) documentLocked() chromeDoc {
 	doc := chromeDoc{DisplayTimeUnit: "ms"}
 	// Thread-name metadata first, so viewers label rows by component.
 	for tid, src := range t.order {
@@ -104,8 +158,25 @@ func (t *ChromeTracer) Close() error {
 		})
 	}
 	doc.TraceEvents = append(doc.TraceEvents, t.events...)
+	return doc
+}
+
+// WriteSnapshot writes the document as buffered so far to w, leaving the
+// tracer usable. The live introspection server's /trace endpoint uses it to
+// serve a loadable mid-run trace.
+func (t *ChromeTracer) WriteSnapshot(w io.Writer) error {
+	t.mu.Lock()
+	doc := t.documentLocked()
+	t.mu.Unlock()
+	return json.NewEncoder(w).Encode(doc)
+}
+
+// Close writes the buffered document. The tracer must not be used after.
+func (t *ChromeTracer) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	enc := json.NewEncoder(t.w)
-	if err := enc.Encode(doc); err != nil {
+	if err := enc.Encode(t.documentLocked()); err != nil {
 		return err
 	}
 	if c, ok := t.w.(io.Closer); ok {

@@ -21,7 +21,11 @@ type Event struct {
 	// HasAddr distinguishes an event about line 0 — a perfectly valid
 	// address — from an event with no address at all.
 	HasAddr bool
-	Detail  string // free-form specifics
+	// Txn is the coherence-transaction id the event belongs to; 0 means the
+	// event is not part of any transaction. Renderers that understand
+	// causality (ChromeTracer) stitch same-Txn events into one span.
+	Txn    uint64
+	Detail string // free-form specifics
 }
 
 func (e Event) String() string {
@@ -166,4 +170,38 @@ func EmitGlobal(t Tracer, cycle int64, source, kind, detail string) {
 		return
 	}
 	t.Emit(Event{Cycle: cycle, Source: source, Kind: kind, Detail: detail})
+}
+
+// EmitTxn is Emit for events that belong to a coherence transaction: the
+// txn id lets renderers reconstruct the causal chain (miss → Acquire →
+// Grant → GrantAck; Release → ReleaseAck; CBO → FSHR → RootRelease → ack)
+// across components. txn 0 degrades to a plain addressed event.
+func EmitTxn(t Tracer, cycle int64, source, kind string, txn, addr uint64, detail string) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Cycle: cycle, Source: source, Kind: kind, Addr: addr, HasAddr: true, Txn: txn, Detail: detail})
+}
+
+// TxnSeq hands out deterministic coherence-transaction ids. Exactly one
+// sequence exists per simulated system (sim.New creates it and injects it
+// into every component config; standalone component constructors fall back
+// to a private one), so ids are globally unique within a run and assignment
+// order follows the deterministic Tick order. Ids start at 1; 0 means "no
+// transaction". Ids are assigned unconditionally — whether or not tracing
+// or recording is enabled — so enabling observability can never change
+// simulation behavior, and ids are identical across fast-forward on/off.
+type TxnSeq struct {
+	next uint64
+}
+
+// Next returns the next transaction id. Nil-safe: a nil sequence returns 0.
+//
+//skipit:hotpath
+func (s *TxnSeq) Next() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.next++
+	return s.next
 }
