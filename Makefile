@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt bench
+.PHONY: all build test race lint fmt bench tlc
 
 all: build test lint
 
@@ -25,3 +25,9 @@ fmt:
 
 bench:
 	$(GO) test ./internal/bench -run '^$$' -bench . -benchmem -benchtime 50x
+
+# tlc runs the fixed-seed protocol-level agent sweep CI uses (see
+# cmd/skipit-tlc; failures shrink to .tlc.json artifacts in /tmp/tlc-repros).
+tlc:
+	mkdir -p /tmp/tlc-repros
+	$(GO) run ./cmd/skipit-tlc -episodes 2000 -seed 1 -out /tmp/tlc-repros

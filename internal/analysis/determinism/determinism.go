@@ -52,7 +52,7 @@ var Analyzer = &analysis.Analyzer{
 // scope when its import path ends with a fragment or contains it as an
 // interior path segment (so fixture trees mirroring the real layout under
 // testdata/src/ are matched too).
-var pkgs = "internal/boom,internal/l1,internal/l2,internal/mem,internal/tilelink,internal/sim,internal/memsim,internal/linepool,internal/chaos"
+var pkgs = "internal/boom,internal/l1,internal/l2,internal/mem,internal/tilelink,internal/sim,internal/memsim,internal/linepool,internal/chaos,internal/detrand,internal/tlctest"
 
 func init() {
 	Analyzer.Flags.StringVar(&pkgs, "pkgs", pkgs, "comma-separated import-path fragments of deterministic simulator packages")

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"skipit/internal/detrand"
 	"skipit/internal/isa"
 	"skipit/internal/sim"
 	"skipit/internal/trace"
@@ -101,7 +102,7 @@ func BuildInput(c Case) Input {
 	if c.Cores < 1 {
 		c.Cores = 1
 	}
-	rng := rand.New(rand.NewSource(c.Seed))
+	rng := detrand.New(c.Seed)
 	progs := make([]*isa.Program, c.Cores)
 	var pool []uint64
 	for i := 0; i < c.Cores; i++ {
@@ -118,8 +119,8 @@ func BuildInput(c Case) Input {
 	gcfg.CycleSpan = maxi64(300, int64(c.ProgLen)*25)
 	gcfg.MaxDuration = maxi64(100, gcfg.CycleSpan/4)
 	// Derive the schedule from the same stream so one seed fixes the whole
-	// case.
-	sched := Generate(rng.Int63(), gcfg)
+	// case (the detrand split discipline: one seed, one tree of streams).
+	sched := Generate(detrand.SplitSeed(rng), gcfg)
 	return Input{
 		Progs:         progs,
 		Schedule:      sched,

@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 
+	"skipit/internal/l2"
 	"skipit/internal/metrics"
 	"skipit/internal/sim"
 	"skipit/internal/tilelink"
@@ -88,6 +89,35 @@ func Arm(s *sim.System, sched Schedule) *Runner {
 		s.L2.SetChaos(&l2Hook{faults: l2Faults})
 	}
 	return r
+}
+
+// ArmPorts installs the schedule's link and L2 hooks on a bare port/L2
+// fabric — a harness (like tlctest) that drives the L2's TileLink ports
+// directly, with no cores or L1s in the loop. Fault kinds addressing L1 or
+// flush-unit sites are silently ignored; the Fault.Core field selects the
+// client port for link kinds. The same purity rules as Arm apply, so replays
+// are bit-identical.
+func ArmPorts(ports []*tilelink.ClientPort, cache *l2.Cache, sched Schedule) {
+	type linkKey struct{ core, ch int }
+	linkFaults := map[linkKey][]Fault{}
+	var l2Faults []Fault
+	for _, f := range sched.Faults {
+		switch f.Kind {
+		case LinkDelay, LinkStall, LinkRefuse:
+			linkFaults[linkKey{f.Core, f.Channel}] = append(linkFaults[linkKey{f.Core, f.Channel}], f)
+		case L2MSHRSqueeze, L2ListBufferSqueeze:
+			l2Faults = append(l2Faults, f)
+		}
+	}
+	for k, fs := range linkFaults {
+		if k.core < 0 || k.core >= len(ports) {
+			continue
+		}
+		channelOf(ports[k.core], k.ch).SetChaos(&linkHook{faults: fs})
+	}
+	if len(l2Faults) > 0 {
+		cache.SetChaos(&l2Hook{faults: l2Faults})
+	}
 }
 
 func channelOf(p *tilelink.ClientPort, ch int) *tilelink.Link {

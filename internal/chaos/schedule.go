@@ -12,8 +12,9 @@ package chaos
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
+
+	"skipit/internal/detrand"
 )
 
 // Kind names one fault class. String-valued so schedules read naturally in
@@ -161,7 +162,7 @@ var windowKinds = []Kind{
 // Generate derives a schedule from the seed: the same (seed, cfg) pair always
 // yields the same schedule.
 func Generate(seed int64, cfg GenConfig) Schedule {
-	rng := rand.New(rand.NewSource(seed))
+	rng := detrand.New(seed)
 	if cfg.Cores < 1 {
 		cfg.Cores = 1
 	}

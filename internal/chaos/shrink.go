@@ -40,7 +40,7 @@ func Shrink(in Input, want FailKind, opts ShrinkOpts) (Input, int) {
 	}
 
 	// Phase 1: minimize the fault schedule.
-	in.Schedule.Faults = shrinkSlice(in.Schedule.Faults, func(faults []Fault) bool {
+	in.Schedule.Faults = ShrinkSlice(in.Schedule.Faults, func(faults []Fault) bool {
 		cand := in
 		cand.Schedule = Schedule{Faults: faults}
 		return stillFails(cand)
@@ -51,7 +51,7 @@ func Shrink(in Input, want FailKind, opts ShrinkOpts) (Input, int) {
 		if in.Progs[c] == nil {
 			continue
 		}
-		instrs := shrinkSlice(in.Progs[c].Instrs, func(instrs []isa.Instr) bool {
+		instrs := ShrinkSlice(in.Progs[c].Instrs, func(instrs []isa.Instr) bool {
 			cand := in
 			progs := make([]*isa.Program, len(in.Progs))
 			copy(progs, in.Progs)
@@ -64,9 +64,11 @@ func Shrink(in Input, want FailKind, opts ShrinkOpts) (Input, int) {
 	return in, runs
 }
 
-// shrinkSlice removes ever-smaller spans from items while keep still accepts
-// the remainder, until no single-element removal is accepted.
-func shrinkSlice[T any](items []T, keep func([]T) bool) []T {
+// ShrinkSlice is the ddmin core shared by every repro shrinker (chaos inputs,
+// tlctest episodes): it removes ever-smaller spans from items while keep still
+// accepts the remainder, until no single-element removal is accepted.
+// Deterministic: candidate order is a pure function of the input.
+func ShrinkSlice[T any](items []T, keep func([]T) bool) []T {
 	span := len(items) / 2
 	if span < 1 {
 		span = 1

@@ -127,6 +127,14 @@ func (c *Cache) PokePerm(addr uint64, client int, p tilelink.Perm) bool {
 	return true
 }
 
+// PokeDropRootReleaseRaceData arms a test-only mutation that reverts the
+// RootRelease-vs-eviction race fix: dirty RootRelease data arriving for a
+// concurrently evicted line is dropped instead of captured for the MSHR's
+// DRAM write-through. The acknowledgement then promises durability for data
+// that never reached DRAM — the tlctest scoreboard's durability check must
+// catch it.
+func (c *Cache) PokeDropRootReleaseRaceData(on bool) { c.bugDropRaceWB = on }
+
 // PokeDirty force-writes the dirty bit, bypassing the protocol.
 func (c *Cache) PokeDirty(addr uint64, dirty bool) bool {
 	l := c.lookup(addr &^ (c.cfg.LineBytes - 1))

@@ -86,6 +86,7 @@ type Stats struct {
 	Acquires          uint64
 	RootReleases      uint64
 	RootReleaseSkips  uint64 // RootReleases that found the line clean (§5.5 trivial skip)
+	RootReleaseRaces  uint64 // RootRelease dirty data arriving for a concurrently evicted line
 	GrantsData        uint64
 	GrantsDataDirty   uint64
 	ProbesSent        uint64
@@ -104,6 +105,7 @@ type Stats struct {
 // l2Counters holds the cache's registry-backed instruments.
 type l2Counters struct {
 	acquires, rootReleases, rootReleaseSkips *metrics.Counter
+	rootReleaseRaces                         *metrics.Counter
 	grantsData, grantsDataDirty              *metrics.Counter
 	probesSent, evictions                    *metrics.Counter
 	memReads, memWrites                      *metrics.Counter
@@ -123,6 +125,7 @@ func newL2Counters(reg *metrics.Registry, name string) l2Counters {
 		acquires:          reg.Counter(name, "acquires"),
 		rootReleases:      reg.Counter(name, "root_releases"),
 		rootReleaseSkips:  reg.Counter(name, "root_release_skips"),
+		rootReleaseRaces:  reg.Counter(name, "root_release_races"),
 		grantsData:        reg.Counter(name, "grants_data"),
 		grantsDataDirty:   reg.Counter(name, "grants_data_dirty"),
 		probesSent:        reg.Counter(name, "probes_sent"),
@@ -163,6 +166,10 @@ type Cache struct {
 	ctr l2Counters
 
 	chaos Chaos // nil unless a fault schedule is armed
+	// bugDropRaceWB is a test-only mutation (PokeDropRootReleaseRaceData):
+	// revert the RootRelease-vs-eviction race fix by dropping the carried
+	// data instead of capturing it for write-through.
+	bugDropRaceWB bool
 	// poisoned marks clean frames carrying an injected ECC flip, keyed by
 	// line address; nil until the first injection.
 	poisoned map[uint64]struct{}
@@ -227,6 +234,7 @@ func (c *Cache) Stats() Stats {
 		Acquires:          c.ctr.acquires.Value(),
 		RootReleases:      c.ctr.rootReleases.Value(),
 		RootReleaseSkips:  c.ctr.rootReleaseSkips.Value(),
+		RootReleaseRaces:  c.ctr.rootReleaseRaces.Value(),
 		GrantsData:        c.ctr.grantsData.Value(),
 		GrantsDataDirty:   c.ctr.grantsDataDirty.Value(),
 		ProbesSent:        c.ctr.probesSent.Value(),

@@ -162,8 +162,11 @@ func (c *Cache) sinkC(now int64, cl int) {
 					// copy it for the MSHR's direct DRAM
 					// write-through (the FSHR still owns — and
 					// forwards loads from — the original).
-					wbData = c.cfg.Pool.Get(int(c.cfg.LineBytes))
-					copy(wbData, msg.Data)
+					c.ctr.rootReleaseRaces.Inc()
+					if !c.bugDropRaceWB {
+						wbData = c.cfg.Pool.Get(int(c.cfg.LineBytes))
+						copy(wbData, msg.Data)
+					}
 				}
 			}
 			c.listBuffer = append(c.listBuffer, buffered{msg: msg, client: cl, readyAt: now + int64(c.cfg.TagLatency), wbData: wbData})

@@ -138,12 +138,12 @@ func New(cfg Config) *System {
 	// Pre-register the chaos and watchdog instruments so they appear in
 	// every Snapshot even when nothing is armed (get-or-create: the L1/L2
 	// constructors above share the same "chaos" counters).
-	s.reg.Counter("chaos", "faults_injected")         //skipit:ignore metricname shared SoC-wide chaos counter, pre-registered here by design
-	s.reg.Counter("chaos", "ecc_flips")               //skipit:ignore metricname shared SoC-wide chaos counter, pre-registered here by design
-	s.reg.Counter("chaos", "ecc_dirty_unrecoverable") //skipit:ignore metricname shared SoC-wide chaos counter, pre-registered here by design
-	s.reg.Counter("chaos", "refetch_recoveries")      //skipit:ignore metricname shared SoC-wide chaos counter, pre-registered here by design
-	s.ctrWatchdogTrips = s.reg.Counter("sim", "watchdog_trips")
-	s.ctrSkipped = s.reg.Counter("sim", "skipped_cycles")
+	s.reg.Counter("chaos", "faults_injected")                   //skipit:ignore metricname shared SoC-wide chaos counter, pre-registered here by design
+	s.reg.Counter("chaos", "ecc_flips")                         //skipit:ignore metricname shared SoC-wide chaos counter, pre-registered here by design
+	s.reg.Counter("chaos", "ecc_dirty_unrecoverable")           //skipit:ignore metricname shared SoC-wide chaos counter, pre-registered here by design
+	s.reg.Counter("chaos", "refetch_recoveries")                //skipit:ignore metricname shared SoC-wide chaos counter, pre-registered here by design
+	s.ctrWatchdogTrips = s.reg.Counter("sim", "watchdog_trips") //skipit:ignore metricname System and Fabric are alternative harnesses over disjoint registries; sharing the key keeps sweep/report tooling uniform
+	s.ctrSkipped = s.reg.Counter("sim", "skipped_cycles")       //skipit:ignore metricname System and Fabric are alternative harnesses over disjoint registries; sharing the key keeps sweep/report tooling uniform
 	return s
 }
 

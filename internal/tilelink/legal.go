@@ -1,0 +1,84 @@
+package tilelink
+
+// This file holds the agent-facing legality helpers: pure functions mapping a
+// client's current permission state to the protocol-legal message it may emit
+// next. The L1 hardcodes these decisions inside its MSHR and writeback state
+// machines; protocol-level master agents (internal/tlctest) and the scoreboard
+// lattice tests use the helpers directly, so "what is legal here" has exactly
+// one definition.
+
+// LegalFrom reports whether a client currently holding p may issue an Acquire
+// with this grow parameter. TileLink requires the declared source level to
+// match the held level: a Branch holder upgrades with BtoT, a None holder
+// acquires with NtoB or NtoT, and a Trunk holder has nothing to acquire.
+//
+//skipit:hotpath
+func (g Grow) LegalFrom(p Perm) bool { return g.From() == p }
+
+// GrowFor returns the Acquire parameter that takes a client from cur to
+// target. ok is false when no legal single Acquire performs the transition:
+// the client already holds target (or more), or the transition is a
+// downgrade (channel C business, not channel A).
+//
+//skipit:hotpath
+func GrowFor(cur, target Perm) (Grow, bool) {
+	switch {
+	case cur == PermNone && target == PermBranch:
+		return GrowNtoB, true
+	case cur == PermNone && target == PermTrunk:
+		return GrowNtoT, true
+	case cur == PermBranch && target == PermTrunk:
+		return GrowBtoT, true
+	}
+	return GrowNtoB, false
+}
+
+// ProbeResp computes the legal response to a Probe with ceiling cap for a
+// client holding cur, with dirty reporting whether the local copy carries
+// unwritten-back modifications. It returns the response opcode, its Shrink
+// parameter, the permission retained afterwards, and whether the response
+// must carry the line data (a dirty copy being demoted below Trunk is the
+// only copy of its modifications; surrendering write permission without
+// surrendering the data would lose them).
+//
+//skipit:hotpath
+func ProbeResp(cur Perm, dirty bool, cap Cap) (op Opcode, sh Shrink, to Perm, carryData bool) {
+	to = cur
+	if p := cap.Perm(); p < to {
+		to = p
+	}
+	carryData = dirty && cur == PermTrunk && to != PermTrunk
+	op = OpProbeAck
+	if carryData {
+		op = OpProbeAckData
+	}
+	return op, ShrinkFor(cur, to), to, carryData
+}
+
+// ReleaseFor returns the voluntary-release opcode and Shrink parameter for a
+// client downgrading from cur to target, with dirty as for ProbeResp. ok is
+// false when the transition is not a legal voluntary release: upgrades belong
+// on channel A, and releasing from None releases nothing.
+func ReleaseFor(cur, target Perm, dirty bool) (op Opcode, sh Shrink, ok bool) {
+	if cur == PermNone || target >= cur {
+		return OpRelease, ShrinkNtoN, false
+	}
+	op = OpRelease
+	if dirty && cur == PermTrunk {
+		op = OpReleaseData
+	}
+	return op, ShrinkFor(cur, target), true
+}
+
+// GrantCap returns the permission ceiling a manager grants in response to the
+// given grow request: shared growth receives Branch, exclusive growth Trunk.
+// This mirrors the L2's grant construction so agents can check the cap they
+// receive against the one the protocol mandates.
+//
+//skipit:hotpath
+func GrantCap(g Grow) Cap {
+	if g == GrowNtoB {
+		return CapToB
+	}
+	return CapToT
+}

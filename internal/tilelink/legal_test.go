@@ -1,0 +1,115 @@
+package tilelink
+
+import "testing"
+
+func TestGrowLegalFrom(t *testing.T) {
+	cases := []struct {
+		grow Grow
+		from Perm
+		want bool
+	}{
+		{GrowNtoB, PermNone, true},
+		{GrowNtoT, PermNone, true},
+		{GrowBtoT, PermBranch, true},
+		{GrowNtoB, PermBranch, false},
+		{GrowNtoT, PermTrunk, false},
+		{GrowBtoT, PermNone, false},
+		{GrowBtoT, PermTrunk, false},
+	}
+	for _, c := range cases {
+		if got := c.grow.LegalFrom(c.from); got != c.want {
+			t.Errorf("%v.LegalFrom(%v) = %v, want %v", c.grow, c.from, got, c.want)
+		}
+	}
+}
+
+func TestGrowFor(t *testing.T) {
+	cases := []struct {
+		cur, target Perm
+		want        Grow
+		ok          bool
+	}{
+		{PermNone, PermBranch, GrowNtoB, true},
+		{PermNone, PermTrunk, GrowNtoT, true},
+		{PermBranch, PermTrunk, GrowBtoT, true},
+		{PermBranch, PermBranch, 0, false},
+		{PermTrunk, PermTrunk, 0, false},
+		{PermTrunk, PermBranch, 0, false}, // downgrade: channel C, not A
+		{PermBranch, PermNone, 0, false},
+		{PermNone, PermNone, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := GrowFor(c.cur, c.target)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("GrowFor(%v, %v) = %v, %v; want %v, %v", c.cur, c.target, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestProbeResp(t *testing.T) {
+	cases := []struct {
+		cur   Perm
+		dirty bool
+		cap   Cap
+		op    Opcode
+		sh    Shrink
+		to    Perm
+		data  bool
+	}{
+		// Dirty Trunk demoted below Trunk must surrender the data.
+		{PermTrunk, true, CapToN, OpProbeAckData, ShrinkTtoN, PermNone, true},
+		{PermTrunk, true, CapToB, OpProbeAckData, ShrinkTtoB, PermBranch, true},
+		// Clean Trunk demotes silently.
+		{PermTrunk, false, CapToN, OpProbeAck, ShrinkTtoN, PermNone, false},
+		{PermTrunk, false, CapToB, OpProbeAck, ShrinkTtoB, PermBranch, false},
+		// A cap at or above the held level is a report, not a demotion.
+		{PermTrunk, true, CapToT, OpProbeAck, ShrinkTtoT, PermTrunk, false},
+		{PermBranch, false, CapToB, OpProbeAck, ShrinkBtoB, PermBranch, false},
+		{PermBranch, false, CapToT, OpProbeAck, ShrinkBtoB, PermBranch, false},
+		// Branch and None holders never carry data.
+		{PermBranch, false, CapToN, OpProbeAck, ShrinkBtoN, PermNone, false},
+		{PermNone, false, CapToN, OpProbeAck, ShrinkNtoN, PermNone, false},
+		{PermNone, false, CapToB, OpProbeAck, ShrinkNtoN, PermNone, false},
+	}
+	for _, c := range cases {
+		op, sh, to, data := ProbeResp(c.cur, c.dirty, c.cap)
+		if op != c.op || sh != c.sh || to != c.to || data != c.data {
+			t.Errorf("ProbeResp(%v, dirty=%v, %v) = %v, %v, %v, %v; want %v, %v, %v, %v",
+				c.cur, c.dirty, c.cap, op, sh, to, data, c.op, c.sh, c.to, c.data)
+		}
+	}
+}
+
+func TestReleaseFor(t *testing.T) {
+	cases := []struct {
+		cur, target Perm
+		dirty       bool
+		op          Opcode
+		sh          Shrink
+		ok          bool
+	}{
+		{PermTrunk, PermNone, true, OpReleaseData, ShrinkTtoN, true},
+		{PermTrunk, PermNone, false, OpRelease, ShrinkTtoN, true},
+		{PermTrunk, PermBranch, true, OpReleaseData, ShrinkTtoB, true},
+		{PermBranch, PermNone, false, OpRelease, ShrinkBtoN, true},
+		{PermNone, PermNone, false, 0, 0, false},
+		{PermBranch, PermBranch, false, 0, 0, false},
+		{PermBranch, PermTrunk, false, 0, 0, false}, // upgrade: channel A
+	}
+	for _, c := range cases {
+		op, sh, ok := ReleaseFor(c.cur, c.target, c.dirty)
+		if ok != c.ok || (ok && (op != c.op || sh != c.sh)) {
+			t.Errorf("ReleaseFor(%v, %v, dirty=%v) = %v, %v, %v; want %v, %v, %v",
+				c.cur, c.target, c.dirty, op, sh, ok, c.op, c.sh, c.ok)
+		}
+	}
+}
+
+func TestGrantCap(t *testing.T) {
+	if GrantCap(GrowNtoB) != CapToB {
+		t.Error("GrowNtoB must be granted toB")
+	}
+	if GrantCap(GrowNtoT) != CapToT || GrantCap(GrowBtoT) != CapToT {
+		t.Error("exclusive growth must be granted toT")
+	}
+}

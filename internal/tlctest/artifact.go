@@ -1,0 +1,79 @@
+package tlctest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"skipit/internal/chaos"
+)
+
+// ReproVersion is bumped whenever the artifact format or the meaning of the
+// seed-to-script expansion changes incompatibly.
+const ReproVersion = 1
+
+// Repro is the .tlc.json artifact: everything needed to replay a failing
+// episode byte-identically. Script alone replays; Seed/Params record how it
+// was found, Failure what it produced when archived.
+type Repro struct {
+	Version int      `json:"version"`
+	Seed    int64    `json:"seed,omitempty"`
+	Params  *Params  `json:"params,omitempty"`
+	Script  Script   `json:"script"`
+	Failure *Failure `json:"failure,omitempty"`
+}
+
+// WriteRepro writes the artifact to path.
+func WriteRepro(path string, r Repro) error {
+	r.Version = ReproVersion
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("tlctest: marshal repro: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadRepro reads an artifact back.
+func LoadRepro(path string) (Repro, error) {
+	var r Repro
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("tlctest: unmarshal %s: %w", path, err)
+	}
+	if r.Version != ReproVersion {
+		return r, fmt.Errorf("tlctest: %s is version %d, this build understands %d", path, r.Version, ReproVersion)
+	}
+	return r, nil
+}
+
+// ShrinkScript minimizes a failing script with the shared ddmin core
+// (chaos.ShrinkSlice): first the fault schedule, then the op stream, keeping
+// any candidate that still fails with the same kind. maxRuns bounds the
+// number of replays (each candidate is a full episode); the best script
+// found within the budget is returned along with the runs spent.
+func ShrinkScript(s Script, wantKind string, maxRuns int) (Script, int) {
+	runs := 0
+	fails := func(c Script) bool {
+		if runs >= maxRuns {
+			return false
+		}
+		runs++
+		fail, _ := RunScript(c)
+		return fail != nil && fail.Kind == wantKind
+	}
+
+	s.Schedule.Faults = chaos.ShrinkSlice(s.Schedule.Faults, func(fs []chaos.Fault) bool {
+		c := s
+		c.Schedule = chaos.Schedule{Faults: fs}
+		return fails(c)
+	})
+	s.Ops = chaos.ShrinkSlice(s.Ops, func(ops []Op) bool {
+		c := s
+		c.Ops = ops
+		return fails(c)
+	})
+	return s, runs
+}

@@ -1,0 +1,194 @@
+package tlctest
+
+import (
+	"testing"
+
+	"skipit/internal/tilelink"
+)
+
+// The scoreboard tests exercise the permission lattice and value-set rules
+// in isolation — no simulator, no agents — feeding events directly.
+
+func newTestSB() *Scoreboard {
+	return NewScoreboard(3, []uint64{0x1000, 0x1040}, []uint64{0x11, 0x22}, nil)
+}
+
+func wantViolation(t *testing.T, sb *Scoreboard, kind string) *Violation {
+	t.Helper()
+	v := sb.Violation()
+	if v == nil {
+		t.Fatalf("expected a %q violation, got none", kind)
+	}
+	if v.Kind != kind {
+		t.Fatalf("expected a %q violation, got %q: %s", kind, v.Kind, v.Message)
+	}
+	return v
+}
+
+func TestScoreboardCleanGrantFlow(t *testing.T) {
+	sb := newTestSB()
+	// Two shared readers of the init value, then both surrender and a
+	// writer takes Trunk: all legal.
+	sb.OnGrant(10, 0, 0x1000, tilelink.CapToB, tilelink.CapToB, 0x11)
+	sb.OnGrant(12, 1, 0x1000, tilelink.CapToB, tilelink.CapToB, 0x11)
+	sb.OnSurrender(20, 0, 0x1000, tilelink.PermNone, false, 0)
+	sb.OnSurrender(21, 1, 0x1000, tilelink.PermNone, false, 0)
+	sb.OnGrant(30, 2, 0x1000, tilelink.CapToT, tilelink.CapToT, 0x11)
+	sb.OnWrite(31, 2, 0x1000, 0xAA)
+	if v := sb.Violation(); v != nil {
+		t.Fatalf("legal flow flagged: %s", v.Message)
+	}
+}
+
+func TestScoreboardTwoTrunk(t *testing.T) {
+	sb := newTestSB()
+	sb.OnGrant(10, 0, 0x1000, tilelink.CapToT, tilelink.CapToT, 0x11)
+	sb.OnGrant(11, 1, 0x1000, tilelink.CapToT, tilelink.CapToT, 0x11)
+	v := wantViolation(t, sb, "two-trunk")
+	if v.Agent != 1 || v.Addr != 0x1000 {
+		t.Errorf("violation attribution wrong: agent=%d addr=%#x", v.Agent, v.Addr)
+	}
+}
+
+func TestScoreboardTrunkExcludes(t *testing.T) {
+	sb := newTestSB()
+	sb.OnGrant(10, 0, 0x1000, tilelink.CapToT, tilelink.CapToT, 0x11)
+	sb.OnGrant(11, 1, 0x1000, tilelink.CapToB, tilelink.CapToB, 0x11)
+	wantViolation(t, sb, "trunk-excludes")
+}
+
+func TestScoreboardTrunkHandoffIsLegal(t *testing.T) {
+	sb := newTestSB()
+	sb.OnGrant(10, 0, 0x1000, tilelink.CapToT, tilelink.CapToT, 0x11)
+	sb.OnWrite(11, 0, 0x1000, 0xAA)
+	// Probe extraction at issue time, then the other agent's grant: the
+	// downgrade-at-send / upgrade-at-receive discipline keeps the views
+	// disjoint even though the messages overlap in flight.
+	sb.OnSurrender(20, 0, 0x1000, tilelink.PermNone, true, 0xAA)
+	sb.OnGrant(25, 1, 0x1000, tilelink.CapToT, tilelink.CapToT, 0xAA)
+	if v := sb.Violation(); v != nil {
+		t.Fatalf("legal trunk handoff flagged: %s", v.Message)
+	}
+}
+
+func TestScoreboardValuePruneAtSurrender(t *testing.T) {
+	sb := newTestSB()
+	sb.OnGrant(10, 0, 0x1000, tilelink.CapToT, tilelink.CapToT, 0x11)
+	sb.OnWrite(11, 0, 0x1000, 0xAA)
+	sb.OnWrite(12, 0, 0x1000, 0xBB)
+	// Surrendering dirty data is an ordering point: 0xBB becomes the only
+	// permissible value; the stale 0x11 and intermediate 0xAA are gone.
+	sb.OnSurrender(20, 0, 0x1000, tilelink.PermNone, true, 0xBB)
+	sb.OnGrant(30, 1, 0x1000, tilelink.CapToB, tilelink.CapToB, 0x11)
+	v := wantViolation(t, sb, "value")
+	if len(v.Permissible) != 1 || v.Permissible[0] != 0xBB {
+		t.Errorf("permissible set not pruned to the surrendered value: %v", v.Permissible)
+	}
+}
+
+func TestScoreboardStaleIntermediateValue(t *testing.T) {
+	sb := newTestSB()
+	sb.OnGrant(10, 0, 0x1000, tilelink.CapToT, tilelink.CapToT, 0x11)
+	sb.OnWrite(11, 0, 0x1000, 0xAA)
+	sb.OnWrite(12, 0, 0x1000, 0xBB)
+	sb.OnSurrender(20, 0, 0x1000, tilelink.PermNone, true, 0xBB)
+	sb.OnGrant(30, 1, 0x1000, tilelink.CapToB, tilelink.CapToB, 0xAA)
+	wantViolation(t, sb, "value")
+}
+
+func TestScoreboardWriteWithoutTrunk(t *testing.T) {
+	sb := newTestSB()
+	sb.OnGrant(10, 0, 0x1000, tilelink.CapToB, tilelink.CapToB, 0x11)
+	sb.OnWrite(11, 0, 0x1000, 0xAA)
+	wantViolation(t, sb, "write-without-trunk")
+}
+
+func TestScoreboardGrantCapMismatch(t *testing.T) {
+	sb := newTestSB()
+	// Agent asked NtoB (mandated cap toB) but was granted toT.
+	sb.OnGrant(10, 0, 0x1000, tilelink.CapToT, tilelink.CapToB, 0x11)
+	wantViolation(t, sb, "grant-cap")
+}
+
+func TestScoreboardUnexpectedGrant(t *testing.T) {
+	sb := newTestSB()
+	sb.OnUnexpectedGrant(10, 0, 0x1000, tilelink.OpGrantData)
+	wantViolation(t, sb, "unexpected-grant")
+}
+
+func TestScoreboardDurability(t *testing.T) {
+	sb := newTestSB()
+	sb.OnGrant(10, 0, 0x1000, tilelink.CapToT, tilelink.CapToT, 0x11)
+	sb.OnWrite(11, 0, 0x1000, 0xAA)
+	sb.OnSurrender(20, 0, 0x1000, tilelink.PermNone, true, 0xAA)
+	sb.OnFlushIssue(20, 0, 0x1000)
+	// The RootReleaseAck arrives but DRAM still holds the init value: the
+	// writeback was lost.
+	sb.CheckDurable(30, 0, 0x1000, 0x11)
+	wantViolation(t, sb, "durability")
+}
+
+func TestScoreboardDurabilityDelayedAckSeesNewerPush(t *testing.T) {
+	sb := newTestSB()
+	// Agent 0 flushes 0xAA; while its ack crawls back on a jittered D
+	// channel, agent 1 writes and surrenders 0xBB, which reaches DRAM via a
+	// second flush. The late ack observing 0xBB is legal — it is a newer
+	// push — but an ack observing the pre-flush init value is not.
+	sb.OnGrant(10, 0, 0x1000, tilelink.CapToT, tilelink.CapToT, 0x11)
+	sb.OnWrite(11, 0, 0x1000, 0xAA)
+	sb.OnSurrender(20, 0, 0x1000, tilelink.PermNone, true, 0xAA)
+	sb.OnFlushIssue(20, 0, 0x1000)
+	sb.OnGrant(30, 1, 0x1000, tilelink.CapToT, tilelink.CapToT, 0xAA)
+	sb.OnWrite(31, 1, 0x1000, 0xBB)
+	sb.OnSurrender(40, 1, 0x1000, tilelink.PermNone, true, 0xBB)
+	sb.CheckDurable(90, 0, 0x1000, 0xBB)
+	if v := sb.Violation(); v != nil {
+		t.Fatalf("late ack observing a newer push flagged: %s", v.Message)
+	}
+}
+
+func TestScoreboardDurabilityDatalessFlushAcceptsOlderPush(t *testing.T) {
+	sb := newTestSB()
+	// A data-less flush issued before any push promises nothing newer than
+	// the reset value: DRAM still holding init at ack time is legal even if
+	// the permissible set has since been pruned past it.
+	sb.OnFlushIssue(10, 0, 0x1000)
+	sb.OnGrant(20, 1, 0x1000, tilelink.CapToT, tilelink.CapToT, 0x11)
+	sb.OnWrite(21, 1, 0x1000, 0xCC)
+	sb.OnSurrender(30, 1, 0x1000, tilelink.PermNone, true, 0xCC)
+	sb.CheckDurable(90, 0, 0x1000, 0x11)
+	if v := sb.Violation(); v != nil {
+		t.Fatalf("data-less flush judged against later pushes: %s", v.Message)
+	}
+}
+
+func TestScoreboardFinalValue(t *testing.T) {
+	sb := newTestSB()
+	sb.CheckFinal(100, 0x1040, 0x22)
+	if sb.Violation() != nil {
+		t.Fatal("resting init value flagged")
+	}
+	sb.CheckFinal(101, 0x1040, 0x99)
+	wantViolation(t, sb, "final-value")
+}
+
+func TestScoreboardFailsFast(t *testing.T) {
+	sb := newTestSB()
+	sb.OnGrant(10, 0, 0x1000, tilelink.CapToT, tilelink.CapToT, 0x11)
+	sb.OnGrant(11, 1, 0x1000, tilelink.CapToT, tilelink.CapToT, 0x11)
+	first := sb.Violation()
+	// Later events must not replace the first violation.
+	sb.OnGrant(12, 2, 0x1000, tilelink.CapToT, tilelink.CapToT, 0x99)
+	if sb.Violation() != first {
+		t.Fatal("first violation was replaced")
+	}
+}
+
+func TestScoreboardAddressesIndependent(t *testing.T) {
+	sb := newTestSB()
+	sb.OnGrant(10, 0, 0x1000, tilelink.CapToT, tilelink.CapToT, 0x11)
+	sb.OnGrant(11, 1, 0x1040, tilelink.CapToT, tilelink.CapToT, 0x22)
+	if v := sb.Violation(); v != nil {
+		t.Fatalf("trunks on different addresses flagged: %s", v.Message)
+	}
+}
