@@ -10,6 +10,14 @@
 //	skipit-bench [-fig 9|10|...|16|ablations|all | comma list, e.g. -fig 9,13]
 //	             [-quick] [-csv] [-jobs N] [-out DIR] [-force]
 //	             [-baseline FILE] [-gate PCT] [-metrics-dir DIR] [-http ADDR]
+//	             [-fleet URL]
+//
+// -fleet URL submits the sweep to a skipit-sweepd coordinator instead of
+// running it in process; if the coordinator is unreachable (at submit or
+// mid-run) the remaining jobs transparently downgrade to the local runner.
+// Output is byte-identical either way. The workers must be built from the
+// same tree with the same -quick setting — drifted builds refuse jobs by
+// fingerprint. See README.md ("Distributed sweeps").
 //
 // -quick shrinks sweep sizes and operation counts so the full set completes
 // in well under a minute; -csv emits machine-readable rows (figure,series,
@@ -45,6 +53,7 @@ import (
 	"skipit/internal/introspect"
 	"skipit/internal/metrics"
 	"skipit/internal/sweep"
+	"skipit/internal/sweepd"
 )
 
 // onOff is a boolean flag.Value that also accepts the spellings on/off.
@@ -75,68 +84,6 @@ func (o *onOff) Set(s string) error {
 
 func (o *onOff) IsBoolFlag() bool { return true }
 
-// figure describes one regenerable section of the evaluation.
-type figure struct {
-	token string // -fig selector
-	group string // result-store group / sidecar name
-	title string
-	note  string // paper anchor, printed under the title
-	mops  bool   // report Derived["mops"] instead of cycles
-	build func(quick bool) []sweep.Job
-}
-
-// figures lists the sections in figure order. Job builders run after quick
-// mode has shrunk the sweep knobs.
-func figures() []figure {
-	return []figure{
-		{token: "9", group: "fig09",
-			title: "Figure 9 — CBO.X latency vs writeback size and thread count (cycles)",
-			note:  "paper anchors: 1 line ~100 cy; 32 KiB ~7460 cy; 8 threads ~7.2x faster",
-			build: func(bool) []sweep.Job { return bench.Fig9Jobs("fig09", false) }},
-		{token: "10", group: "fig10",
-			title: "Figure 10 — write, 10x CBO.X, fence, re-read (cycles)",
-			note:  "paper: re-read after CBO.CLEAN ~2x faster than after CBO.FLUSH",
-			build: func(bool) []sweep.Job { return bench.Fig10Jobs(bench.ThreadCounts) }},
-		{token: "11", group: "fig11",
-			title: "Figure 11 — comparative writeback latency, 1 thread (cycles)",
-			build: func(bool) []sweep.Job { return bench.ComparativeJobs("fig11", 1) }},
-		{token: "12", group: "fig12",
-			title: "Figure 12 — comparative writeback latency, 8 threads (cycles)",
-			build: func(bool) []sweep.Job { return bench.ComparativeJobs("fig12", 8) }},
-		{token: "13", group: "fig13",
-			title: "Figure 13 — naive vs Skip It, 10 redundant CBO.X per line (cycles)",
-			note:  "paper: Skip It 15-30% faster (CBO.CLEAN variant; see EXPERIMENTS.md)",
-			build: func(bool) []sweep.Job { return bench.Fig13Jobs(bench.ThreadCounts, 10) }},
-		{token: "14", group: "fig14", mops: true,
-			title: "Figure 14 — §7.4 throughput, 5% updates, 2 threads (Mops/s)",
-			note:  "paper: Skip It >= FliT variants; link-and-persist ahead on automatic list/hash",
-			build: func(bool) []sweep.Job { return bench.Fig14Jobs() }},
-		{token: "15", group: "fig15", mops: true,
-			title: "Figure 15 — throughput vs update percentage, automatic algorithm (Mops/s)",
-			build: func(quick bool) []sweep.Job {
-				pcts := []int{0, 5, 10, 20, 50, 100}
-				if quick {
-					pcts = []int{0, 5, 20, 50}
-				}
-				return bench.Fig15Jobs(pcts)
-			}},
-		{token: "16", group: "fig16", mops: true,
-			title: "Figure 16 — BST (10k keys) throughput vs FliT hash-table size (Mops/s)",
-			note:  "paper: throughput is sensitive to the table size on the small-cache platform",
-			build: func(quick bool) []sweep.Job {
-				sizes := []uint64{1 << 6, 1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20}
-				if quick {
-					sizes = []uint64{1 << 6, 1 << 12, 1 << 16, 1 << 20}
-				}
-				return bench.Fig16Jobs(sizes)
-			}},
-		{token: "ablations", group: "ablations",
-			title: "Ablations — §5 design choices (cycles)",
-			note:  "widened data array, FSHR count, coalescing, flush-queue depth",
-			build: func(bool) []sweep.Job { return bench.AblationJobs() }},
-	}
-}
-
 func main() {
 	os.Exit(run())
 }
@@ -152,6 +99,7 @@ func run() int {
 	gate := flag.Float64("gate", 10, "regression tolerance in percent (with -baseline)")
 	metricsDir := flag.String("metrics-dir", "", "write per-figure metrics sidecar JSON files into this directory")
 	httpAddr := flag.String("http", "", "serve live sweep introspection on this address (e.g. localhost:6060; empty disables)")
+	fleetURL := flag.String("fleet", "", "run the sweep through a skipit-sweepd coordinator at this base URL (e.g. http://127.0.0.1:7070); falls back in process if unreachable")
 	fastForward := onOff(true)
 	flag.Var(&fastForward, "fast-forward", "next-event clock: on skips provably idle cycles, off single-steps (results are identical)")
 	flag.Parse()
@@ -159,16 +107,13 @@ func run() int {
 	bench.FastForward = bool(fastForward)
 
 	if *quick {
-		bench.Reps = 1
-		bench.Sizes = []uint64{64, 1024, 4096, 32768}
-		bench.ThreadCounts = []int{1, 8}
-		bench.PersistOpsPerThr = 4000
+		bench.SetQuick()
 	}
 
 	// Resolve the -fig selection against the known tokens.
-	byToken := map[string]figure{}
-	for _, f := range figures() {
-		byToken[f.token] = f
+	byToken := map[string]bench.Figure{}
+	for _, f := range bench.Figures() {
+		byToken[f.Token] = f
 	}
 	want := map[string]bool{}
 	for _, tok := range strings.Split(*fig, ",") {
@@ -184,14 +129,14 @@ func run() int {
 		want[tok] = true
 	}
 
-	var selected []figure
+	var selected []bench.Figure
 	var allJobs []sweep.Job
-	for _, f := range figures() {
-		if !want["all"] && !want[f.token] {
+	for _, f := range bench.Figures() {
+		if !want["all"] && !want[f.Token] {
 			continue
 		}
 		selected = append(selected, f)
-		allJobs = append(allJobs, f.build(*quick)...)
+		allJobs = append(allJobs, f.Build(*quick)...)
 	}
 
 	var store *sweep.Store
@@ -225,7 +170,29 @@ func run() int {
 		runner.Progress = sweepPublisher(srv, len(allJobs))
 		fmt.Fprintf(os.Stderr, "introspection server on http://%s (/metrics /snapshot /events)\n", srv.Addr())
 	}
-	results := runner.Run(allJobs)
+	var results []sweep.JobResult
+	if *fleetURL != "" {
+		// Distributed mode: submit the sweep to a skipit-sweepd coordinator.
+		// The in-process runner stays wired up as the degradation path — a
+		// dead fleet costs wall time, never results. Records are
+		// deterministic and land in the local store in submission order, so
+		// the BENCH_*.json output is byte-identical to an in-process run.
+		if *metricsDir != "" {
+			fmt.Fprintln(os.Stderr, "note: -metrics-dir sidecars only cover jobs that run in process; fleet workers return records, not snapshots")
+		}
+		fleet := sweepd.Fleet{
+			Client:   sweepd.NewClient(*fleetURL),
+			Fallback: runner,
+			Store:    store,
+			Force:    *force,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		}
+		results = fleet.Run(allJobs)
+	} else {
+		results = runner.Run(allJobs)
+	}
 
 	exit := 0
 	if *csv {
@@ -236,23 +203,23 @@ func run() int {
 		byGroup[res.Group] = append(byGroup[res.Group], res)
 	}
 	for _, f := range selected {
-		group := byGroup[f.group]
+		group := byGroup[f.Group]
 		if *csv {
 			for _, res := range group {
 				if res.Err != nil {
 					continue
 				}
 				r := res.Record
-				if f.mops {
-					fmt.Printf("%s,%s,%s,%.4f\n", f.token, r.Series, r.X, r.Derived["mops"])
+				if f.Mops {
+					fmt.Printf("%s,%s,%s,%.4f\n", f.Token, r.Series, r.X, r.Derived["mops"])
 				} else {
-					fmt.Printf("%s,%s,%s,%.0f\n", f.token, r.Series, r.X, r.Cycles)
+					fmt.Printf("%s,%s,%s,%.0f\n", f.Token, r.Series, r.X, r.Cycles)
 				}
 			}
 		} else {
-			fmt.Printf("\n== %s\n", f.title)
-			if f.note != "" {
-				fmt.Println(f.note)
+			fmt.Printf("\n== %s\n", f.Title)
+			if f.Note != "" {
+				fmt.Println(f.Note)
 			}
 			for _, res := range group {
 				if res.Err != nil {
@@ -268,7 +235,7 @@ func run() int {
 			}
 		}
 		if *metricsDir != "" {
-			if err := writeSidecar(*metricsDir, f.group, group); err != nil {
+			if err := writeSidecar(*metricsDir, f.Group, group); err != nil {
 				// A failed sidecar write must not kill a half-finished
 				// sweep: report it, finish the run, exit nonzero.
 				fmt.Fprintln(os.Stderr, err)
@@ -340,13 +307,13 @@ func sweepPublisher(srv *introspect.Server, total int) func(sweep.ProgressEvent)
 }
 
 // renderRecord formats one human-readable result line.
-func renderRecord(f figure, res sweep.JobResult) string {
+func renderRecord(f bench.Figure, res sweep.JobResult) string {
 	r := res.Record
 	cached := ""
 	if res.Cached {
 		cached = "  [store]"
 	}
-	if f.mops {
+	if f.Mops {
 		return fmt.Sprintf("%-28s %-16s %10.3f Mops/s%s", r.Series, r.X, r.Derived["mops"], cached)
 	}
 	line := fmt.Sprintf("%-24s size=%-8s %12.0f cycles", r.Series, r.X, r.Cycles)

@@ -23,6 +23,15 @@
 //     or writes to an io.Writer/strings.Builder. Map iteration order is
 //     deliberately randomized by the runtime, so each of these effects can
 //     differ run to run.
+//
+// Service-tier packages (-service; defaults to sweepd, introspect, sweep) are
+// always exempt, even when a fragment in -pkgs would match them: the sweep
+// coordinator, its workers and the introspection server live on the host
+// side of the determinism boundary, where wall clocks (lease deadlines,
+// heartbeats, backoff timers) and goroutines are the point, not a bug. The
+// exclusion wins over the inclusion so widening -pkgs can never silently
+// drag a service package under simulator rules — the boundary is the
+// simulator/service split, not the flag order.
 package determinism
 
 import (
@@ -48,19 +57,28 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // pkgs is the comma-separated list of import-path fragments that mark a
-// package as part of the deterministic simulator core. A package is in
-// scope when its import path ends with a fragment or contains it as an
-// interior path segment (so fixture trees mirroring the real layout under
-// testdata/src/ are matched too).
+// package as part of the deterministic simulator core; see matches for the
+// fragment rules.
 var pkgs = "internal/boom,internal/l1,internal/l2,internal/mem,internal/tilelink,internal/sim,internal/memsim,internal/linepool,internal/chaos,internal/detrand,internal/tlctest"
+
+// service is the comma-separated list of import-path fragments that mark a
+// package as host-side service code (the sweepd coordinator/worker fleet,
+// the introspection server, the sweep runner). Matching packages are exempt
+// from the simulator rules regardless of -pkgs: the exclusion always wins.
+var service = "internal/sweepd,internal/introspect,internal/sweep"
 
 func init() {
 	Analyzer.Flags.StringVar(&pkgs, "pkgs", pkgs, "comma-separated import-path fragments of deterministic simulator packages")
+	Analyzer.Flags.StringVar(&service, "service", service, "comma-separated import-path fragments of host-side service packages, always exempt (wins over -pkgs)")
 }
 
-// inScope reports whether path is one of the simulator packages.
-func inScope(path string) bool {
-	for _, frag := range strings.Split(pkgs, ",") {
+// matches reports whether path matches any fragment of the comma-separated
+// list: an exact match, a trailing path segment, or an interior path segment
+// (so fixture trees mirroring the real layout under testdata/src/ are
+// matched too). Fragment boundaries are whole segments — "internal/sweep"
+// does not match "internal/sweepd".
+func matches(path, list string) bool {
+	for _, frag := range strings.Split(list, ",") {
 		frag = strings.TrimSpace(frag)
 		if frag == "" {
 			continue
@@ -70,6 +88,12 @@ func inScope(path string) bool {
 		}
 	}
 	return false
+}
+
+// inScope reports whether path is held to the simulator rules: listed in
+// -pkgs and not excluded as a -service package.
+func inScope(path string) bool {
+	return matches(path, pkgs) && !matches(path, service)
 }
 
 // wallClockFuncs are the time package functions that read the host clock.

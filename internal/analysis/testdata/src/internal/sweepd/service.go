@@ -1,0 +1,51 @@
+// Package sweepdfix is the determinism-analyzer service-tier fixture. Its
+// import path ends in internal/sweepd, which the analyzer's -service list
+// exempts from the simulator rules even when -pkgs is widened to match it —
+// so this file uses every construct the analyzer forbids in the simulator
+// core and expects zero diagnostics (no want comments anywhere).
+//
+// Everything here is the normal idiom of the real internal/sweepd: lease
+// deadlines and heartbeat timers read the wall clock, workers run in
+// goroutines, and status maps are iterated for logging.
+package sweepdfix
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// leaseExpiry computes a lease deadline from the host clock — the canonical
+// legitimate wall-clock read in service code.
+func leaseExpiry(ttl time.Duration) time.Time {
+	return time.Now().Add(ttl)
+}
+
+// heartbeatAge measures how long a worker has been silent.
+func heartbeatAge(last time.Time) time.Duration {
+	return time.Since(last)
+}
+
+// spawnWorkers launches the worker pool; host-side concurrency is the point
+// of the service tier.
+func spawnWorkers(n int, run func()) chan struct{} {
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func() {
+			run()
+			done <- struct{}{}
+		}()
+	}
+	return done
+}
+
+// dumpState logs per-job states in map order; service logs are not part of
+// the byte-identical result surface.
+func dumpState(w io.Writer, states map[string]string) []string {
+	var ids []string
+	for id, st := range states {
+		fmt.Fprintf(w, "%s: %s\n", id, st)
+		ids = append(ids, id)
+	}
+	return ids
+}

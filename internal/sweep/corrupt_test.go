@@ -1,0 +1,109 @@
+package sweep
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Corruption fixtures: every malformed baseline a gate run might load must
+// produce a *CorruptError naming the file and the offending field — never a
+// panic, and never a silent pass that lets a drifted baseline approve a
+// regression.
+func TestLoadFileCorruptionFixtures(t *testing.T) {
+	cases := []struct {
+		name  string
+		body  string
+		field string // expected CorruptError.Field substring
+	}{
+		{"truncated", `{"schema_version":1,"group":"g","records":[{"name":"p","cyc`, "(document)"},
+		{"empty", ``, "(document)"},
+		{"wrong-type-cycles", `{"schema_version":1,"group":"g","records":[{"name":"p","fingerprint":"f","cycles":"fast","reps":1}]}`, "cycles"},
+		{"wrong-type-records", `{"schema_version":1,"group":"g","records":{"name":"p"}}`, "records"},
+		{"missing-name", `{"schema_version":1,"group":"g","records":[{"fingerprint":"f","cycles":1,"reps":1}]}`, "records[0].name"},
+		{"missing-fingerprint", `{"schema_version":1,"group":"g","records":[{"name":"p","cycles":1,"reps":1}]}`, "records[0].fingerprint"},
+		{"negative-cycles", `{"schema_version":1,"group":"g","records":[{"name":"p","fingerprint":"f","cycles":-4,"reps":1}]}`, "records[0].cycles"},
+		{"negative-reps", `{"schema_version":1,"group":"g","records":[{"name":"p","fingerprint":"f","cycles":1,"reps":-1}]}`, "records[0].reps"},
+		{"duplicate-name", `{"schema_version":1,"group":"g","records":[` +
+			`{"group":"g","name":"p","fingerprint":"f","cycles":1,"reps":1},` +
+			`{"group":"g","name":"p","fingerprint":"f2","cycles":2,"reps":1}]}`, "records[1].name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), FileName("g"))
+			if err := os.WriteFile(path, []byte(tc.body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := LoadFile(path)
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("LoadFile = %v, want *CorruptError", err)
+			}
+			if ce.Path != path {
+				t.Errorf("CorruptError.Path = %q, want %q", ce.Path, path)
+			}
+			if !strings.Contains(ce.Field, tc.field) {
+				t.Errorf("CorruptError.Field = %q, want substring %q", ce.Field, tc.field)
+			}
+			if !strings.Contains(ce.Error(), path) {
+				t.Errorf("error text %q does not name the file", ce.Error())
+			}
+		})
+	}
+}
+
+// A stale schema version is its own failure mode (re-measure everything),
+// distinct from corruption.
+func TestLoadFileStaleSchemaIsNotCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), FileName("g"))
+	body := `{"schema_version":999,"group":"g","records":[]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadFile(path)
+	if err == nil {
+		t.Fatal("stale schema loaded silently")
+	}
+	var ce *CorruptError
+	if errors.As(err, &ce) {
+		t.Fatalf("stale schema misclassified as corruption: %v", err)
+	}
+	if !strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("unhelpful stale-schema error: %v", err)
+	}
+}
+
+// NaN cycles cannot arrive via JSON (encoding/json rejects them), but a
+// hand-constructed File must still fail validation rather than flow into
+// Compare where NaN comparisons silently pass.
+func TestValidateRejectsNaN(t *testing.T) {
+	nan := 0.0
+	nan = nan / nan
+	f := File{SchemaVersion: SchemaVersion, Group: "g",
+		Records: []Record{{Name: "p", Fingerprint: "f", Cycles: nan, Reps: 1}}}
+	var ce *CorruptError
+	if err := f.Validate("mem"); !errors.As(err, &ce) || !strings.Contains(ce.Field, "cycles") {
+		t.Fatalf("Validate(NaN cycles) = %v", err)
+	}
+}
+
+// The gate path end to end: a corrupt baseline makes the comparison
+// impossible and must surface the typed error, not a 0-point "pass".
+func TestGateFailsClosedOnCorruptBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_quick.json")
+	if err := os.WriteFile(path, []byte(`{"schema_version":1,"records":[{"name":"p"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadFile(path)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("corrupt baseline load = %v, want *CorruptError", err)
+	}
+	// The contract callers rely on: a failed load returns zero records, so
+	// nobody can accidentally Compare against a half-parsed baseline.
+	if len(base.Records) != 0 {
+		t.Fatalf("failed load leaked %d records", len(base.Records))
+	}
+}

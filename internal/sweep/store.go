@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -21,9 +22,25 @@ type File struct {
 // FileName returns the store file name for a group: BENCH_fig09.json.
 func FileName(group string) string { return "BENCH_" + group + ".json" }
 
+// CorruptError is the typed diagnosis for a malformed store file: it names
+// the file and the first offending field, so a truncated or schema-drifted
+// baseline fails the gate with an actionable message instead of a panic or a
+// silent pass. Detect it with errors.As.
+type CorruptError struct {
+	Path   string // the offending BENCH_*.json
+	Field  string // JSON path of the first bad field ("records[3].cycles")
+	Reason string // what is wrong with it
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("sweep: corrupt store file %s: field %s: %s", e.Path, e.Field, e.Reason)
+}
+
 // LoadFile reads one store file. A file whose schema version differs from
 // SchemaVersion is rejected: its records predate the current measurement
-// semantics and must all be re-measured.
+// semantics and must all be re-measured. Truncated JSON, wrong field types,
+// and structurally invalid records return a *CorruptError naming the file
+// and field.
 func LoadFile(path string) (File, error) {
 	var f File
 	b, err := os.ReadFile(path)
@@ -31,13 +48,56 @@ func LoadFile(path string) (File, error) {
 		return f, err
 	}
 	if err := json.Unmarshal(b, &f); err != nil {
-		return f, fmt.Errorf("sweep: parsing %s: %w", path, err)
+		field := "(document)"
+		var typeErr *json.UnmarshalTypeError
+		if errors.As(err, &typeErr) {
+			field = typeErr.Field
+			if field == "" {
+				field = "(document)"
+			}
+		}
+		return File{}, &CorruptError{Path: path, Field: field, Reason: err.Error()}
 	}
 	if f.SchemaVersion != SchemaVersion {
 		return File{}, fmt.Errorf("sweep: %s has schema version %d, want %d (stale store)",
 			path, f.SchemaVersion, SchemaVersion)
 	}
+	if err := f.Validate(path); err != nil {
+		return File{}, err
+	}
 	return f, nil
+}
+
+// Validate checks the structural invariants every well-formed store file
+// holds — non-empty record names and fingerprints, unique names, finite
+// non-negative cycle counts and repetition counts — and returns a
+// *CorruptError naming path and the first offending field. A drifted or
+// hand-edited baseline fails here rather than poisoning Compare.
+func (f *File) Validate(path string) error {
+	bad := func(i int, field, reason string) error {
+		return &CorruptError{Path: path, Field: fmt.Sprintf("records[%d].%s", i, field), Reason: reason}
+	}
+	seen := make(map[string]bool, len(f.Records))
+	for i, r := range f.Records {
+		if r.Name == "" {
+			return bad(i, "name", "empty")
+		}
+		k := r.Group + "/" + r.Name
+		if seen[k] {
+			return bad(i, "name", fmt.Sprintf("duplicate record %q", k))
+		}
+		seen[k] = true
+		if r.Fingerprint == "" {
+			return bad(i, "fingerprint", "empty (record cannot be content-addressed)")
+		}
+		if math.IsNaN(r.Cycles) || math.IsInf(r.Cycles, 0) || r.Cycles < 0 {
+			return bad(i, "cycles", fmt.Sprintf("not a finite non-negative number: %v", r.Cycles))
+		}
+		if r.Reps < 0 {
+			return bad(i, "reps", fmt.Sprintf("negative: %d", r.Reps))
+		}
+	}
+	return nil
 }
 
 // Store is a directory of per-group result files, addressed by
@@ -150,14 +210,41 @@ func WriteFile(path string, f File) error {
 	return writeFileLocked(path, &f)
 }
 
+// writeFileLocked writes one store file crash-safely: the bytes land in a
+// temp file in the same directory, are synced, and are renamed into place.
+// A process killed mid-write can therefore never leave a torn BENCH_*.json —
+// readers see either the old complete file or the new complete file, and a
+// stray .tmp from a previous crash is overwritten-by-name on the next write
+// of the same path and otherwise ignored by loads (the store only reads
+// BENCH_<group>.json names).
 func writeFileLocked(path string, f *File) error {
 	b, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return err
 	}
 	b = append(b, '\n')
-	if err := os.WriteFile(path, b, 0o644); err != nil {
+	tmp := path + ".tmp"
+	t, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("sweep: writing %s: %w", path, err)
+	}
+	if _, err := t.Write(b); err != nil {
+		t.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("sweep: writing %s: %w", path, err)
+	}
+	if err := t.Sync(); err != nil {
+		t.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("sweep: syncing %s: %w", path, err)
+	}
+	if err := t.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("sweep: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("sweep: committing %s: %w", path, err)
 	}
 	return nil
 }

@@ -1,0 +1,679 @@
+package sweepd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"skipit/internal/detrand"
+	"skipit/internal/sweep"
+)
+
+// CoordConfig configures a Coordinator. The zero value of every field has a
+// usable default except Store, which is required.
+type CoordConfig struct {
+	// Store receives committed results (content-addressed; commits are
+	// idempotent). Required.
+	Store *sweep.Store
+	// JournalPath enables the write-ahead journal; "" runs without crash
+	// recovery (tests, throwaway sweeps).
+	JournalPath string
+	// Seed pins the retry-backoff jitter (detrand.Mix over job id and
+	// attempt); the same seed replays the same schedule byte-identically.
+	Seed int64
+	// LeaseTTL is how long a lease survives without a heartbeat.
+	// Default 10s.
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the interval suggested to workers. Default
+	// LeaseTTL/4.
+	HeartbeatEvery time.Duration
+	// MaxAttempts bounds the retry budget per job. Default 3.
+	MaxAttempts int
+	// BackoffBase is the first retry delay; attempt k waits
+	// BackoffBase<<(k-1) plus jitter in [0, BackoffBase), capped at
+	// BackoffMax. Defaults 250ms / 10s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MinWorkers is the degradation floor: when fewer workers are live AND
+	// the pending queue exceeds MaxQueue, the lowest-priority pending jobs
+	// are shed with FailOverloaded until the queue fits. 0 disables
+	// shedding.
+	MinWorkers int
+	// MaxQueue is the pending ceiling enforced while degraded. Default 0 =
+	// shed everything above the floor's capacity... see MinWorkers; only
+	// consulted when MinWorkers > 0.
+	MaxQueue int
+	// Clock supplies wall time; tests inject a fake. Default time.Now.
+	// (sweepd is a service package: wall clocks are legitimate here, unlike
+	// in the simulator core — see the determinism analyzer's service list.)
+	Clock func() time.Time
+	// Logf receives operational log lines. Default discards.
+	Logf func(format string, args ...any)
+	// Events, when non-nil, receives (event, payload) notifications on job
+	// state transitions — the hook the introspection server's SSE stream
+	// attaches to.
+	Events func(event string, payload any)
+}
+
+// workerInfo tracks one registered worker's liveness.
+type workerInfo struct {
+	lastSeen time.Time
+}
+
+// jobEntry is the coordinator's per-job state.
+type jobEntry struct {
+	spec      JobSpec
+	state     JobState
+	attempt   int // attempts consumed (leases granted)
+	worker    string
+	leaseID   uint64
+	expiry    time.Time // lease deadline while leased
+	notBefore time.Time // backoff gate while pending
+	progress  string
+	record    *sweep.Record
+	failure   *Failure
+	cached    bool
+}
+
+// Coordinator owns the job queue, leases, retry policy, journal, and result
+// commits. All methods are safe for concurrent use; the HTTP layer in
+// http.go is a thin JSON shim over them.
+type Coordinator struct {
+	cfg CoordConfig
+
+	mu       sync.Mutex
+	jobs     map[string]*jobEntry
+	order    []string // submission order, for deterministic leasing
+	workers  map[string]*workerInfo
+	leaseSeq uint64
+	journal  *journal
+	closed   bool
+}
+
+// NewCoordinator builds a coordinator, replaying the journal if one exists
+// at cfg.JournalPath.
+func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("sweepd: CoordConfig.Store is required")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = cfg.LeaseTTL / 4
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 250 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 10 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		jobs:    map[string]*jobEntry{},
+		workers: map[string]*workerInfo{},
+	}
+	if cfg.JournalPath != "" {
+		j, entries, err := openJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		c.journal = j
+		c.replay(entries)
+	}
+	return c, nil
+}
+
+// replay rebuilds queue state from journal entries (no lock needed: the
+// coordinator is not yet shared).
+func (c *Coordinator) replay(entries []journalEntry) {
+	for _, e := range entries {
+		switch e.Op {
+		case opSubmit:
+			if e.Job == nil {
+				continue
+			}
+			id := e.Job.ID()
+			if _, ok := c.jobs[id]; ok {
+				continue
+			}
+			c.jobs[id] = &jobEntry{spec: *e.Job, state: StatePending}
+			c.order = append(c.order, id)
+		case opLease:
+			// Every granted lease was journaled, so counting them keeps
+			// leaseSeq monotone across restarts: a resurrected worker's stale
+			// lease ID can never collide with a freshly issued one.
+			c.leaseSeq++
+			if j := c.jobs[e.ID]; j != nil && j.state == StatePending {
+				// The lease itself died with the old coordinator; keep the
+				// attempt accounting (the budget was consumed) but requeue.
+				j.attempt = e.Attempt
+			}
+		case opRequeue:
+			if j := c.jobs[e.ID]; j != nil && j.state == StatePending {
+				j.attempt = e.Attempt
+			}
+		case opDone:
+			if j := c.jobs[e.ID]; j != nil {
+				j.state = StateDone
+				j.record = e.Record
+				j.cached = e.Cached
+				j.worker = e.Worker
+			}
+		case opFailed:
+			if j := c.jobs[e.ID]; j != nil {
+				j.state = StateFailed
+				j.failure = e.Failure
+				j.attempt = e.Attempt
+			}
+		}
+	}
+	var pending, done, failed int
+	for _, j := range c.jobs {
+		switch j.state {
+		case StatePending:
+			pending++
+		case StateDone:
+			done++
+		case StateFailed:
+			failed++
+		}
+	}
+	if len(c.jobs) > 0 {
+		c.cfg.Logf("sweepd: journal replay: %d jobs recovered (%d pending, %d done, %d failed)",
+			len(c.jobs), pending, done, failed)
+	}
+}
+
+// Close stops accepting work and closes the journal.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	j := c.journal
+	c.journal = nil
+	c.mu.Unlock()
+	return j.close()
+}
+
+// emit publishes an event outside the lock discipline concerns of callers
+// (the hook must not call back into the coordinator).
+func (c *Coordinator) emit(event string, payload any) {
+	if c.cfg.Events != nil {
+		c.cfg.Events(event, payload)
+	}
+}
+
+// backoffFor computes the deterministic retry delay before attempt+1 of job
+// id: exponential in the attempt, with jitter drawn from a stream keyed by
+// (seed, id, attempt) so the schedule replays byte-identically for a given
+// seed regardless of goroutine interleaving.
+func (c *Coordinator) backoffFor(id string, attempt int) time.Duration {
+	d := c.cfg.BackoffBase << uint(attempt-1)
+	if d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
+	}
+	jitter := time.Duration(detrand.Keyed(c.cfg.Seed, id, fmt.Sprint(attempt)).Int63n(int64(c.cfg.BackoffBase)))
+	if d+jitter > c.cfg.BackoffMax {
+		return c.cfg.BackoffMax
+	}
+	return d + jitter
+}
+
+// Submit enqueues jobs (idempotent by ID), resolving store hits immediately
+// and applying overload policy. It is the client's entry point.
+func (c *Coordinator) Submit(req SubmitRequest) (SubmitResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return SubmitResponse{}, fmt.Errorf("sweepd: coordinator closed")
+	}
+	var resp SubmitResponse
+	for _, spec := range req.Jobs {
+		id := spec.ID()
+		if _, ok := c.jobs[id]; ok {
+			resp.Known++
+			continue
+		}
+		j := &jobEntry{spec: spec, state: StatePending}
+		if err := c.journal.append(journalEntry{Op: opSubmit, Job: &spec}); err != nil {
+			return resp, err
+		}
+		c.jobs[id] = j
+		c.order = append(c.order, id)
+		resp.Accepted++
+		// Content-address hit: the store already holds this measurement.
+		if rec, ok := c.cfg.Store.Lookup(spec.Group, spec.Name, spec.Fingerprint); ok {
+			r := rec
+			if err := c.commitDoneLocked(j, &r, true, ""); err != nil {
+				return resp, err
+			}
+			continue
+		}
+		c.emit("sweepd", JobStatus{Job: spec, State: StatePending})
+	}
+	shed, err := c.shedLocked()
+	if err != nil {
+		return resp, err
+	}
+	resp.Shed = shed
+	return resp, nil
+}
+
+// commitDoneLocked makes a job terminal-done: store commit (atomic, then
+// flushed) before the journal line, so "done" in the journal implies the
+// record is durable.
+func (c *Coordinator) commitDoneLocked(j *jobEntry, rec *sweep.Record, cached bool, worker string) error {
+	if !cached {
+		c.cfg.Store.Put(j.spec.Group, *rec)
+		if err := c.cfg.Store.Flush(); err != nil {
+			return err
+		}
+	}
+	if err := c.journal.append(journalEntry{Op: opDone, ID: j.spec.ID(), Worker: worker,
+		Record: rec, Cached: cached}); err != nil {
+		return err
+	}
+	j.state = StateDone
+	j.record = rec
+	j.cached = cached
+	j.worker = worker
+	j.progress = ""
+	c.emit("sweepd", JobStatus{Job: j.spec, State: StateDone, Worker: worker, Cached: cached})
+	return nil
+}
+
+// failLocked makes a job terminal-failed.
+func (c *Coordinator) failLocked(j *jobEntry, f *Failure) error {
+	if err := c.journal.append(journalEntry{Op: opFailed, ID: j.spec.ID(),
+		Attempt: j.attempt, Failure: f}); err != nil {
+		return err
+	}
+	j.state = StateFailed
+	j.failure = f
+	j.progress = ""
+	c.emit("sweepd", JobStatus{Job: j.spec, State: StateFailed, Attempt: j.attempt, Failure: f})
+	return nil
+}
+
+// requeueLocked returns a leased job to pending with backoff, or fails it
+// terminally when the retry budget is gone.
+func (c *Coordinator) requeueLocked(j *jobEntry, cause *Failure, now time.Time) error {
+	if j.attempt >= c.cfg.MaxAttempts {
+		return c.failLocked(j, cause)
+	}
+	if err := c.journal.append(journalEntry{Op: opRequeue, ID: j.spec.ID(),
+		Attempt: j.attempt, Reason: cause.Code}); err != nil {
+		return err
+	}
+	j.state = StatePending
+	j.worker = ""
+	j.leaseID = 0
+	j.progress = ""
+	j.notBefore = now.Add(c.backoffFor(j.spec.ID(), j.attempt))
+	c.cfg.Logf("sweepd: requeued %s after %s (attempt %d/%d, next not before %s)",
+		j.spec.ID(), cause.Code, j.attempt, c.cfg.MaxAttempts, j.notBefore.Format(time.RFC3339Nano))
+	c.emit("sweepd", JobStatus{Job: j.spec, State: StatePending, Attempt: j.attempt, Failure: cause})
+	return nil
+}
+
+// liveWorkersLocked counts workers heard from within two lease TTLs.
+func (c *Coordinator) liveWorkersLocked(now time.Time) int {
+	n := 0
+	for _, w := range c.workers {
+		if now.Sub(w.lastSeen) <= 2*c.cfg.LeaseTTL {
+			n++
+		}
+	}
+	return n
+}
+
+// shedLocked applies the degradation policy: with the live pool below the
+// floor and the pending queue above its ceiling, the lowest-priority pending
+// jobs fail with FailOverloaded (newest first within a priority) until the
+// queue fits. Returns the shed job IDs.
+func (c *Coordinator) shedLocked() ([]string, error) {
+	if c.cfg.MinWorkers <= 0 {
+		return nil, nil
+	}
+	now := c.cfg.Clock()
+	if c.liveWorkersLocked(now) >= c.cfg.MinWorkers {
+		return nil, nil
+	}
+	var pending []*jobEntry
+	for _, id := range c.order {
+		if j := c.jobs[id]; j.state == StatePending {
+			pending = append(pending, j)
+		}
+	}
+	if len(pending) <= c.cfg.MaxQueue {
+		return nil, nil
+	}
+	// Shed order: lowest priority first; within a priority, newest
+	// submission first (the oldest work was promised first).
+	victims := append([]*jobEntry(nil), pending...)
+	sort.SliceStable(victims, func(a, b int) bool {
+		return victims[a].spec.Priority < victims[b].spec.Priority
+	})
+	toShed := len(pending) - c.cfg.MaxQueue
+	var shed []string
+	for i := 0; i < len(victims) && toShed > 0; i++ {
+		// Within equal priority, prefer the latest submitted: scan this
+		// priority class from its end.
+		j := i
+		for j+1 < len(victims) && victims[j+1].spec.Priority == victims[i].spec.Priority {
+			j++
+		}
+		for k := j; k >= i && toShed > 0; k-- {
+			v := victims[k]
+			msg := fmt.Sprintf("worker pool below floor (%d live < %d) with %d pending > %d queue cap",
+				c.liveWorkersLocked(now), c.cfg.MinWorkers, len(pending), c.cfg.MaxQueue)
+			if err := c.failLocked(v, &Failure{Code: FailOverloaded, Message: msg}); err != nil {
+				return shed, err
+			}
+			shed = append(shed, v.spec.ID())
+			toShed--
+		}
+		i = j
+	}
+	if len(shed) > 0 {
+		c.cfg.Logf("sweepd: OVERLOAD: shed %d job(s): %v", len(shed), shed)
+	}
+	return shed, nil
+}
+
+// Register announces (or refreshes) a worker.
+func (c *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Clock()
+	if _, ok := c.workers[req.Worker]; !ok {
+		c.cfg.Logf("sweepd: worker %s registered", req.Worker)
+	}
+	c.workers[req.Worker] = &workerInfo{lastSeen: now}
+	return RegisterResponse{
+		LeaseMillis:     c.cfg.LeaseTTL.Milliseconds(),
+		HeartbeatMillis: c.cfg.HeartbeatEvery.Milliseconds(),
+	}, nil
+}
+
+// Lease hands the first runnable pending job (submission order, backoff
+// respected) to the worker under a fresh lease.
+func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Clock()
+	if w := c.workers[req.Worker]; w != nil {
+		w.lastSeen = now
+	} else {
+		c.workers[req.Worker] = &workerInfo{lastSeen: now}
+	}
+	if err := c.reapLocked(now); err != nil {
+		return LeaseResponse{}, err
+	}
+	// Lease is idempotent per worker: a worker that already holds a live
+	// lease gets the same lease back. Without this, a duplicated request or
+	// a dropped response would orphan a lease — granted but unknown to the
+	// worker — which then burns a full TTL and a retry attempt for nothing.
+	// (Workers run one job at a time, so a re-request means the previous
+	// grant never arrived.)
+	for _, id := range c.order {
+		if j := c.jobs[id]; j.state == StateLeased && j.worker == req.Worker {
+			j.expiry = now.Add(c.cfg.LeaseTTL)
+			spec := j.spec
+			return LeaseResponse{Job: &spec, LeaseID: j.leaseID, Attempt: j.attempt}, nil
+		}
+	}
+	drained := true
+	var nextWake time.Duration
+	for _, id := range c.order {
+		j := c.jobs[id]
+		if j.state == StateDone || j.state == StateFailed {
+			continue
+		}
+		drained = false
+		if j.state != StatePending {
+			continue
+		}
+		if j.notBefore.After(now) {
+			if wait := j.notBefore.Sub(now); nextWake == 0 || wait < nextWake {
+				nextWake = wait
+			}
+			continue
+		}
+		j.attempt++
+		c.leaseSeq++
+		j.state = StateLeased
+		j.worker = req.Worker
+		j.leaseID = c.leaseSeq
+		j.expiry = now.Add(c.cfg.LeaseTTL)
+		j.progress = "leased"
+		if err := c.journal.append(journalEntry{Op: opLease, ID: id,
+			Worker: req.Worker, Attempt: j.attempt}); err != nil {
+			return LeaseResponse{}, err
+		}
+		c.emit("sweepd", JobStatus{Job: j.spec, State: StateLeased, Attempt: j.attempt, Worker: req.Worker})
+		spec := j.spec
+		return LeaseResponse{Job: &spec, LeaseID: j.leaseID, Attempt: j.attempt}, nil
+	}
+	wait := c.cfg.HeartbeatEvery
+	if nextWake > 0 && nextWake < wait {
+		wait = nextWake
+	}
+	return LeaseResponse{WaitMillis: wait.Milliseconds(), Drained: drained}, nil
+}
+
+// Heartbeat renews a lease and records progress. A heartbeat for a lease
+// that is no longer current tells the worker to abandon the run.
+func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Clock()
+	if w := c.workers[req.Worker]; w != nil {
+		w.lastSeen = now
+	}
+	for _, j := range c.jobs {
+		if j.state == StateLeased && j.leaseID == req.LeaseID && j.worker == req.Worker {
+			j.expiry = now.Add(c.cfg.LeaseTTL)
+			if req.Progress != "" {
+				j.progress = req.Progress
+			}
+			return HeartbeatResponse{}, nil
+		}
+	}
+	return HeartbeatResponse{Cancel: true}, nil
+}
+
+// Complete finishes a lease. The idempotence rules that make duplicate and
+// resurrected-worker completions harmless:
+//
+//   - current lease + record  -> commit.
+//   - current lease + failure -> requeue (budget permitting) or fail.
+//   - stale lease + record whose fingerprint matches the job -> commit
+//     anyway (deterministic measurement, content-addressed: the bytes are
+//     the bytes). If the job is already done, a repeated commit rewrites
+//     identical content — a no-op by value.
+//   - stale lease + failure -> discarded; the retry already lives elsewhere.
+func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Clock()
+	if w := c.workers[req.Worker]; w != nil {
+		w.lastSeen = now
+	}
+	var j *jobEntry
+	if req.Record != nil {
+		j = c.jobs[req.Record.Group+"/"+req.Record.Name]
+	}
+	if j == nil {
+		for _, cand := range c.jobs {
+			if cand.leaseID == req.LeaseID && cand.state == StateLeased {
+				j = cand
+				break
+			}
+		}
+	}
+	if j == nil {
+		return CompleteResponse{Stale: true}, nil
+	}
+	current := j.state == StateLeased && j.leaseID == req.LeaseID && j.worker == req.Worker
+	switch {
+	case req.Record != nil:
+		if req.Record.Fingerprint != j.spec.Fingerprint {
+			c.cfg.Logf("sweepd: rejected completion for %s: fingerprint %s != spec %s",
+				j.spec.ID(), req.Record.Fingerprint, j.spec.Fingerprint)
+			return CompleteResponse{Stale: !current}, nil
+		}
+		if j.state == StateDone {
+			return CompleteResponse{Accepted: true, Stale: true}, nil
+		}
+		if j.state == StateFailed {
+			// Terminal failure already surfaced to clients; keep it stable.
+			return CompleteResponse{Stale: true}, nil
+		}
+		if err := c.commitDoneLocked(j, req.Record, false, req.Worker); err != nil {
+			return CompleteResponse{}, err
+		}
+		return CompleteResponse{Accepted: true, Stale: !current}, nil
+	case req.Failure != nil:
+		if !current {
+			return CompleteResponse{Stale: true}, nil
+		}
+		if err := c.requeueLocked(j, req.Failure, now); err != nil {
+			return CompleteResponse{}, err
+		}
+		return CompleteResponse{Accepted: true}, nil
+	default:
+		return CompleteResponse{}, fmt.Errorf("sweepd: complete carries neither record nor failure")
+	}
+}
+
+// reapLocked requeues jobs whose lease deadline passed (missed heartbeats:
+// worker died, network partitioned, or the run wedged past its watchdog) and
+// applies shedding if the pool has shrunk below the floor.
+func (c *Coordinator) reapLocked(now time.Time) error {
+	for _, id := range c.order {
+		j := c.jobs[id]
+		if j.state == StateLeased && now.After(j.expiry) {
+			c.cfg.Logf("sweepd: lease on %s (worker %s) expired", id, j.worker)
+			cause := &Failure{Code: FailLeaseExpired,
+				Message: fmt.Sprintf("worker %s missed heartbeats (lease ttl %s)", j.worker, c.cfg.LeaseTTL)}
+			if err := c.requeueLocked(j, cause, now); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := c.shedLocked()
+	return err
+}
+
+// Reap is the public tick: lease expiry plus degradation policy. The serving
+// loop calls it periodically; tests call it directly with a fake clock.
+func (c *Coordinator) Reap() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reapLocked(c.cfg.Clock())
+}
+
+// ReapLoop runs Reap every interval until stop closes.
+func (c *Coordinator) ReapLoop(stop <-chan struct{}, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if err := c.Reap(); err != nil {
+				c.cfg.Logf("sweepd: reap: %v", err)
+			}
+		}
+	}
+}
+
+// statusLocked renders one job's external view.
+func statusLocked(j *jobEntry) JobStatus {
+	st := JobStatus{Job: j.spec, State: j.state, Attempt: j.attempt,
+		Worker: j.worker, Progress: j.progress, Cached: j.cached}
+	if j.record != nil {
+		r := *j.record
+		st.Record = &r
+	}
+	if j.failure != nil {
+		f := *j.failure
+		st.Failure = &f
+	}
+	return st
+}
+
+// Results reports job states. Unknown IDs are returned as failed with
+// FailUnknownJob so a client polling a restarted, journal-less coordinator
+// terminates instead of spinning.
+func (c *Coordinator) Results(req ResultsRequest) (ResultsResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := req.IDs
+	if len(ids) == 0 {
+		ids = c.order
+	}
+	resp := ResultsResponse{Done: true}
+	for _, id := range ids {
+		j, ok := c.jobs[id]
+		if !ok {
+			group, name := splitID(id)
+			resp.Jobs = append(resp.Jobs, JobStatus{
+				Job: JobSpec{Group: group, Name: name}, State: StateFailed,
+				Failure: &Failure{Code: FailUnknownJob, Message: "job not known to this coordinator"},
+			})
+			continue
+		}
+		st := statusLocked(j)
+		if st.State != StateDone && st.State != StateFailed {
+			resp.Done = false
+		}
+		resp.Jobs = append(resp.Jobs, st)
+	}
+	return resp, nil
+}
+
+// splitID inverts JobSpec.ID — group before the first slash, name after —
+// so an unknown-job status still carries a spec whose ID matches the poll.
+func splitID(id string) (group, name string) {
+	if i := strings.Index(id, "/"); i >= 0 {
+		return id[:i], id[i+1:]
+	}
+	return "", id
+}
+
+// State renders the whole queue for humans (/api/sweepd/state).
+func (c *Coordinator) State() StateResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Clock()
+	resp := StateResponse{LiveWorkers: c.liveWorkersLocked(now)}
+	for _, id := range c.order {
+		j := c.jobs[id]
+		resp.Jobs = append(resp.Jobs, statusLocked(j))
+		switch j.state {
+		case StatePending:
+			resp.Pending++
+		case StateLeased:
+			resp.Leased++
+		case StateDone:
+			resp.Done++
+		case StateFailed:
+			resp.Failed++
+		}
+	}
+	return resp
+}

@@ -1,0 +1,460 @@
+package sweepd
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"skipit/internal/sweep"
+)
+
+// fakeClock is an injectable wall clock for lease/backoff tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testStore(t *testing.T) *sweep.Store {
+	t.Helper()
+	st, err := sweep.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func testCoord(t *testing.T, mutate func(*CoordConfig)) (*Coordinator, *fakeClock) {
+	t.Helper()
+	clk := newFakeClock()
+	cfg := CoordConfig{
+		Store:       testStore(t),
+		Seed:        42,
+		LeaseTTL:    time.Second,
+		MaxAttempts: 2,
+		BackoffBase: 100 * time.Millisecond,
+		BackoffMax:  time.Second,
+		Clock:       clk.Now,
+		Logf:        t.Logf,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, clk
+}
+
+func spec(group, name, fp string) JobSpec {
+	return JobSpec{Group: group, Name: name, Fingerprint: fp}
+}
+
+// status fetches one job's state or fails the test.
+func status(t *testing.T, c *Coordinator, id string) JobStatus {
+	t.Helper()
+	resp, err := c.Results(ResultsRequest{IDs: []string{id}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Jobs) != 1 {
+		t.Fatalf("Results returned %d jobs for one id", len(resp.Jobs))
+	}
+	return resp.Jobs[0]
+}
+
+func TestSubmitIdempotentAndStoreHit(t *testing.T) {
+	c, _ := testCoord(t, nil)
+	// Pre-commit one measurement so its submission is a content-address hit.
+	c.cfg.Store.Put("fig09", sweep.Record{Group: "fig09", Name: "hit", Fingerprint: "fpA", Cycles: 10, Reps: 1})
+
+	resp, err := c.Submit(SubmitRequest{Jobs: []JobSpec{
+		spec("fig09", "hit", "fpA"),
+		spec("fig09", "miss", "fpB"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 2 || resp.Known != 0 {
+		t.Fatalf("first submit: %+v", resp)
+	}
+	if st := status(t, c, "fig09/hit"); st.State != StateDone || !st.Cached || st.Record == nil || st.Record.Cycles != 10 {
+		t.Fatalf("store hit not resolved at submit: %+v", st)
+	}
+	if st := status(t, c, "fig09/miss"); st.State != StatePending {
+		t.Fatalf("store miss should be pending: %+v", st)
+	}
+
+	// Resubmission changes nothing.
+	resp, err = c.Submit(SubmitRequest{Jobs: []JobSpec{spec("fig09", "hit", "fpA"), spec("fig09", "miss", "fpB")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 0 || resp.Known != 2 {
+		t.Fatalf("resubmit: %+v", resp)
+	}
+}
+
+func TestLeaseExpiryRequeuesThenExhaustsBudget(t *testing.T) {
+	c, clk := testCoord(t, nil) // MaxAttempts: 2
+	if _, err := c.Submit(SubmitRequest{Jobs: []JobSpec{spec("g", "a", "f")}}); err != nil {
+		t.Fatal(err)
+	}
+
+	lease, err := c.Lease(LeaseRequest{Worker: "w1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Job == nil || lease.Attempt != 1 {
+		t.Fatalf("first lease: %+v", lease)
+	}
+
+	// Silent worker death: no heartbeat for over a lease TTL.
+	clk.Advance(1100 * time.Millisecond)
+	if err := c.Reap(); err != nil {
+		t.Fatal(err)
+	}
+	st := status(t, c, "g/a")
+	if st.State != StatePending || st.Attempt != 1 {
+		t.Fatalf("after expiry: %+v", st)
+	}
+
+	// The requeue sits behind backoff: an immediate lease gets nothing.
+	if l, _ := c.Lease(LeaseRequest{Worker: "w2"}); l.Job != nil {
+		t.Fatalf("leased %s before backoff elapsed", l.Job.ID())
+	}
+	clk.Advance(300 * time.Millisecond) // past base+jitter < 2*base
+	lease, err = c.Lease(LeaseRequest{Worker: "w2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Job == nil || lease.Attempt != 2 {
+		t.Fatalf("retry lease: %+v", lease)
+	}
+
+	// Second silent death exhausts the budget: terminal failure, typed.
+	clk.Advance(1100 * time.Millisecond)
+	if err := c.Reap(); err != nil {
+		t.Fatal(err)
+	}
+	st = status(t, c, "g/a")
+	if st.State != StateFailed || st.Failure == nil || st.Failure.Code != FailLeaseExpired {
+		t.Fatalf("after budget exhausted: %+v", st)
+	}
+	if resp, _ := c.Results(ResultsRequest{IDs: []string{"g/a"}}); !resp.Done {
+		t.Fatal("terminal failure should report Done to pollers")
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	c1, _ := testCoord(t, nil)
+	c2, _ := testCoord(t, nil)
+	c3, _ := testCoord(t, func(cfg *CoordConfig) { cfg.Seed = 43 })
+
+	ids := []string{"fig09/flush/size64", "fig11/skipit/threads4", "g/a"}
+	var differs bool
+	for _, id := range ids {
+		for attempt := 1; attempt <= 4; attempt++ {
+			d1 := c1.backoffFor(id, attempt)
+			d2 := c2.backoffFor(id, attempt)
+			if d1 != d2 {
+				t.Fatalf("same seed, different backoff for %s attempt %d: %s vs %s", id, attempt, d1, d2)
+			}
+			if d1 != c3.backoffFor(id, attempt) {
+				differs = true
+			}
+			base := c1.cfg.BackoffBase << uint(attempt-1)
+			if base > c1.cfg.BackoffMax {
+				base = c1.cfg.BackoffMax
+			}
+			if d1 < base && d1 != c1.cfg.BackoffMax {
+				t.Errorf("backoff %s below exponential floor %s (attempt %d)", d1, base, attempt)
+			}
+			if d1 > c1.cfg.BackoffMax {
+				t.Errorf("backoff %s above cap %s", d1, c1.cfg.BackoffMax)
+			}
+		}
+	}
+	if !differs {
+		t.Error("seed 42 and 43 produced identical schedules everywhere; jitter is not seeded")
+	}
+}
+
+func TestLeaseIdempotentPerWorker(t *testing.T) {
+	c, _ := testCoord(t, nil)
+	if _, err := c.Submit(SubmitRequest{Jobs: []JobSpec{spec("g", "a", "f"), spec("g", "b", "f")}}); err != nil {
+		t.Fatal(err)
+	}
+	// A duplicated request (or a dropped response) must not orphan a lease:
+	// the worker gets the same grant back, at the same attempt.
+	l1, _ := c.Lease(LeaseRequest{Worker: "w1"})
+	l2, _ := c.Lease(LeaseRequest{Worker: "w1"})
+	if l2.Job == nil || l2.Job.ID() != l1.Job.ID() || l2.LeaseID != l1.LeaseID || l2.Attempt != l1.Attempt {
+		t.Fatalf("re-request changed the lease: %+v vs %+v", l1, l2)
+	}
+	// A different worker gets the other job.
+	l3, _ := c.Lease(LeaseRequest{Worker: "w2"})
+	if l3.Job == nil || l3.Job.ID() == l1.Job.ID() {
+		t.Fatalf("second worker's lease: %+v", l3)
+	}
+}
+
+func TestCompleteFailureConsumesRetryBudget(t *testing.T) {
+	c, clk := testCoord(t, nil) // MaxAttempts: 2
+	if _, err := c.Submit(SubmitRequest{Jobs: []JobSpec{spec("g", "a", "f")}}); err != nil {
+		t.Fatal(err)
+	}
+
+	lease, _ := c.Lease(LeaseRequest{Worker: "w1"})
+	resp, err := c.Complete(CompleteRequest{Worker: "w1", LeaseID: lease.LeaseID,
+		Failure: &Failure{Code: FailRunError, Message: "measure blew up"}})
+	if err != nil || !resp.Accepted {
+		t.Fatalf("first failure: %+v, %v", resp, err)
+	}
+	if st := status(t, c, "g/a"); st.State != StatePending {
+		t.Fatalf("should be requeued: %+v", st)
+	}
+
+	clk.Advance(300 * time.Millisecond)
+	lease, _ = c.Lease(LeaseRequest{Worker: "w1"})
+	if lease.Job == nil {
+		t.Fatal("no retry lease")
+	}
+	if _, err := c.Complete(CompleteRequest{Worker: "w1", LeaseID: lease.LeaseID,
+		Failure: &Failure{Code: FailRunError, Message: "again"}}); err != nil {
+		t.Fatal(err)
+	}
+	st := status(t, c, "g/a")
+	if st.State != StateFailed || st.Failure.Code != FailRunError || st.Attempt != 2 {
+		t.Fatalf("budget exhausted: %+v", st)
+	}
+}
+
+func TestCompleteIdempotentAndStale(t *testing.T) {
+	c, clk := testCoord(t, func(cfg *CoordConfig) { cfg.MaxAttempts = 5 })
+	if _, err := c.Submit(SubmitRequest{Jobs: []JobSpec{spec("g", "a", "fp1")}}); err != nil {
+		t.Fatal(err)
+	}
+	rec := sweep.Record{Group: "g", Name: "a", Fingerprint: "fp1", Cycles: 77, Reps: 1}
+
+	// w1 leases, goes silent, the lease is reclaimed and re-leased to w2.
+	l1, _ := c.Lease(LeaseRequest{Worker: "w1"})
+	clk.Advance(1100 * time.Millisecond)
+	if err := c.Reap(); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(300 * time.Millisecond)
+	l2, _ := c.Lease(LeaseRequest{Worker: "w2"})
+	if l2.Job == nil || l2.LeaseID == l1.LeaseID {
+		t.Fatalf("re-lease: %+v", l2)
+	}
+
+	// w1 resurrects and delivers its result under the dead lease. The
+	// fingerprint matches, the measurement is deterministic: commit it.
+	resp, err := c.Complete(CompleteRequest{Worker: "w1", LeaseID: l1.LeaseID, Record: &rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Accepted || !resp.Stale {
+		t.Fatalf("stale matching record should commit: %+v", resp)
+	}
+	if st := status(t, c, "g/a"); st.State != StateDone || st.Record.Cycles != 77 {
+		t.Fatalf("not committed: %+v", st)
+	}
+	if got, ok := c.cfg.Store.Lookup("g", "a", "fp1"); !ok || got.Cycles != 77 {
+		t.Fatalf("store missing the committed record: %+v ok=%v", got, ok)
+	}
+
+	// w2 finishes too: duplicate completion of a done job is harmless.
+	resp, err = c.Complete(CompleteRequest{Worker: "w2", LeaseID: l2.LeaseID, Record: &rec})
+	if err != nil || !resp.Accepted || !resp.Stale {
+		t.Fatalf("duplicate completion: %+v, %v", resp, err)
+	}
+	// A stale failure must not un-finish the job.
+	resp, err = c.Complete(CompleteRequest{Worker: "w2", LeaseID: l2.LeaseID,
+		Failure: &Failure{Code: FailRunError, Message: "late and wrong"}})
+	if err != nil || resp.Accepted || !resp.Stale {
+		t.Fatalf("stale failure should be discarded: %+v, %v", resp, err)
+	}
+	if st := status(t, c, "g/a"); st.State != StateDone {
+		t.Fatalf("stale failure flipped a done job: %+v", st)
+	}
+}
+
+func TestCompleteRejectsFingerprintDrift(t *testing.T) {
+	c, _ := testCoord(t, nil)
+	if _, err := c.Submit(SubmitRequest{Jobs: []JobSpec{spec("g", "a", "fp1")}}); err != nil {
+		t.Fatal(err)
+	}
+	lease, _ := c.Lease(LeaseRequest{Worker: "w1"})
+	bad := sweep.Record{Group: "g", Name: "a", Fingerprint: "fpOTHER", Cycles: 1, Reps: 1}
+	resp, err := c.Complete(CompleteRequest{Worker: "w1", LeaseID: lease.LeaseID, Record: &bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted {
+		t.Fatal("drifted fingerprint accepted")
+	}
+	if st := status(t, c, "g/a"); st.State != StateLeased {
+		t.Fatalf("rejection should not change state: %+v", st)
+	}
+	if _, ok := c.cfg.Store.Lookup("g", "a", "fpOTHER"); ok {
+		t.Fatal("drifted record reached the store")
+	}
+}
+
+func TestOverloadSheddingByPriorityNewestFirst(t *testing.T) {
+	c, _ := testCoord(t, func(cfg *CoordConfig) {
+		cfg.MinWorkers = 1 // no workers registered: always below floor
+		cfg.MaxQueue = 2
+	})
+	jobs := []JobSpec{
+		{Group: "g", Name: "j0", Fingerprint: "f", Priority: 1},
+		{Group: "g", Name: "j1", Fingerprint: "f", Priority: 0},
+		{Group: "g", Name: "j2", Fingerprint: "f", Priority: 0},
+		{Group: "g", Name: "j3", Fingerprint: "f", Priority: 1},
+		{Group: "g", Name: "j4", Fingerprint: "f", Priority: 2},
+	}
+	resp, err := c.Submit(SubmitRequest{Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lowest priority first; within a priority, newest submission first.
+	want := []string{"g/j2", "g/j1", "g/j3"}
+	if len(resp.Shed) != len(want) {
+		t.Fatalf("shed %v, want %v", resp.Shed, want)
+	}
+	for i := range want {
+		if resp.Shed[i] != want[i] {
+			t.Fatalf("shed %v, want %v", resp.Shed, want)
+		}
+	}
+	for _, id := range want {
+		if st := status(t, c, id); st.State != StateFailed || st.Failure.Code != FailOverloaded {
+			t.Fatalf("%s not typed-failed: %+v", id, st)
+		}
+	}
+	for _, id := range []string{"g/j0", "g/j4"} {
+		if st := status(t, c, id); st.State != StatePending {
+			t.Fatalf("survivor %s: %+v", id, st)
+		}
+	}
+
+	// With a worker alive, shedding stops.
+	if _, err := c.Register(RegisterRequest{Worker: "w1"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = c.Submit(SubmitRequest{Jobs: []JobSpec{spec("g", "j5", "f"), spec("g", "j6", "f"), spec("g", "j7", "f")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Shed) != 0 {
+		t.Fatalf("shed with a live pool: %v", resp.Shed)
+	}
+}
+
+func TestJournalRecoveryAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	journalPath := filepath.Join(dir, "journal.jsonl")
+	storeDir := filepath.Join(dir, "store")
+	clk := newFakeClock()
+	open := func() *Coordinator {
+		st, err := sweep.Open(storeDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewCoordinator(CoordConfig{
+			Store: st, JournalPath: journalPath, Seed: 7,
+			LeaseTTL: time.Second, MaxAttempts: 3,
+			BackoffBase: 50 * time.Millisecond, Clock: clk.Now, Logf: t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	c1 := open()
+	if _, err := c1.Submit(SubmitRequest{Jobs: []JobSpec{
+		spec("g", "done", "fpD"), spec("g", "leased", "fpL"), spec("g", "pending", "fpP"),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	// Finish one.
+	l, _ := c1.Lease(LeaseRequest{Worker: "w1"})
+	if l.Job == nil || l.Job.Name != "done" {
+		t.Fatalf("lease order: %+v", l)
+	}
+	rec := sweep.Record{Group: "g", Name: "done", Fingerprint: "fpD", Cycles: 5, Reps: 1}
+	if _, err := c1.Complete(CompleteRequest{Worker: "w1", LeaseID: l.LeaseID, Record: &rec}); err != nil {
+		t.Fatal(err)
+	}
+	// Lease another and crash with it outstanding.
+	if l, _ = c1.Lease(LeaseRequest{Worker: "w1"}); l.Job == nil || l.Job.Name != "leased" {
+		t.Fatalf("second lease: %+v", l)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := open()
+	defer c2.Close()
+	if st := status(t, c2, "g/done"); st.State != StateDone || st.Record == nil || st.Record.Cycles != 5 {
+		t.Fatalf("done job lost: %+v", st)
+	}
+	// The outstanding lease died with the coordinator: requeued at the same
+	// attempt count (the budget was consumed).
+	if st := status(t, c2, "g/leased"); st.State != StatePending || st.Attempt != 1 {
+		t.Fatalf("leased job after replay: %+v", st)
+	}
+	if st := status(t, c2, "g/pending"); st.State != StatePending || st.Attempt != 0 {
+		t.Fatalf("pending job after replay: %+v", st)
+	}
+
+	// The recovered queue still runs: both remaining jobs are leasable now
+	// (leases are not durable, so no backoff gate survives the restart).
+	// Two workers, because Lease is idempotent per worker: one worker asking
+	// twice gets the same lease back, not a second job.
+	names := map[string]bool{}
+	for _, worker := range []string{"w2", "w3"} {
+		l, err := c2.Lease(LeaseRequest{Worker: worker})
+		if err != nil || l.Job == nil {
+			t.Fatalf("post-recovery lease for %s: %+v, %v", worker, l, err)
+		}
+		names[l.Job.Name] = true
+	}
+	if !names["leased"] || !names["pending"] {
+		t.Fatalf("post-recovery leases: %v", names)
+	}
+}
+
+func TestResultsUnknownIDTerminates(t *testing.T) {
+	c, _ := testCoord(t, nil)
+	resp, err := c.Results(ResultsRequest{IDs: []string{"g/ghost"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Done || len(resp.Jobs) != 1 {
+		t.Fatalf("unknown id poll: %+v", resp)
+	}
+	if resp.Jobs[0].State != StateFailed || resp.Jobs[0].Failure.Code != FailUnknownJob {
+		t.Fatalf("unknown id should fail typed: %+v", resp.Jobs[0])
+	}
+}

@@ -1,0 +1,266 @@
+package sweepd
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"skipit/internal/introspect"
+	"skipit/internal/sweep"
+)
+
+// assertStoresByteIdentical compares the named group files of two stores.
+func assertStoresByteIdentical(t *testing.T, dirA, dirB string, groups []string) {
+	t.Helper()
+	for _, g := range groups {
+		a, err := os.ReadFile(filepath.Join(dirA, sweep.FileName(g)))
+		if err != nil {
+			t.Fatalf("reading %s from %s: %v", g, dirA, err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, sweep.FileName(g)))
+		if err != nil {
+			t.Fatalf("reading %s from %s: %v", g, dirB, err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("BENCH_%s.json differs between %s and %s:\n--- serial ---\n%s\n--- fleet ---\n%s",
+				g, dirA, dirB, a, b)
+		}
+	}
+}
+
+// TestE2EFaultInjectedFleet is the tentpole acceptance test: a fleet run
+// over real HTTP with seed-scheduled transport faults on every link, one
+// worker kill -9'd mid-run, and a coordinator crash + journal recovery —
+// and every submitted job must land exactly one committed result or one
+// typed terminal error, with the client's store files byte-identical to a
+// serial in-process run.
+func TestE2EFaultInjectedFleet(t *testing.T) {
+	const (
+		slow    = 30 * time.Millisecond // per-job runtime so kills land mid-run
+		failIdx = 5                     // this job always errors: the typed-terminal-path probe
+	)
+	var jobs []sweep.Job
+	for i := 0; i < 12; i++ {
+		group := "e2e1"
+		if i >= 7 {
+			group = "e2e2"
+		}
+		name := fmt.Sprintf("pt%02d", i)
+		cycles := float64(1000 + 13*i)
+		if i == failIdx {
+			jobs = append(jobs, sweep.Job{
+				Group: group, Name: name, Fingerprint: "fp-" + name,
+				Run: func(sweep.Sink) (sweep.Outcome, error) {
+					time.Sleep(slow)
+					return sweep.Outcome{}, fmt.Errorf("synthetic permanent failure")
+				},
+			})
+			continue
+		}
+		jobs = append(jobs, sweep.Job{
+			Group: group, Name: name, Fingerprint: "fp-" + name,
+			Run: func(sweep.Sink) (sweep.Outcome, error) {
+				time.Sleep(slow)
+				return sweep.Outcome{Cycles: cycles, Reps: 1}, nil
+			},
+		})
+	}
+
+	// Serial reference run (the failing job fails here too, so both stores
+	// carry exactly the successful records).
+	dir := t.TempDir()
+	serialStore, err := sweep.Open(filepath.Join(dir, "serial"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := sweep.Runner{Workers: 1, Store: serialStore}
+	serialResults := serial.Run(jobs)
+	if err := serialStore.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Coordinator 1 rides the introspection server: one listener for
+	// /metrics, /events, and the job API.
+	journalPath := filepath.Join(dir, "journal.jsonl")
+	coordDir := filepath.Join(dir, "coord")
+	coordCfg := func(st *sweep.Store) CoordConfig {
+		return CoordConfig{
+			Store: st, JournalPath: journalPath, Seed: 1234,
+			LeaseTTL: 1200 * time.Millisecond, MaxAttempts: 5,
+			BackoffBase: 20 * time.Millisecond, BackoffMax: 200 * time.Millisecond,
+			Logf: t.Logf,
+		}
+	}
+	st1, err := sweep.Open(coordDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := NewCoordinator(coordCfg(st1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1, err := introspect.New("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Mount(srv1, c1)
+
+	// Every client shares one switchable HTTP transport so the test can
+	// repoint the fleet at the restarted coordinator.
+	link := &switchTransport{}
+	link.set(&HTTPTransport{Base: "http://" + srv1.Addr()})
+
+	source := IndexJobs(jobs)
+	newWorker := func(name string, seed int64) (*Worker, *FaultTransport) {
+		ft := &FaultTransport{Inner: link, Plan: FaultPlan{
+			Seed: seed, DropRequest: 0.08, DropResponse: 0.08, Duplicate: 0.15,
+			DelayMax: 2 * time.Millisecond,
+		}}
+		w := NewWorker(WorkerConfig{
+			Name: name, Client: &Client{T: ft}, Source: source,
+			PollEvery: 20 * time.Millisecond, JobTimeout: 10 * time.Second,
+			Logf: t.Logf,
+		})
+		return w, ft
+	}
+	w1, w1link := newWorker("w1", 11)
+	w2, _ := newWorker("w2", 22)
+	go w1.Run() //nolint:errcheck
+	go w2.Run() //nolint:errcheck
+	defer w1.Stop()
+	defer w2.Stop()
+
+	// The fleet client gets its own (milder) fault plan.
+	fleetStore, err := sweep.Open(filepath.Join(dir, "fleet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientLink := &FaultTransport{Inner: link, Plan: FaultPlan{
+		Seed: 33, DropRequest: 0.05, DropResponse: 0.05,
+	}}
+	fleet := &Fleet{
+		Client: &Client{T: clientLink}, Fallback: sweep.Runner{Workers: 2},
+		Store: fleetStore, PollEvery: 50 * time.Millisecond,
+		SubmitRetries: 6, Logf: t.Logf,
+	}
+	resCh := make(chan []sweep.JobResult, 1)
+	go func() { resCh <- fleet.Run(jobs) }()
+
+	// Let the run get going, then kill -9 one worker mid-flight.
+	waitFor(t, 30*time.Second, "first completions", func() bool {
+		return c1.State().Done >= 3
+	})
+	w1link.Kill()
+	w1.Stop()
+
+	// Crash the coordinator: sever the link, stop the server, abandon the
+	// process. The journal is the only thing that survives.
+	link.set(errTransport{})
+	time.Sleep(50 * time.Millisecond) // drain in-flight handlers
+	srv1.Close()
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: same journal, same store directory, fresh everything else.
+	st2, err := sweep.Open(coordDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCoordinator(coordCfg(st2))
+	if err != nil {
+		t.Fatalf("journal recovery: %v", err)
+	}
+	defer c2.Close()
+	srv2, err := introspect.New("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	Mount(srv2, c2)
+	link.set(&HTTPTransport{Base: "http://" + srv2.Addr()})
+
+	// A replacement worker joins the recovered pool.
+	w3, _ := newWorker("w3", 44)
+	go w3.Run() //nolint:errcheck
+	defer w3.Stop()
+
+	var results []sweep.JobResult
+	select {
+	case results = <-resCh:
+	case <-time.After(90 * time.Second):
+		t.Fatalf("fleet run did not converge; coordinator state: %+v", c2.State())
+	}
+
+	// Exactly one outcome per job: a committed record or a typed error.
+	for i := range jobs {
+		if i == failIdx {
+			var jobErr *JobError
+			if !errors.As(results[i].Err, &jobErr) {
+				t.Fatalf("job %d should fail typed, got %v", i, results[i].Err)
+			}
+			// The retry budget is usually exhausted by run errors, but under
+			// injected faults the last attempt can also die as an expired
+			// lease (e.g. the killed worker held it). Either way the error
+			// must be typed. The exact run-error classification is pinned
+			// deterministically in TestCompleteFailureConsumesRetryBudget.
+			if jobErr.Failure.Code != FailRunError && jobErr.Failure.Code != FailLeaseExpired {
+				t.Fatalf("job %d failure code %q, want %q or %q",
+					i, jobErr.Failure.Code, FailRunError, FailLeaseExpired)
+			}
+			continue
+		}
+		if results[i].Err != nil {
+			t.Fatalf("job %d (%s) failed: %v", i, jobs[i].Name, results[i].Err)
+		}
+		if results[i].Record.Fingerprint != jobs[i].Fingerprint {
+			t.Fatalf("job %d record: %+v", i, results[i].Record)
+		}
+		if want := float64(1000 + 13*i); results[i].Record.Cycles != want {
+			t.Fatalf("job %d cycles %v, want %v", i, results[i].Record.Cycles, want)
+		}
+	}
+
+	// The coordinator's store holds each successful record exactly once
+	// (names are unique per file — Validate enforces it on load).
+	for _, g := range []string{"e2e1", "e2e2"} {
+		f, err := sweep.LoadFile(filepath.Join(coordDir, sweep.FileName(g)))
+		if err != nil {
+			t.Fatalf("coordinator store %s: %v", g, err)
+		}
+		seen := map[string]int{}
+		for _, r := range f.Records {
+			seen[r.Name]++
+		}
+		for i := range jobs {
+			if jobs[i].Group != g || i == failIdx {
+				continue
+			}
+			if seen[jobs[i].Name] != 1 {
+				t.Errorf("coordinator store %s: record %s appears %d times, want exactly 1",
+					g, jobs[i].Name, seen[jobs[i].Name])
+			}
+		}
+	}
+
+	// The client's flushed files are byte-identical to the serial run: where
+	// a record was computed cannot show in the bytes.
+	if err := fleetStore.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	assertStoresByteIdentical(t, serialStore.Dir(), fleetStore.Dir(), []string{"e2e1", "e2e2"})
+
+	// And the serial results agree with the fleet's on every success.
+	for i := range jobs {
+		if i == failIdx {
+			continue
+		}
+		if !reflect.DeepEqual(serialResults[i].Record, results[i].Record) {
+			t.Errorf("job %d: serial %+v != fleet %+v", i, serialResults[i].Record, results[i].Record)
+		}
+	}
+}

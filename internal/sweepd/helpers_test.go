@@ -1,0 +1,67 @@
+package sweepd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// coordTransport routes Calls through the real HTTP handler stack fully in
+// process: the request and response take the same JSON round trip they take
+// over a socket, without the socket.
+type coordTransport struct {
+	c *Coordinator
+}
+
+func (t *coordTransport) Call(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r := httptest.NewRequest("POST", path, bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	Handler(t.c).ServeHTTP(w, r)
+	if w.Code != 200 {
+		return fmt.Errorf("HTTP %d: %s", w.Code, bytes.TrimSpace(w.Body.Bytes()))
+	}
+	if resp == nil {
+		return nil
+	}
+	return json.Unmarshal(w.Body.Bytes(), resp)
+}
+
+// switchTransport lets a test repoint every client at a new coordinator
+// mid-run — the restart lever of the e2e harness.
+type switchTransport struct {
+	mu    sync.Mutex
+	inner Transport
+}
+
+func (s *switchTransport) set(t Transport) {
+	s.mu.Lock()
+	s.inner = t
+	s.mu.Unlock()
+}
+
+func (s *switchTransport) Call(path string, req, resp any) error {
+	s.mu.Lock()
+	inner := s.inner
+	s.mu.Unlock()
+	return inner.Call(path, req, resp)
+}
+
+// waitFor polls cond until true or the deadline, failing the test on timeout.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %s waiting for %s", timeout, what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

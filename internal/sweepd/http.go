@@ -1,0 +1,82 @@
+package sweepd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"skipit/internal/introspect"
+)
+
+// The HTTP layer is a thin JSON shim over the Coordinator's methods,
+// mounted on the introspection server (one listener serves /metrics,
+// /events, and the job API). Every endpoint is a POST of a JSON body from
+// wire.go; /api/sweepd/state additionally answers GET for humans.
+
+// Mount registers the coordinator's job API on an introspect server and
+// wires coordinator state transitions into the server's SSE event stream.
+// Call it before the coordinator starts taking requests: the Events hook is
+// installed unsynchronized.
+func Mount(srv *introspect.Server, c *Coordinator) {
+	if c.cfg.Events == nil {
+		c.cfg.Events = srv.PublishEvent
+	}
+	srv.Handle("/api/sweepd/submit", post(c.Submit))
+	srv.Handle("/api/sweepd/register", post(c.Register))
+	srv.Handle("/api/sweepd/lease", post(c.Lease))
+	srv.Handle("/api/sweepd/heartbeat", post(c.Heartbeat))
+	srv.Handle("/api/sweepd/complete", post(c.Complete))
+	srv.Handle("/api/sweepd/results", post(c.Results))
+	srv.Handle("/api/sweepd/state", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.State())
+	}))
+}
+
+// Handler returns the job API as a standalone http.Handler, for embedding
+// without an introspection server (tests use this with httptest-style
+// in-process transports).
+func Handler(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/api/sweepd/submit", post(c.Submit))
+	mux.Handle("/api/sweepd/register", post(c.Register))
+	mux.Handle("/api/sweepd/lease", post(c.Lease))
+	mux.Handle("/api/sweepd/heartbeat", post(c.Heartbeat))
+	mux.Handle("/api/sweepd/complete", post(c.Complete))
+	mux.Handle("/api/sweepd/results", post(c.Results))
+	mux.Handle("/api/sweepd/state", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.State())
+	}))
+	return mux
+}
+
+// post adapts a typed coordinator method into a JSON POST handler.
+func post[Req, Resp any](fn func(Req) (Resp, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("reading body: %v", err), http.StatusBadRequest)
+			return
+		}
+		var req Req
+		if err := json.Unmarshal(body, &req); err != nil {
+			http.Error(w, fmt.Sprintf("decoding request: %v", err), http.StatusBadRequest)
+			return
+		}
+		resp, err := fn(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, resp)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client disconnects are not actionable
+}

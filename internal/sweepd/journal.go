@@ -1,0 +1,150 @@
+package sweepd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"skipit/internal/sweep"
+)
+
+// The write-ahead journal is the coordinator's crash-recovery substrate: one
+// JSON line per job state transition, appended and fsynced before the
+// transition is acknowledged. On restart the queue is rebuilt by replaying
+// the journal against the result store. The rules that make this sound:
+//
+//   - "done" is journaled only after the record is durably committed to the
+//     store (which itself writes atomically). A crash between store commit
+//     and journal append leaves the job leased in the journal; recovery
+//     requeues it, the re-run commits the identical content-addressed bytes,
+//     and the second "done" line wins. Exactly one result, twice written.
+//   - A torn final line (the crash interrupted the append itself) is
+//     ignored: every acknowledged transition was fully written and fsynced
+//     before the acknowledgment, so the torn line can only describe an
+//     unacknowledged transition, which is indistinguishable from the crash
+//     arriving a microsecond earlier.
+//   - Leases are not durable. Replaying a "lease" with no matching terminal
+//     line requeues the job at the same attempt: the lease died with the
+//     coordinator, and the worker's eventual completion is handled by the
+//     stale-complete path (content-addressed commit or discard).
+
+// journal ops.
+const (
+	opSubmit  = "submit"
+	opLease   = "lease"
+	opRequeue = "requeue"
+	opDone    = "done"
+	opFailed  = "failed"
+)
+
+// journalEntry is one logged transition.
+type journalEntry struct {
+	Op string `json:"op"`
+	// Job is set on submit; every other op refers to the job by ID.
+	Job     *JobSpec `json:"job,omitempty"`
+	ID      string   `json:"id,omitempty"`
+	Worker  string   `json:"worker,omitempty"`
+	Attempt int      `json:"attempt,omitempty"`
+	// Reason annotates requeues (a Failure code such as FailLeaseExpired).
+	Reason string `json:"reason,omitempty"`
+	// Record is carried on done so recovery does not depend on the store
+	// having survived (the store is still the canonical figure output).
+	Record  *sweep.Record `json:"record,omitempty"`
+	Failure *Failure      `json:"failure,omitempty"`
+	// Cached marks a done entry that came from a store hit at submit time.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// journal is an append-only JSONL file.
+type journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// openJournal opens (creating if needed) the journal at path and returns the
+// previously recorded entries. A torn final line is tolerated and dropped;
+// any earlier malformed line means real corruption and fails the open.
+func openJournal(path string) (*journal, []journalEntry, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sweepd: opening journal %s: %w", path, err)
+	}
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("sweepd: reading journal %s: %w", path, err)
+	}
+	var entries []journalEntry
+	var off int64 // on-disk end of the last complete entry
+	for pos := 0; pos < len(raw); {
+		nl := bytes.IndexByte(raw[pos:], '\n')
+		if nl < 0 {
+			// No terminating newline: the append was interrupted mid-line.
+			// Whatever the bytes say, the transition was never acknowledged.
+			break
+		}
+		line := raw[pos : pos+nl]
+		pos += nl + 1
+		if len(line) == 0 {
+			off = int64(pos)
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// A terminated-but-malformed line is real corruption only if
+			// complete entries follow it; as the effective tail it is torn.
+			if rest := bytes.TrimSpace(raw[pos:]); len(rest) != 0 {
+				f.Close()
+				return nil, nil, fmt.Errorf("sweepd: journal %s: malformed line before end of file", path)
+			}
+			break
+		}
+		entries = append(entries, e)
+		off = int64(pos)
+	}
+	// Position the write cursor after the last complete entry, truncating a
+	// torn tail so the next append starts a clean line.
+	if err := f.Truncate(off); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("sweepd: truncating journal %s: %w", path, err)
+	}
+	if _, err := f.Seek(off, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("sweepd: seeking journal %s: %w", path, err)
+	}
+	return &journal{f: f, path: path}, entries, nil
+}
+
+// append logs one entry durably (write + fsync) before returning.
+func (j *journal) append(e journalEntry) error {
+	if j == nil {
+		return nil
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("sweepd: journal entry: %w", err)
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("sweepd: appending journal %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("sweepd: syncing journal %s: %w", j.path, err)
+	}
+	return nil
+}
+
+func (j *journal) close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

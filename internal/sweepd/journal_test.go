@@ -1,0 +1,125 @@
+package sweepd
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"skipit/internal/sweep"
+)
+
+func TestJournalAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, entries, err := openJournal(path)
+	if err != nil {
+		t.Fatalf("openJournal: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("fresh journal replayed %d entries", len(entries))
+	}
+	spec := JobSpec{Group: "fig09", Name: "flush/size64", Fingerprint: "fp1"}
+	rec := sweep.Record{Group: "fig09", Name: "flush/size64", Fingerprint: "fp1", Cycles: 1234, Reps: 3}
+	want := []journalEntry{
+		{Op: opSubmit, Job: &spec},
+		{Op: opLease, ID: spec.ID(), Worker: "w1", Attempt: 1},
+		{Op: opRequeue, ID: spec.ID(), Attempt: 1, Reason: FailLeaseExpired},
+		{Op: opLease, ID: spec.ID(), Worker: "w2", Attempt: 2},
+		{Op: opDone, ID: spec.ID(), Worker: "w2", Record: &rec},
+	}
+	for _, e := range want {
+		if err := j.append(e); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := j.close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	j2, got, err := openJournal(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Op != want[i].Op || got[i].ID != want[i].ID ||
+			got[i].Worker != want[i].Worker || got[i].Attempt != want[i].Attempt {
+			t.Errorf("entry %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if got[0].Job == nil || got[0].Job.Fingerprint != "fp1" {
+		t.Errorf("submit entry lost the job spec: %+v", got[0].Job)
+	}
+	if got[4].Record == nil || got[4].Record.Cycles != 1234 {
+		t.Errorf("done entry lost the record: %+v", got[4].Record)
+	}
+}
+
+func TestJournalTornTailDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Group: "g", Name: "a", Fingerprint: "f"}
+	if err := j.append(journalEntry{Op: opSubmit, Job: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a partial JSON line with no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"done","id":"g/a","rec`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, entries, err := openJournal(path)
+	if err != nil {
+		t.Fatalf("openJournal with torn tail: %v", err)
+	}
+	if len(entries) != 1 || entries[0].Op != opSubmit {
+		t.Fatalf("torn tail not dropped: replayed %+v", entries)
+	}
+	// The torn bytes must be truncated so the next append starts clean.
+	if err := j2.append(journalEntry{Op: opLease, ID: "g/a", Worker: "w", Attempt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j2.close()
+	_, entries, err = openJournal(path)
+	if err != nil {
+		t.Fatalf("reopen after repair: %v", err)
+	}
+	if len(entries) != 2 || entries[1].Op != opLease {
+		t.Fatalf("append after torn tail corrupted the journal: %+v", entries)
+	}
+}
+
+func TestJournalMalformedMidFileFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	content := `{"op":"submit","job":{"group":"g","name":"a","fingerprint":"f"}}` + "\n" +
+		`{"op": not json}` + "\n" +
+		`{"op":"lease","id":"g/a","attempt":1}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := openJournal(path); err == nil {
+		t.Fatal("mid-file corruption accepted; want an error")
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *journal
+	if err := j.append(journalEntry{Op: opSubmit}); err != nil {
+		t.Fatalf("nil journal append: %v", err)
+	}
+	if err := j.close(); err != nil {
+		t.Fatalf("nil journal close: %v", err)
+	}
+}

@@ -1,0 +1,29 @@
+package sweepd
+
+import "skipit/internal/sweep"
+
+// JobSource resolves a wire JobSpec back to a runnable sweep.Job. Workers
+// are compiled with the same job builders as the client (the bench figure
+// table), so (group, name) identifies the closure and the fingerprint
+// proves the worker's build computes the same measurement.
+type JobSource interface {
+	Resolve(group, name string) (sweep.Job, bool)
+}
+
+// jobIndex is the map-backed JobSource.
+type jobIndex map[string]sweep.Job
+
+func (ix jobIndex) Resolve(group, name string) (sweep.Job, bool) {
+	j, ok := ix[group+"/"+name]
+	return j, ok
+}
+
+// IndexJobs builds a JobSource over a job slice. Later duplicates of a
+// (group, name) win, matching the store's replace-by-name semantics.
+func IndexJobs(jobs []sweep.Job) JobSource {
+	ix := make(jobIndex, len(jobs))
+	for _, j := range jobs {
+		ix[j.Group+"/"+j.Name] = j
+	}
+	return ix
+}

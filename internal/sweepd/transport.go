@@ -1,0 +1,198 @@
+package sweepd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"skipit/internal/detrand"
+)
+
+// Transport carries one request/response round trip of the job API. The
+// indirection exists so the fault-injection harness can sit between any
+// client (worker or fleet) and the coordinator, whether the link is a real
+// socket or an in-process handler.
+type Transport interface {
+	// Call POSTs req as JSON to path ("/api/sweepd/lease") and decodes the
+	// response into resp. Any error means the caller must assume nothing
+	// about whether the far side processed the request.
+	Call(path string, req, resp any) error
+}
+
+// HTTPTransport speaks to a coordinator over HTTP.
+type HTTPTransport struct {
+	// Base is the coordinator's base URL ("http://127.0.0.1:7070").
+	Base string
+	// Client defaults to a client with a 30s timeout.
+	Client *http.Client
+}
+
+func (t *HTTPTransport) Call(path string, req, resp any) error {
+	cl := t.Client
+	if cl == nil {
+		cl = &http.Client{Timeout: 30 * time.Second}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("sweepd: encoding %s request: %w", path, err)
+	}
+	httpResp, err := cl.Post(t.Base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("sweepd: %s: %w", path, err)
+	}
+	defer httpResp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("sweepd: reading %s response: %w", path, err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return fmt.Errorf("sweepd: %s: HTTP %d: %s", path, httpResp.StatusCode, bytes.TrimSpace(b))
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := json.Unmarshal(b, resp); err != nil {
+		return fmt.Errorf("sweepd: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// FaultError is the typed error every injected fault surfaces, so tests and
+// retry loops can tell injected faults from real transport failures.
+type FaultError struct {
+	Kind string // "drop-request" | "drop-response" | "partition"
+	Call int    // global call index the fault fired on
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("sweepd: injected fault %s (call %d)", e.Kind, e.Call)
+}
+
+// FaultPlan is a seed-derived schedule of transport faults, mirroring
+// internal/chaos: the same seed produces the same per-call fault decisions,
+// so a failing fleet test replays.
+type FaultPlan struct {
+	Seed int64
+	// Per-call probabilities in [0,1).
+	DropRequest  float64 // request never reaches the coordinator
+	DropResponse float64 // coordinator processes it; reply is lost
+	Duplicate    float64 // request delivered twice (idempotence probe)
+	// DelayMax, when > 0, sleeps a per-call uniform duration in [0, DelayMax)
+	// before delivery.
+	DelayMax time.Duration
+	// Partition windows by call count (wall-clock-free, hence replayable):
+	// every PartitionEvery-th call starts a window in which PartitionLen
+	// consecutive calls fail outright. 0 disables.
+	PartitionEvery int
+	PartitionLen   int
+}
+
+// FaultTransport wraps an inner transport with a FaultPlan. Each call draws
+// its fate from a stream keyed by (seed, call index): the schedule is a pure
+// function of how many calls preceded it, not of wall time or goroutine
+// interleaving.
+type FaultTransport struct {
+	Inner Transport
+	Plan  FaultPlan
+
+	mu    sync.Mutex
+	calls int
+	// dead, when set, drops everything — the kill -9 lever for tests.
+	dead bool
+}
+
+// Kill makes every subsequent call fail without reaching the inner
+// transport: the network-visible behavior of a kill -9'd process.
+func (t *FaultTransport) Kill() {
+	t.mu.Lock()
+	t.dead = true
+	t.mu.Unlock()
+}
+
+func (t *FaultTransport) Call(path string, req, resp any) error {
+	t.mu.Lock()
+	n := t.calls
+	t.calls++
+	dead := t.dead
+	t.mu.Unlock()
+	if dead {
+		return &FaultError{Kind: "drop-request", Call: n}
+	}
+	rng := detrand.Keyed(t.Plan.Seed, "call", fmt.Sprint(n))
+	if t.Plan.PartitionEvery > 0 && t.Plan.PartitionLen > 0 &&
+		n%t.Plan.PartitionEvery < t.Plan.PartitionLen {
+		return &FaultError{Kind: "partition", Call: n}
+	}
+	if t.Plan.DelayMax > 0 {
+		time.Sleep(time.Duration(rng.Int63n(int64(t.Plan.DelayMax))))
+	}
+	if rng.Float64() < t.Plan.DropRequest {
+		return &FaultError{Kind: "drop-request", Call: n}
+	}
+	dup := rng.Float64() < t.Plan.Duplicate
+	dropResp := rng.Float64() < t.Plan.DropResponse
+	if dup {
+		// First delivery: response discarded, like a retransmitted datagram.
+		t.Inner.Call(path, req, nil) //nolint:errcheck // duplicate delivery is best-effort
+	}
+	err := t.Inner.Call(path, req, resp)
+	if err != nil {
+		return err
+	}
+	if dropResp {
+		return &FaultError{Kind: "drop-response", Call: n}
+	}
+	return nil
+}
+
+// Client wraps a Transport with the job API's method surface. Its zero
+// retry policy is deliberate: retry belongs to the caller (the worker's
+// lease loop, the fleet's submit/poll budget), not the stub.
+type Client struct {
+	T Transport
+}
+
+// NewClient builds a client for a coordinator base URL over plain HTTP.
+func NewClient(base string) *Client {
+	return &Client{T: &HTTPTransport{Base: base}}
+}
+
+func (c *Client) Submit(req SubmitRequest) (SubmitResponse, error) {
+	var resp SubmitResponse
+	err := c.T.Call("/api/sweepd/submit", req, &resp)
+	return resp, err
+}
+
+func (c *Client) Register(req RegisterRequest) (RegisterResponse, error) {
+	var resp RegisterResponse
+	err := c.T.Call("/api/sweepd/register", req, &resp)
+	return resp, err
+}
+
+func (c *Client) Lease(req LeaseRequest) (LeaseResponse, error) {
+	var resp LeaseResponse
+	err := c.T.Call("/api/sweepd/lease", req, &resp)
+	return resp, err
+}
+
+func (c *Client) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
+	var resp HeartbeatResponse
+	err := c.T.Call("/api/sweepd/heartbeat", req, &resp)
+	return resp, err
+}
+
+func (c *Client) Complete(req CompleteRequest) (CompleteResponse, error) {
+	var resp CompleteResponse
+	err := c.T.Call("/api/sweepd/complete", req, &resp)
+	return resp, err
+}
+
+func (c *Client) Results(req ResultsRequest) (ResultsResponse, error) {
+	var resp ResultsResponse
+	err := c.T.Call("/api/sweepd/results", req, &resp)
+	return resp, err
+}

@@ -1,0 +1,122 @@
+package sweepd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// recordingTransport counts deliveries and always succeeds.
+type recordingTransport struct {
+	mu    sync.Mutex
+	calls []string
+}
+
+func (r *recordingTransport) Call(path string, req, resp any) error {
+	r.mu.Lock()
+	r.calls = append(r.calls, path)
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *recordingTransport) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.calls)
+}
+
+// errTransport always fails with a non-fault error.
+type errTransport struct{}
+
+func (errTransport) Call(string, any, any) error { return fmt.Errorf("connection refused") }
+
+func TestFaultScheduleIsDeterministic(t *testing.T) {
+	plan := FaultPlan{Seed: 99, DropRequest: 0.3, DropResponse: 0.2, Duplicate: 0.1}
+	run := func() []string {
+		ft := &FaultTransport{Inner: &recordingTransport{}, Plan: plan}
+		var outcomes []string
+		for i := 0; i < 200; i++ {
+			err := ft.Call("/api/sweepd/lease", LeaseRequest{}, nil)
+			var fe *FaultError
+			switch {
+			case err == nil:
+				outcomes = append(outcomes, "ok")
+			case errors.As(err, &fe):
+				outcomes = append(outcomes, fe.Kind)
+			default:
+				outcomes = append(outcomes, "err")
+			}
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: %s vs %s — schedule is not a pure function of (seed, call index)", i, a[i], b[i])
+		}
+	}
+	// Sanity: the plan actually injects each configured kind.
+	kinds := map[string]int{}
+	for _, o := range a {
+		kinds[o]++
+	}
+	for _, k := range []string{"ok", "drop-request", "drop-response"} {
+		if kinds[k] == 0 {
+			t.Errorf("no %q outcomes in 200 calls: %v", k, kinds)
+		}
+	}
+}
+
+func TestFaultDuplicateDeliversTwice(t *testing.T) {
+	inner := &recordingTransport{}
+	ft := &FaultTransport{Inner: inner, Plan: FaultPlan{Seed: 1, Duplicate: 1.0}}
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := ft.Call("/api/sweepd/complete", CompleteRequest{}, nil); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if got := inner.count(); got != 2*n {
+		t.Fatalf("%d calls delivered %d times, want %d (every call duplicated)", n, got, 2*n)
+	}
+}
+
+func TestFaultPartitionWindows(t *testing.T) {
+	inner := &recordingTransport{}
+	ft := &FaultTransport{Inner: inner, Plan: FaultPlan{Seed: 5, PartitionEvery: 4, PartitionLen: 2}}
+	for i := 0; i < 12; i++ {
+		err := ft.Call("/x", nil, nil)
+		inWindow := i%4 < 2
+		var fe *FaultError
+		if inWindow {
+			if !errors.As(err, &fe) || fe.Kind != "partition" {
+				t.Fatalf("call %d should be partitioned, got %v", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("call %d outside the window failed: %v", i, err)
+		}
+	}
+	if got := inner.count(); got != 6 {
+		t.Fatalf("inner saw %d deliveries, want 6", got)
+	}
+}
+
+func TestFaultKillDropsEverything(t *testing.T) {
+	inner := &recordingTransport{}
+	ft := &FaultTransport{Inner: inner, Plan: FaultPlan{Seed: 1}}
+	if err := ft.Call("/x", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	ft.Kill()
+	for i := 0; i < 5; i++ {
+		err := ft.Call("/x", nil, nil)
+		var fe *FaultError
+		if !errors.As(err, &fe) {
+			t.Fatalf("post-kill call %d: %v, want a FaultError", i, err)
+		}
+	}
+	if got := inner.count(); got != 1 {
+		t.Fatalf("killed transport still delivered: %d calls", got)
+	}
+}

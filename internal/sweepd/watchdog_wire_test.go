@@ -1,0 +1,133 @@
+package sweepd
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"skipit/internal/sim"
+	"skipit/internal/sweep"
+)
+
+// Satellite coverage: a sim watchdog trip mid-job must surface through the
+// sweep.Runner's Progress hook as a failed-job state, and the structured
+// HangReport must survive the round trip onto the wire and back.
+
+func hangJob(report *sim.HangReport) sweep.Job {
+	return sweep.Job{
+		Group: "g", Name: "wedge", Fingerprint: "fpW",
+		Run: func(sweep.Sink) (sweep.Outcome, error) {
+			return sweep.Outcome{}, &sim.HangError{Report: report}
+		},
+	}
+}
+
+func TestHangReportPropagatesThroughRunnerProgress(t *testing.T) {
+	report := &sim.HangReport{Cycle: 12345, Reason: "no-progress", Window: 500, MemOutstanding: 3}
+	var mu sync.Mutex
+	var states []string
+	runner := sweep.Runner{
+		Workers: 1,
+		Progress: func(ev sweep.ProgressEvent) {
+			mu.Lock()
+			states = append(states, ev.State)
+			mu.Unlock()
+		},
+	}
+	results := runner.Run([]sweep.Job{hangJob(report)})
+	if len(states) != 2 || states[0] != "running" || states[1] != "failed" {
+		t.Fatalf("progress states %v, want [running failed]", states)
+	}
+	var hang *sim.HangError
+	if !errors.As(results[0].Err, &hang) {
+		t.Fatalf("hang lost its type through the runner: %v", results[0].Err)
+	}
+
+	// Wire classification: the failure is typed FailHang and carries the
+	// report's JSON.
+	rec, fail := toWire(results[0])
+	if rec != nil || fail == nil || fail.Code != FailHang {
+		t.Fatalf("toWire: rec=%v fail=%+v", rec, fail)
+	}
+	got, err := sim.ParseHangReport(fail.HangReport)
+	if err != nil {
+		t.Fatalf("ParseHangReport: %v", err)
+	}
+	if got.Cycle != 12345 || got.Reason != "no-progress" || got.Window != 500 || got.MemOutstanding != 3 {
+		t.Fatalf("report did not round-trip: %+v", got)
+	}
+}
+
+func TestHangFailureRoundTripsThroughCoordinator(t *testing.T) {
+	c, clk := testCoord(t, func(cfg *CoordConfig) { cfg.MaxAttempts = 1 })
+	if _, err := c.Submit(SubmitRequest{Jobs: []JobSpec{spec("g", "wedge", "fpW")}}); err != nil {
+		t.Fatal(err)
+	}
+	lease, _ := c.Lease(LeaseRequest{Worker: "w1"})
+	if lease.Job == nil {
+		t.Fatal("no lease")
+	}
+
+	report := &sim.HangReport{Cycle: 777, Reason: "panic", Panic: "slice bounds", Stack: "goroutine 1 ..."}
+	runner := sweep.Runner{Workers: 1}
+	results := runner.Run([]sweep.Job{hangJob(report)})
+	_, fail := toWire(results[0])
+
+	if _, err := c.Complete(CompleteRequest{Worker: "w1", LeaseID: lease.LeaseID, Failure: fail}); err != nil {
+		t.Fatal(err)
+	}
+	_ = clk // MaxAttempts 1: the first failure is terminal, no backoff involved
+	st := status(t, c, "g/wedge")
+	if st.State != StateFailed || st.Failure == nil || st.Failure.Code != FailHang {
+		t.Fatalf("hang not terminal through the coordinator: %+v", st)
+	}
+	got, err := sim.ParseHangReport(st.Failure.HangReport)
+	if err != nil {
+		t.Fatalf("report off the Results wire: %v", err)
+	}
+	if got.Cycle != 777 || got.Reason != "panic" || got.Panic != "slice bounds" {
+		t.Fatalf("report did not survive the coordinator round trip: %+v", got)
+	}
+}
+
+func TestWorkerClassifiesPanicAndTimeout(t *testing.T) {
+	// A panicking job becomes a typed FailPanic, not a dead worker.
+	panicJob := sweep.Job{Group: "g", Name: "boom", Fingerprint: "fpB",
+		Run: func(sweep.Sink) (sweep.Outcome, error) { panic("measured into a wall") }}
+	runner := sweep.Runner{Workers: 1}
+	_, fail := toWire(runner.Run([]sweep.Job{panicJob})[0])
+	if fail == nil || fail.Code != FailPanic {
+		t.Fatalf("panic classification: %+v", fail)
+	}
+
+	// A wedged job trips the worker's wall-clock backstop.
+	c, _ := testCoord(t, nil)
+	if _, err := c.Submit(SubmitRequest{Jobs: []JobSpec{spec("g", "stuck", "fpS")}}); err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	defer close(release)
+	stuck := sweep.Job{Group: "g", Name: "stuck", Fingerprint: "fpS",
+		Run: func(sweep.Sink) (sweep.Outcome, error) { <-release; return sweep.Outcome{}, nil }}
+	w := NewWorker(WorkerConfig{
+		Name:   "w1",
+		Client: &Client{T: &coordTransport{c: c}},
+		Source: IndexJobs([]sweep.Job{stuck}),
+		// Fake-clocked coordinator: heartbeats are immaterial here; the
+		// timeout fires on the real clock.
+		PollEvery:  10 * time.Millisecond,
+		JobTimeout: 50 * time.Millisecond,
+		Logf:       t.Logf,
+	})
+	lease, _ := c.Lease(LeaseRequest{Worker: "w1"})
+	if lease.Job == nil {
+		t.Fatal("no lease")
+	}
+	w.execute(*lease.Job, lease.LeaseID, time.Hour)
+	st := status(t, c, "g/stuck")
+	// MaxAttempts 2 in testCoord: one timeout just requeues.
+	if st.State != StatePending || st.Attempt != 1 {
+		t.Fatalf("timeout should requeue: %+v", st)
+	}
+}

@@ -1,0 +1,251 @@
+// Package sweepd is the simulation-as-a-service layer: it promotes
+// internal/sweep from an in-process worker pool to a coordinator + worker
+// fleet with first-class failure handling.
+//
+// The wire unit is the fingerprinted job (JobSpec): sweep.Job carries a Run
+// closure that cannot cross a process boundary, so the coordinator ships only
+// the job's identity — (group, name) plus the content-address fingerprint —
+// and every worker rebuilds the closure from its own compiled-in job table (a
+// JobSource). The fingerprint is the safety interlock: a worker whose build
+// would measure something different for the same (group, name) produces a
+// different fingerprint and refuses the job, instead of silently committing a
+// wrong number.
+//
+// Failure handling is explicit state, not accident:
+//
+//   - Jobs are leased to workers with a wall-clock deadline; heartbeats renew
+//     the lease and carry live progress from the sweep.Runner.Progress hook.
+//   - A missed heartbeat, a returned error, a panic, or a sim watchdog
+//     HangReport requeues the job with a bounded retry budget and exponential
+//     backoff whose jitter is deterministic (detrand.Mix over job id and
+//     attempt), so tests replay byte-identically.
+//   - Every state transition lands in a write-ahead journal; a coordinator
+//     crash recovers the queue by replaying it.
+//   - Results commit idempotently into the content-addressed sweep.Store
+//     (atomic temp-file + rename): measurements are deterministic, so a
+//     duplicate completion from a resurrected worker carries the same bytes
+//     and is harmless.
+//   - Degradation is policy: when the live worker pool is below the
+//     configured floor, the coordinator sheds the lowest-priority pending
+//     jobs with a typed overload failure instead of queuing unboundedly; when
+//     the coordinator is unreachable, the Fleet client downgrades to the
+//     in-process sweep.Runner with a logged fallback.
+//
+// The whole layer is exercised by a fault-injection harness (FaultTransport:
+// seed-scheduled drop/duplicate/delay/partition, mirroring internal/chaos)
+// with an end-to-end test proving every submitted job lands exactly one
+// committed result or one typed terminal error under killed workers and a
+// restarted coordinator.
+package sweepd
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"skipit/internal/sweep"
+)
+
+// JobState is a job's position in the coordinator's state machine.
+type JobState string
+
+const (
+	// StatePending: queued (possibly backing off between attempts).
+	StatePending JobState = "pending"
+	// StateLeased: held by a worker under a live lease.
+	StateLeased JobState = "leased"
+	// StateDone: exactly one result is committed in the store. Terminal.
+	StateDone JobState = "done"
+	// StateFailed: retry budget exhausted or shed; Failure says why. Terminal.
+	StateFailed JobState = "failed"
+)
+
+// JobSpec is the wire unit: one fingerprinted measurement, by identity only.
+type JobSpec struct {
+	Group  string `json:"group"`
+	Name   string `json:"name"`
+	Series string `json:"series,omitempty"`
+	X      string `json:"x,omitempty"`
+	// Fingerprint content-addresses the measurement; a worker must resolve
+	// the same fingerprint locally or refuse the job.
+	Fingerprint string `json:"fingerprint"`
+	// Priority orders shedding under overload: lower values are shed first.
+	// Jobs of equal priority are shed newest-first.
+	Priority int `json:"priority,omitempty"`
+}
+
+// ID is the job's queue-wide identity, matching the sweep gate's keying.
+func (j JobSpec) ID() string { return j.Group + "/" + j.Name }
+
+// SpecFor derives the wire spec of an in-process job.
+func SpecFor(j sweep.Job, priority int) JobSpec {
+	return JobSpec{Group: j.Group, Name: j.Name, Series: j.Series, X: j.X,
+		Fingerprint: j.Fingerprint, Priority: priority}
+}
+
+// Failure codes. Every terminal failure a client sees carries one of these.
+const (
+	// FailRunError: the job's Run returned an ordinary error.
+	FailRunError = "run-error"
+	// FailPanic: the job panicked; Message carries the recovered value.
+	FailPanic = "panic"
+	// FailHang: the sim watchdog tripped mid-job; HangReport carries the
+	// structured diagnosis (decode with sim.ParseHangReport).
+	FailHang = "hang"
+	// FailTimeout: the worker's per-job wall timeout elapsed.
+	FailTimeout = "timeout"
+	// FailUnknownJob: the worker's job table has no (group, name) entry.
+	FailUnknownJob = "unknown-job"
+	// FailFingerprint: the worker resolved (group, name) to a different
+	// fingerprint — its build would measure something else.
+	FailFingerprint = "fingerprint-mismatch"
+	// FailOverloaded: shed by degradation policy (worker pool below floor
+	// with the queue above its ceiling). Terminal without consuming retries.
+	FailOverloaded = "overloaded"
+	// FailLeaseExpired: recorded on requeue when a lease died silently
+	// (missed heartbeats, killed worker). Never terminal by itself.
+	FailLeaseExpired = "lease-expired"
+)
+
+// Failure is a structured job failure crossing the wire.
+type Failure struct {
+	Code    string `json:"code"`
+	Message string `json:"message,omitempty"`
+	// HangReport holds the sim.HangReport JSON when Code is FailHang.
+	HangReport json.RawMessage `json:"hang_report,omitempty"`
+}
+
+func (f *Failure) Error() string {
+	if f.Message == "" {
+		return f.Code
+	}
+	return f.Code + ": " + f.Message
+}
+
+// JobError is the typed terminal error the Fleet client surfaces for a job
+// that exhausted its retries or was shed. Detect with errors.As; inspect
+// Failure.Code for the class (FailOverloaded, FailHang, ...).
+type JobError struct {
+	Job      JobSpec
+	Attempts int
+	Failure  Failure
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("sweepd: job %s failed after %d attempt(s): %s", e.Job.ID(), e.Attempts, e.Failure.Error())
+}
+
+// JobStatus is one job's externally visible state.
+type JobStatus struct {
+	Job     JobSpec  `json:"job"`
+	State   JobState `json:"state"`
+	Attempt int      `json:"attempt"`
+	Worker  string   `json:"worker,omitempty"`
+	// Progress is the latest heartbeat-carried state string while leased.
+	Progress string        `json:"progress,omitempty"`
+	Record   *sweep.Record `json:"record,omitempty"`
+	Failure  *Failure      `json:"failure,omitempty"`
+	// Cached reports that Record came from a coordinator store hit and no
+	// worker ran the job.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// --- request/response bodies of the HTTP job API ---
+
+// SubmitRequest enqueues jobs. Submission is idempotent by job ID: a job
+// already known (in any state) is left untouched.
+type SubmitRequest struct {
+	Jobs []JobSpec `json:"jobs"`
+}
+
+type SubmitResponse struct {
+	// Accepted counts newly enqueued jobs (store hits count: they enqueue
+	// and complete immediately).
+	Accepted int `json:"accepted"`
+	// Known counts jobs that were already in the queue.
+	Known int `json:"known"`
+	// Shed lists job IDs rejected or evicted by overload policy during this
+	// submit; each is terminal-failed with FailOverloaded.
+	Shed []string `json:"shed,omitempty"`
+}
+
+// RegisterRequest announces a worker. Registration is idempotent and also
+// serves as a liveness signal.
+type RegisterRequest struct {
+	Worker string `json:"worker"`
+}
+
+type RegisterResponse struct {
+	// LeaseMillis is the lease TTL; a worker must heartbeat well within it.
+	LeaseMillis int64 `json:"lease_millis"`
+	// HeartbeatMillis is the coordinator's suggested heartbeat interval.
+	HeartbeatMillis int64 `json:"heartbeat_millis"`
+}
+
+// LeaseRequest asks for one job.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+type LeaseResponse struct {
+	// Job is nil when nothing is runnable right now.
+	Job     *JobSpec `json:"job,omitempty"`
+	LeaseID uint64   `json:"lease_id,omitempty"`
+	Attempt int      `json:"attempt,omitempty"`
+	// WaitMillis suggests a poll delay when Job is nil.
+	WaitMillis int64 `json:"wait_millis,omitempty"`
+	// Drained: every submitted job is terminal; an ephemeral worker may exit.
+	Drained bool `json:"drained,omitempty"`
+}
+
+// HeartbeatRequest renews a lease and reports live progress.
+type HeartbeatRequest struct {
+	Worker  string `json:"worker"`
+	LeaseID uint64 `json:"lease_id"`
+	// Progress is a short human-readable state ("running", "rep 3/5"), fed
+	// from the sweep.Runner.Progress hook.
+	Progress string `json:"progress,omitempty"`
+}
+
+type HeartbeatResponse struct {
+	// Cancel: the lease is no longer current (expired and reclaimed, or the
+	// job completed elsewhere); the worker should abandon the run.
+	Cancel bool `json:"cancel,omitempty"`
+}
+
+// CompleteRequest finishes a lease with exactly one of Record or Failure.
+type CompleteRequest struct {
+	Worker  string        `json:"worker"`
+	LeaseID uint64        `json:"lease_id"`
+	Record  *sweep.Record `json:"record,omitempty"`
+	Failure *Failure      `json:"failure,omitempty"`
+}
+
+type CompleteResponse struct {
+	// Accepted: the result (or failure) was applied to the job.
+	Accepted bool `json:"accepted"`
+	// Stale: the lease was no longer current. A stale Record whose
+	// fingerprint still matches the job is committed anyway (idempotent,
+	// content-addressed); a stale Failure is discarded.
+	Stale bool `json:"stale,omitempty"`
+}
+
+// ResultsRequest polls job states. Empty IDs means every known job.
+type ResultsRequest struct {
+	IDs []string `json:"ids,omitempty"`
+}
+
+type ResultsResponse struct {
+	Jobs []JobStatus `json:"jobs"`
+	// Done: every requested job is terminal.
+	Done bool `json:"done"`
+}
+
+// StateResponse is the human-facing dump served at /api/sweepd/state.
+type StateResponse struct {
+	Jobs        []JobStatus `json:"jobs"`
+	LiveWorkers int         `json:"live_workers"`
+	Pending     int         `json:"pending"`
+	Leased      int         `json:"leased"`
+	Done        int         `json:"done"`
+	Failed      int         `json:"failed"`
+}
