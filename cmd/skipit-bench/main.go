@@ -102,9 +102,11 @@ func run() int {
 	fleetURL := flag.String("fleet", "", "run the sweep through a skipit-sweepd coordinator at this base URL (e.g. http://127.0.0.1:7070); falls back in process if unreachable")
 	fastForward := onOff(true)
 	flag.Var(&fastForward, "fast-forward", "next-event clock: on skips provably idle cycles, off single-steps (results are identical)")
+	parallel := flag.Int("parallel", 0, "deterministic parallel stepping with N workers per measurement (0 = serial; measured cycles are bit-identical)")
 	flag.Parse()
 
 	bench.FastForward = bool(fastForward)
+	bench.Parallel = *parallel
 
 	if *quick {
 		bench.SetQuick()

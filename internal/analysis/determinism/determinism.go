@@ -16,7 +16,14 @@
 //     *rand.Rand from an explicit seed (rand.New(rand.NewSource(seed))).
 //   - goroutine launches. The cycle loop is single-threaded by design;
 //     host-side concurrency belongs in internal/sweep. (Skipped in _test.go
-//     files, where harness goroutines are routine.)
+//     files, where harness goroutines are routine.) The one sanctioned
+//     exception is the PDES scheduler (-schedulers; defaults to
+//     internal/pdes): there, a goroutine may be waived line by line with a
+//     //skipit:parallel-scheduler <reason> directive, trailing on the go
+//     statement or alone on the line above it. The directive is inert in
+//     every other package — annotating a goroutine in a component package
+//     like internal/l1 reports both the goroutine and the misplaced
+//     directive, so the waiver can never creep past the scheduler boundary.
 //   - order-sensitive map iteration: a `range` over a map whose body writes
 //     to the ranged map itself, appends to an outer slice with no sort
 //     following the loop, sends on a channel, accumulates floats or strings,
@@ -59,7 +66,7 @@ var Analyzer = &analysis.Analyzer{
 // pkgs is the comma-separated list of import-path fragments that mark a
 // package as part of the deterministic simulator core; see matches for the
 // fragment rules.
-var pkgs = "internal/boom,internal/l1,internal/l2,internal/mem,internal/tilelink,internal/sim,internal/memsim,internal/linepool,internal/chaos,internal/detrand,internal/tlctest"
+var pkgs = "internal/boom,internal/l1,internal/l2,internal/mem,internal/tilelink,internal/sim,internal/memsim,internal/linepool,internal/chaos,internal/detrand,internal/tlctest,internal/pdes"
 
 // service is the comma-separated list of import-path fragments that mark a
 // package as host-side service code (the sweepd coordinator/worker fleet,
@@ -67,9 +74,17 @@ var pkgs = "internal/boom,internal/l1,internal/l2,internal/mem,internal/tilelink
 // from the simulator rules regardless of -pkgs: the exclusion always wins.
 var service = "internal/sweepd,internal/introspect,internal/sweep"
 
+// schedulers is the comma-separated list of import-path fragments naming the
+// PDES scheduler packages — the only place a //skipit:parallel-scheduler
+// directive can waive the goroutine ban. The scheduler still lives under
+// the simulator rules for everything else (wall clocks, global rand, map
+// ranges); the waiver is per-line and goroutine-only.
+var schedulers = "internal/pdes"
+
 func init() {
 	Analyzer.Flags.StringVar(&pkgs, "pkgs", pkgs, "comma-separated import-path fragments of deterministic simulator packages")
 	Analyzer.Flags.StringVar(&service, "service", service, "comma-separated import-path fragments of host-side service packages, always exempt (wins over -pkgs)")
+	Analyzer.Flags.StringVar(&schedulers, "schedulers", schedulers, "comma-separated import-path fragments of PDES scheduler packages where //skipit:parallel-scheduler may waive goroutines")
 }
 
 // matches reports whether path matches any fragment of the comma-separated
@@ -112,6 +127,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		return nil, nil
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	waived := schedulerWaivers(pass)
 
 	isTestFile := func(pos token.Pos) bool {
 		return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
@@ -122,7 +138,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		case *ast.CallExpr:
 			checkCall(pass, n)
 		case *ast.GoStmt:
-			if !isTestFile(n.Pos()) {
+			if p := pass.Fset.Position(n.Pos()); !isTestFile(n.Pos()) && !waived[fileLine{p.Filename, p.Line}] {
 				pass.Report(analysis.Diagnostic{
 					Pos:     n.Pos(),
 					Message: "goroutine launched in a simulator package: the cycle loop is single-threaded; host-side concurrency belongs in internal/sweep",
@@ -133,6 +149,75 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		}
 	})
 	return nil, nil
+}
+
+// schedulerPrefix is the goroutine-waiver directive marker. Like //go:
+// directives it must start the comment with no space after the slashes.
+const schedulerPrefix = "//skipit:parallel-scheduler"
+
+// fileLine keys a waived source line.
+type fileLine struct {
+	file string
+	line int
+}
+
+// schedulerWaivers collects the //skipit:parallel-scheduler directives of the
+// package and returns the lines whose go statements they waive. Only
+// well-formed directives (with a reason) in a -schedulers package waive
+// anything; a reasonless directive and a directive outside the scheduler
+// packages are themselves reported, and the goroutine finding they sit on
+// surfaces as usual. A trailing directive covers its own line, a standalone
+// one the line below — the waiver is per-line and goroutine-only, mirroring
+// //skipit:ignore.
+func schedulerWaivers(pass *analysis.Pass) map[fileLine]bool {
+	inScheduler := matches(pass.Pkg.Path(), schedulers)
+	waived := make(map[fileLine]bool)
+	for _, f := range pass.Files {
+		// Classify each directive as trailing (code shares its line) or
+		// standalone, the same way suppress does.
+		codeOn := make(map[int]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil || !n.Pos().IsValid() {
+				return true
+			}
+			if _, ok := n.(*ast.Comment); ok {
+				return true
+			}
+			if _, ok := n.(*ast.CommentGroup); ok {
+				return true
+			}
+			codeOn[pass.Fset.Position(n.Pos()).Line] = true
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				reason, ok := strings.CutPrefix(c.Text, schedulerPrefix)
+				if !ok || (reason != "" && reason[0] != ' ' && reason[0] != '\t') {
+					continue
+				}
+				switch {
+				case strings.TrimSpace(reason) == "":
+					pass.Report(analysis.Diagnostic{
+						Pos:     c.Pos(),
+						Message: "skipit:parallel-scheduler directive needs a reason: //skipit:parallel-scheduler <why this goroutine is part of the deterministic scheduler>",
+					})
+				case !inScheduler:
+					pass.Report(analysis.Diagnostic{
+						Pos:     c.Pos(),
+						Message: "skipit:parallel-scheduler has no effect outside scheduler packages (-schedulers): component packages stay single-threaded",
+					})
+				default:
+					pos := pass.Fset.Position(c.Pos())
+					if codeOn[pos.Line] {
+						waived[fileLine{pos.Filename, pos.Line}] = true
+					} else {
+						waived[fileLine{pos.Filename, pos.Line + 1}] = true
+					}
+				}
+			}
+		}
+	}
+	return waived
 }
 
 // checkCall flags wall-clock reads and global-rand calls.

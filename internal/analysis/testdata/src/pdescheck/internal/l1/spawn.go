@@ -1,0 +1,11 @@
+// Package l1fix proves the scheduler waiver cannot creep into component
+// packages: its import path ends in internal/l1, which is not in the
+// -schedulers list, so even an annotated goroutine is still a finding — and
+// the misplaced directive is one too.
+package l1fix
+
+func spawn(done chan struct{}) {
+	go func() { close(done) }() // want `goroutine launched in a simulator package`
+
+	go func() { <-done }() /* want `goroutine launched in a simulator package` `has no effect outside scheduler packages` */ //skipit:parallel-scheduler prefetch fill off-thread
+}

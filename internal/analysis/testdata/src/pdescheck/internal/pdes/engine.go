@@ -1,0 +1,30 @@
+// Package pdesfix is the parallel-scheduler fixture. Its import path ends in
+// internal/pdes — a simulator package under the determinism rules, and the
+// one package family where a //skipit:parallel-scheduler directive may waive
+// the goroutine ban, line by line.
+package pdesfix
+
+import "time"
+
+func workers(n int, done chan struct{}) {
+	// Trailing directive waives its own line.
+	for w := 0; w < n; w++ {
+		go func() { done <- struct{}{} }() //skipit:parallel-scheduler conservative-lookahead workers rendezvous at the barrier
+	}
+
+	// Standalone directive waives the line below.
+	//skipit:parallel-scheduler drainer joins before results are read
+	go func() { close(done) }()
+
+	// Unwaived goroutines stay findings even inside the scheduler package.
+	go func() { <-done }() // want `goroutine launched in a simulator package`
+
+	// A reasonless directive waives nothing and is itself a finding.
+	go func() {}() /* want `goroutine launched in a simulator package` `directive needs a reason` */ //skipit:parallel-scheduler
+}
+
+// The waiver is goroutine-only: every other simulator rule still applies to
+// the scheduler, directive or not.
+func hostClock() time.Time {
+	return time.Now() /* want `wall-clock read time\.Now` */ //skipit:parallel-scheduler timing the barrier
+}

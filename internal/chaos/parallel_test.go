@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// failureBytes renders a verdict for byte-level comparison across worker
+// counts.
+func failureBytes(t *testing.T, fail *Failure, st Stats) []byte {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		Failure *Failure `json:"failure"`
+		Stats   Stats    `json:"stats"`
+	}{fail, st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// assertVerdictsMatch compares a serial verdict with a parallel one on the
+// fields the bit-identity contract covers across the serial/parallel border:
+// kind, cycle, message and every stat. Flight-recorder dumps are compared
+// only across worker counts (parallel systems mint transaction ids from
+// per-shard strided sequences, so ids differ from serial while staying
+// identical for every worker count).
+func assertVerdictsMatch(t *testing.T, label string, serial, par *Failure, stSerial, stPar Stats) {
+	t.Helper()
+	if (serial == nil) != (par == nil) {
+		t.Fatalf("%s: verdict presence differs: serial %+v, parallel %+v", label, serial, par)
+	}
+	if serial != nil {
+		if serial.Kind != par.Kind || serial.Cycle != par.Cycle || serial.Message != par.Message {
+			t.Fatalf("%s: verdict differs:\nserial:   %s@%d %q\nparallel: %s@%d %q",
+				label, serial.Kind, serial.Cycle, serial.Message, par.Kind, par.Cycle, par.Message)
+		}
+		if (serial.Report == nil) != (par.Report == nil) {
+			t.Fatalf("%s: hang report presence differs", label)
+		}
+		if serial.Report != nil &&
+			(serial.Report.Cycle != par.Report.Cycle || serial.Report.Window != par.Report.Window) {
+			t.Fatalf("%s: hang report differs: serial %d/%d, parallel %d/%d", label,
+				serial.Report.Cycle, serial.Report.Window, par.Report.Cycle, par.Report.Window)
+		}
+	}
+	if !reflect.DeepEqual(stSerial, stPar) {
+		t.Fatalf("%s: stats differ:\nserial:   %+v\nparallel: %+v", label, stSerial, stPar)
+	}
+}
+
+// TestChaosParallelEquivalence runs full fuzzer cases serially and on 1, 2
+// and 4 workers. Every parallel verdict must be byte-identical across worker
+// counts (including flight-recorder dumps) and must match the serial verdict
+// and stats.
+func TestChaosParallelEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		in := BuildInput(DefaultCase(seed, 4))
+		serialFail, serialSt := runInput(in, true, 0)
+		var ref []byte
+		for _, workers := range []int{1, 2, 4} {
+			fail, st := RunInputParallel(in, workers)
+			assertVerdictsMatch(t, "seed", serialFail, fail, serialSt, st)
+			b := failureBytes(t, fail, st)
+			if ref == nil {
+				ref = b
+			} else if string(b) != string(ref) {
+				t.Fatalf("seed %d: parallel=%d verdict not byte-identical:\n%s\nvs\n%s",
+					seed, workers, b, ref)
+			}
+		}
+	}
+}
+
+// TestChaosArtifactsReplayParallel replays every committed .chaos.json
+// artifact on 1, 2 and 4 workers: each replay must reproduce the recorded
+// verdict, and all worker counts must agree byte for byte.
+func TestChaosArtifactsReplayParallel(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".chaos.json") {
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			data, err := os.ReadFile("testdata/" + e.Name())
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := DecodeRepro(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in, err := r.Input()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ref []byte
+			for _, workers := range []int{1, 2, 4} {
+				fail, st := RunInputParallel(in, workers)
+				if fail == nil {
+					t.Fatalf("parallel=%d: replay ran clean", workers)
+				}
+				if fail.Kind != r.Failure.Kind || fail.Cycle != r.Failure.Cycle {
+					t.Fatalf("parallel=%d: replay diverged: got %s@%d, recorded %s@%d",
+						workers, fail.Kind, fail.Cycle, r.Failure.Kind, r.Failure.Cycle)
+				}
+				b := failureBytes(t, fail, st)
+				if ref == nil {
+					ref = b
+				} else if string(b) != string(ref) {
+					t.Fatalf("parallel=%d verdict not byte-identical across worker counts", workers)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,286 @@
+// Package pdes implements the conservative-lookahead parallel
+// discrete-event scheduler behind sim's -parallel mode.
+//
+// The simulated SoC is partitioned into shards — each core plus its private
+// L1 (and flush unit) in one shard, the L2 plus DRAM controller in a hub
+// shard — whose only coupling is the TileLink ports between them. A message
+// sent on a link at cycle t is receivable no earlier than t + beats +
+// latency >= t + 1 + latency, so if every shard's next self-generated event
+// lies at or after cycle G, no cross-shard influence can land before
+// horizon h = G + 1 + latency. Inside the window [now, h) each shard may
+// therefore tick (and locally fast-forward) completely independently; the
+// shards rendezvous at a barrier, staged link messages are published in a
+// fixed (port index, channel, send order) sequence, and the next window
+// begins. Every tick observes exactly the state it would have observed
+// under serial stepping, which is what makes the parallel results
+// bit-identical for any worker count — the scheduling proof lives in
+// DESIGN.md.
+//
+// The engine itself is deliberately dumb: it owns worker goroutines, the
+// spin barrier, and the horizon fold, while the sim layer supplies the
+// shards and runs all cross-shard bookkeeping (link commits, pool
+// rebalancing, samplers, watchdog, exit detection) in the single-threaded
+// barrier callback.
+package pdes
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skipit/internal/metrics"
+	"skipit/internal/tilelink"
+)
+
+// Shard is one independently advancing partition of the SoC.
+//
+// RunWindow ticks the shard over [from, to): it folds its own components'
+// NextEvent to fast-forward locally, and must touch no state owned by
+// another shard — its TileLink sends go to producer-side staging
+// (tilelink.Link deferred mode) and its receives only consume messages
+// published at or before the last barrier. NextEvent is the shard-local
+// fold used for the global horizon; it is called at barriers only.
+type Shard interface {
+	RunWindow(from, to int64)
+	NextEvent(last int64) int64
+}
+
+// ShardPanic carries a panic raised inside a shard's RunWindow across the
+// barrier to the coordinator. The sim layer's guarded paths unwrap it so
+// hang reports show the original panic value and the panicking goroutine's
+// stack. When several shards panic in one window the lowest shard index
+// wins, independent of worker count.
+type ShardPanic struct {
+	Shard int
+	Val   any
+	Stack []byte
+}
+
+// Engine schedules shards across a fixed set of workers with a spin
+// barrier. Windows are driven from a Session callback; the calling
+// goroutine doubles as worker 0, so workers == 1 runs fully inline with no
+// goroutines at all (the -parallel=1 degenerate case used to pin
+// bit-identity without host concurrency).
+type Engine struct {
+	shards    []Shard
+	workers   int
+	lookahead int64
+
+	ctrWindows      *metrics.Counter
+	ctrBarrierWaits *metrics.Counter
+	histHorizon     *metrics.Histogram
+
+	// Sampled per-shard busy time: every 16th window is timed per shard,
+	// giving a cheap, host-only estimate of each shard's throughput for the
+	// pdes.* derived snapshot keys. Never read by simulated state.
+	shardNanos    []int64
+	sampledCycles int64
+
+	// Barrier state. from/to are published before the epoch increment
+	// (release) and read by workers after observing it (acquire); active
+	// counts workers still inside the window.
+	epoch  atomic.Uint64
+	active atomic.Int64
+	quit   atomic.Bool
+	from   int64
+	to     int64
+
+	// panics has one slot per worker, written only by that worker inside a
+	// window and drained by the coordinator at the barrier.
+	panics []*ShardPanic
+
+	wg sync.WaitGroup
+}
+
+// New builds an engine over the given shards. workers is clamped to
+// [1, len(shards)]; lookahead is the minimum cross-shard delivery delay
+// (1 + link latency): a horizon of fold+lookahead is safe. Metrics are
+// registered in reg (nil gets a private registry).
+func New(shards []Shard, workers int, lookahead int64, reg *metrics.Registry) *Engine {
+	if len(shards) == 0 {
+		panic("pdes: no shards")
+	}
+	if lookahead < 1 {
+		panic("pdes: lookahead must be at least 1 cycle")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Engine{
+		shards:          shards,
+		workers:         workers,
+		lookahead:       lookahead,
+		ctrWindows:      reg.Counter("pdes", "windows"),
+		ctrBarrierWaits: reg.Counter("pdes", "barrier_waits"),
+		histHorizon:     reg.Histogram("pdes", "horizon_cycles", nil),
+		shardNanos:      make([]int64, len(shards)),
+		panics:          make([]*ShardPanic, workers),
+	}
+}
+
+// Workers returns the resolved worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// Lookahead returns the minimum cross-shard delivery delay in cycles.
+func (e *Engine) Lookahead() int64 { return e.lookahead }
+
+// Horizon folds every shard's NextEvent(last) and adds the lookahead: the
+// exclusive upper bound of the next safe window. Returns tilelink.NoEvent
+// when every shard is idle (callers clamp to their deadline). Single
+// threaded; call only at a barrier.
+func (e *Engine) Horizon(last int64) int64 {
+	g := tilelink.NoEvent
+	for _, sh := range e.shards {
+		if t := sh.NextEvent(last); t < g {
+			g = t
+		}
+	}
+	if g >= tilelink.NoEvent {
+		return tilelink.NoEvent
+	}
+	return g + e.lookahead
+}
+
+// Session runs fn with a window function that advances every shard over
+// [from, to) in parallel and returns once all have rendezvoused. Worker
+// goroutines live for the duration of fn and are joined before Session
+// returns, so a Session leaves no concurrency behind — callers may freely
+// serial-step the system between Sessions. If a shard panicked during a
+// window, the window call re-panics with a *ShardPanic.
+func (e *Engine) Session(fn func(window func(from, to int64))) {
+	if e.workers == 1 {
+		fn(e.windowInline)
+		return
+	}
+	e.quit.Store(false)
+	for w := 1; w < e.workers; w++ {
+		e.wg.Add(1)
+		// Seed each worker with the epoch as of its spawn: the counter
+		// persists across Sessions, and a worker starting from 0 would
+		// mistake the inherited value for a pending window and run the
+		// previous session's stale bounds.
+		go e.workerLoop(w, e.epoch.Load()) //skipit:parallel-scheduler conservative-lookahead PDES workers; shards share no state and rendezvous at the spin barrier
+	}
+	defer func() {
+		e.quit.Store(true)
+		e.epoch.Add(1)
+		e.wg.Wait()
+	}()
+	fn(e.window)
+}
+
+// windowInline is the workers==1 window: every shard on the calling
+// goroutine, in shard order.
+func (e *Engine) windowInline(from, to int64) {
+	e.runShards(0, from, to)
+	e.finishWindow(from, to)
+}
+
+// window publishes the bounds, releases the workers, runs worker 0's own
+// shards, then spins until every worker has checked in.
+func (e *Engine) window(from, to int64) {
+	e.from, e.to = from, to
+	e.active.Store(int64(e.workers - 1))
+	e.epoch.Add(1)
+	e.runShards(0, from, to)
+	waited := false
+	for i := 0; e.active.Load() != 0; i++ {
+		waited = true
+		if i&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+	if waited {
+		e.ctrBarrierWaits.Inc()
+	}
+	e.finishWindow(from, to)
+}
+
+func (e *Engine) finishWindow(from, to int64) {
+	e.ctrWindows.Inc()
+	e.histHorizon.Observe(uint64(to - from))
+	var worst *ShardPanic
+	for w, p := range e.panics {
+		if p != nil {
+			e.panics[w] = nil
+			if worst == nil || p.Shard < worst.Shard {
+				worst = p
+			}
+		}
+	}
+	if worst != nil {
+		panic(worst)
+	}
+}
+
+func (e *Engine) workerLoop(w int, last uint64) {
+	defer e.wg.Done()
+	for {
+		cur := e.epoch.Load()
+		if cur == last {
+			runtime.Gosched()
+			continue
+		}
+		last = cur
+		if e.quit.Load() {
+			return
+		}
+		e.runShards(w, e.from, e.to)
+		e.active.Add(-1)
+	}
+}
+
+// runShards advances worker w's statically assigned shards (w, w+W, ...).
+// Static assignment keeps per-shard state (pools, txn sequences, free
+// lists) on a stable worker, which is cache-friendly and — more
+// importantly — irrelevant to results: shards share nothing mid-window.
+func (e *Engine) runShards(w int, from, to int64) {
+	timed := e.ctrWindows.Value()&0xf == 0
+	for i := w; i < len(e.shards); i += e.workers {
+		if !e.runOne(w, i, from, to, timed) {
+			return // shard panicked; abandon the rest of this worker's window
+		}
+	}
+	if timed && w == 0 {
+		e.sampledCycles += to - from
+	}
+}
+
+func (e *Engine) runOne(w, i int, from, to int64, timed bool) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e.panics[w] == nil {
+				e.panics[w] = &ShardPanic{Shard: i, Val: r, Stack: stack()}
+			}
+			ok = false
+		}
+	}()
+	if timed {
+		t0 := time.Now() //skipit:ignore determinism host-side sampled shard timer, never read by simulated state
+		e.shards[i].RunWindow(from, to)
+		e.shardNanos[i] += time.Since(t0).Nanoseconds() //skipit:ignore determinism host-side sampled shard timer, never read by simulated state
+		return true
+	}
+	e.shards[i].RunWindow(from, to)
+	return true
+}
+
+func stack() []byte { return debug.Stack() }
+
+// ShardNanos returns the sampled per-shard busy nanos (host telemetry; see
+// shardNanos). Call only between Sessions or at a barrier.
+func (e *Engine) ShardNanos() []int64 { return e.shardNanos }
+
+// SampledCycles returns the simulated cycles covered by the timed windows.
+func (e *Engine) SampledCycles() int64 { return e.sampledCycles }
+
+// Windows returns the number of windows run so far.
+func (e *Engine) Windows() uint64 { return e.ctrWindows.Value() }

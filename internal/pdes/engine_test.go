@@ -1,0 +1,194 @@
+package pdes
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"skipit/internal/metrics"
+	"skipit/internal/tilelink"
+)
+
+// recShard records every window it is asked to run and advances a scripted
+// event queue for the horizon fold.
+type recShard struct {
+	id      int
+	events  []int64 // scripted NextEvent answers, consumed as last passes them
+	windows []string
+	ticked  atomic.Int64 // cycles covered, written inside RunWindow
+}
+
+func (s *recShard) RunWindow(from, to int64) {
+	s.windows = append(s.windows, fmt.Sprintf("[%d,%d)", from, to))
+	s.ticked.Add(to - from)
+}
+
+func (s *recShard) NextEvent(last int64) int64 {
+	for _, t := range s.events {
+		if t > last {
+			return t
+		}
+	}
+	return tilelink.NoEvent
+}
+
+func newShards(n int, events ...[]int64) []*recShard {
+	out := make([]*recShard, n)
+	for i := range out {
+		out[i] = &recShard{id: i}
+		if i < len(events) {
+			out[i].events = events[i]
+		}
+	}
+	return out
+}
+
+func asShards(rs []*recShard) []Shard {
+	out := make([]Shard, len(rs))
+	for i, r := range rs {
+		out[i] = r
+	}
+	return out
+}
+
+func TestWorkersClamped(t *testing.T) {
+	shards := asShards(newShards(3))
+	for _, tc := range []struct{ req, want int }{
+		{0, 1}, {-2, 1}, {1, 1}, {2, 2}, {3, 3}, {8, 3},
+	} {
+		if got := New(shards, tc.req, 1, nil).Workers(); got != tc.want {
+			t.Errorf("workers=%d: resolved %d, want %d", tc.req, got, tc.want)
+		}
+	}
+}
+
+func TestHorizonFold(t *testing.T) {
+	// Shard events at 10 and 7; lookahead 3 -> horizon min(10,7)+3 = 10.
+	rs := newShards(2, []int64{10, 50}, []int64{7})
+	e := New(asShards(rs), 2, 3, nil)
+	if got := e.Horizon(0); got != 10 {
+		t.Fatalf("Horizon(0) = %d, want 10", got)
+	}
+	// Past the early events the fold moves to the next one.
+	if got := e.Horizon(20); got != 53 {
+		t.Fatalf("Horizon(20) = %d, want 53", got)
+	}
+	// Fully idle shards report no event at all.
+	if got := e.Horizon(60); got != tilelink.NoEvent {
+		t.Fatalf("Horizon(60) = %d, want NoEvent", got)
+	}
+}
+
+// TestSessionWindows drives identical window sequences at every worker count
+// and checks each shard saw exactly that sequence, in order, with full cycle
+// coverage — the determinism contract the sim layer builds on.
+func TestSessionWindows(t *testing.T) {
+	bounds := [][2]int64{{0, 10}, {10, 11}, {11, 40}, {40, 100}}
+	want := make([]string, len(bounds))
+	for i, b := range bounds {
+		want[i] = fmt.Sprintf("[%d,%d)", b[0], b[1])
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		rs := newShards(5)
+		e := New(asShards(rs), workers, 1, nil)
+		e.Session(func(window func(from, to int64)) {
+			for _, b := range bounds {
+				window(b[0], b[1])
+			}
+		})
+		for _, s := range rs {
+			if got := fmt.Sprint(s.windows); got != fmt.Sprint(want) {
+				t.Fatalf("workers=%d shard %d ran %v, want %v", workers, s.id, s.windows, want)
+			}
+			if s.ticked.Load() != 100 {
+				t.Fatalf("workers=%d shard %d covered %d cycles, want 100", workers, s.id, s.ticked.Load())
+			}
+		}
+		if got := e.Windows(); got != uint64(len(bounds)) {
+			t.Fatalf("workers=%d: %d windows counted, want %d", workers, got, len(bounds))
+		}
+	}
+}
+
+// TestSessionLeavesNoGoroutines proves serial stepping is safe between
+// sessions: a second Session on the same engine works, and windows run
+// during it are seen by all shards.
+func TestSessionReentry(t *testing.T) {
+	rs := newShards(4)
+	e := New(asShards(rs), 4, 1, nil)
+	for i := int64(0); i < 3; i++ {
+		e.Session(func(window func(from, to int64)) {
+			window(i*10, i*10+10)
+		})
+	}
+	for _, s := range rs {
+		if s.ticked.Load() != 30 {
+			t.Fatalf("shard %d covered %d cycles across sessions, want 30", s.id, s.ticked.Load())
+		}
+	}
+}
+
+// panicShard panics at a scripted window start.
+type panicShard struct {
+	recShard
+	at int64
+}
+
+func (s *panicShard) RunWindow(from, to int64) {
+	if from >= s.at {
+		panic(fmt.Sprintf("shard %d boom at %d", s.id, from))
+	}
+	s.recShard.RunWindow(from, to)
+}
+
+// TestShardPanicLowestWins injects panics in two shards in the same window:
+// the coordinator must re-panic with a *ShardPanic for the lowest shard
+// index, at every worker count.
+func TestShardPanicLowestWins(t *testing.T) {
+	for _, workers := range []int{1, 2, 3} {
+		shards := []Shard{
+			&recShard{id: 0},
+			&panicShard{recShard: recShard{id: 1}, at: 5},
+			&panicShard{recShard: recShard{id: 2}, at: 5},
+		}
+		e := New(shards, workers, 1, metrics.NewRegistry())
+		var got *ShardPanic
+		func() {
+			defer func() {
+				r := recover()
+				sp, ok := r.(*ShardPanic)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %v, want *ShardPanic", workers, r)
+				}
+				got = sp
+			}()
+			e.Session(func(window func(from, to int64)) {
+				window(0, 5)
+				window(5, 10)
+				t.Fatalf("workers=%d: window after panic ran", workers)
+			})
+		}()
+		if got.Shard != 1 {
+			t.Fatalf("workers=%d: panic from shard %d, want shard 1 (lowest wins)", workers, got.Shard)
+		}
+		if got.Val != "shard 1 boom at 5" {
+			t.Fatalf("workers=%d: panic value %v", workers, got.Val)
+		}
+		if len(got.Stack) == 0 {
+			t.Fatalf("workers=%d: panic carried no stack", workers)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("no shards", func() { New(nil, 1, 1, nil) })
+	mustPanic("zero lookahead", func() { New(asShards(newShards(1)), 1, 0, nil) })
+}

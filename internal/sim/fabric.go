@@ -73,6 +73,8 @@ type Fabric struct {
 	now     int64
 
 	fastForward bool
+	linkLatency int
+	par         *fabRuntime
 
 	wdLimit      int64
 	wdLastSig    uint64
@@ -101,6 +103,7 @@ func NewFabric(cfg FabricConfig) *Fabric {
 	f := &Fabric{
 		reg:              reg,
 		fastForward:      true,
+		linkLatency:      cfg.LinkLatency,
 		ctrWatchdogTrips: reg.Counter("sim", "watchdog_trips"), //skipit:ignore metricname Fabric and System are alternative harnesses over disjoint registries; sharing the key keeps sweep/report tooling uniform
 		ctrSkipped:       reg.Counter("sim", "skipped_cycles"), //skipit:ignore metricname Fabric and System are alternative harnesses over disjoint registries; sharing the key keeps sweep/report tooling uniform
 	}
@@ -166,6 +169,9 @@ func (f *Fabric) ArmWatchdog(limit int64) {
 	f.wdLimit = limit
 	f.wdLastSig = f.progressSignature()
 	f.wdLastChange = f.now
+	if f.par != nil {
+		f.armFabShards()
+	}
 }
 
 func (f *Fabric) progressSignature() uint64 {
@@ -221,38 +227,15 @@ func (f *Fabric) StepGuarded() (err error) {
 	return &HangError{Report: rep}
 }
 
-// nextEventCycle folds every fabric component's NextEvent, bailing at the
-// floor exactly as System's fold does.
+// nextEventCycle folds every fabric component's NextEvent through the shared
+// fold helpers (fold.go), bailing at the floor exactly as System's fold does.
 //
 //skipit:hotpath
 func (f *Fabric) nextEventCycle(last int64) int64 {
-	floor := last + 1
-	next := tilelink.NoEvent
-	for _, c := range f.clients {
-		if t := c.NextEvent(last); t < next {
-			if t <= floor {
-				return floor
-			}
-			next = t
-		}
-	}
-	if t := f.L2.NextEvent(last); t < next {
-		if t <= floor {
-			return floor
-		}
-		next = t
-	}
-	for _, p := range f.Ports {
-		if t := p.NextEvent(last); t < next {
-			if t <= floor {
-				return floor
-			}
-			next = t
-		}
-	}
-	if t := f.Mem.NextEvent(last); t < next {
-		next = t
-	}
+	next := foldNextAll(last, tilelink.NoEvent, f.clients)
+	next = foldNext(last, next, f.L2)
+	next = foldNextAll(last, next, f.Ports)
+	next = foldNext(last, next, f.Mem)
 	return next
 }
 

@@ -1,0 +1,327 @@
+package sim
+
+// Parallel stepping for the core-less Fabric harness (see parallel.go for
+// the System version and the full horizon/ordering argument). The fabric
+// partitions into exactly two shards: every attached client (plus the client
+// side of its port) in one, the L2 and the DRAM controller (plus the manager
+// sides) in the other. The TileLink links are again the sole cross-shard
+// channels, so the same conservative horizon — min NextEvent fold plus
+// 1 + LinkLatency — makes every windowed tick observe exactly the state it
+// would have observed under serial stepping, for any worker count.
+//
+// The episode driver (tlctest.RunScript) owns the loop; the fabric exposes
+// the windowed advance plus the exit reconstruction. Serial RunScript has a
+// quirk the reconstruction must reproduce: it fast-forwards after every
+// step without re-checking quiescence, so once the episode drains the clock
+// jumps to min(watchdog-trip - 1, cycle limit) before the loop's exit check
+// sees the drained state. FinishParallel lands the clock on that same cycle.
+
+import (
+	"fmt"
+
+	"skipit/internal/linepool"
+	"skipit/internal/pdes"
+	"skipit/internal/tilelink"
+)
+
+// fabClientShard runs every attached FabricClient and the client sides of
+// all ports.
+type fabClientShard struct {
+	fab     *Fabric
+	views   []clientSide
+	ticking int64
+
+	skipped uint64
+
+	wdArmed      bool
+	wdSig        uint64
+	wdLastChange int64
+}
+
+func (sh *fabClientShard) next(last int64) int64 {
+	n := foldNextAll(last, tilelink.NoEvent, sh.fab.clients)
+	n = foldNextAll(last, n, sh.views)
+	return n
+}
+
+// NextEvent implements pdes.Shard; called single-threaded at barriers.
+func (sh *fabClientShard) NextEvent(last int64) int64 { return sh.next(last) }
+
+func (sh *fabClientShard) tick(now int64) {
+	sh.ticking = now
+	for _, c := range sh.fab.clients {
+		c.Tick(now)
+	}
+	if sh.wdArmed {
+		var sig uint64
+		for _, v := range sh.views {
+			sig += v.p.ClientEvents()
+		}
+		if sig != sh.wdSig {
+			sh.wdSig = sig
+			sh.wdLastChange = now + 1
+		}
+	}
+}
+
+// RunWindow implements pdes.Shard.
+//
+//skipit:hotpath
+func (sh *fabClientShard) RunWindow(from, to int64) {
+	ff := sh.fab.fastForward
+	for now := from; now < to; {
+		if next := sh.next(now - 1); next > now {
+			if ff {
+				if next > to {
+					next = to
+				}
+				sh.skipped += uint64(next - now)
+				now = next
+				continue
+			}
+			sh.tick(now)
+			now++
+			continue
+		}
+		sh.tick(now)
+		now++
+	}
+}
+
+// fabHubShard runs the L2 and the DRAM controller plus the manager sides.
+type fabHubShard struct {
+	fab     *Fabric
+	ports   []managerSide
+	ticking int64
+
+	skipped uint64
+
+	wdArmed      bool
+	wdSig        uint64
+	wdLastChange int64
+}
+
+func (sh *fabHubShard) next(last int64) int64 {
+	n := foldNext(last, tilelink.NoEvent, sh.fab.Mem)
+	n = foldNext(last, n, sh.fab.L2)
+	n = foldNextAll(last, n, sh.ports)
+	return n
+}
+
+// NextEvent implements pdes.Shard; called single-threaded at barriers.
+func (sh *fabHubShard) NextEvent(last int64) int64 { return sh.next(last) }
+
+func (sh *fabHubShard) tick(now int64) {
+	sh.ticking = now
+	sh.fab.Mem.Tick(now)
+	sh.fab.L2.Tick(now)
+	if sh.wdArmed {
+		var sig uint64
+		for _, p := range sh.ports {
+			sig += p.p.ManagerEvents()
+		}
+		if sig != sh.wdSig {
+			sh.wdSig = sig
+			sh.wdLastChange = now + 1
+		}
+	}
+}
+
+// RunWindow implements pdes.Shard.
+//
+//skipit:hotpath
+func (sh *fabHubShard) RunWindow(from, to int64) {
+	ff := sh.fab.fastForward
+	for now := from; now < to; {
+		if next := sh.next(now - 1); next > now {
+			if ff {
+				if next > to {
+					next = to
+				}
+				sh.skipped += uint64(next - now)
+				now = next
+				continue
+			}
+			sh.tick(now)
+			now++
+			continue
+		}
+		sh.tick(now)
+		now++
+	}
+}
+
+// fabRuntime hangs off Fabric.par when parallel stepping is enabled.
+type fabRuntime struct {
+	engine     *pdes.Engine
+	clientSh   *fabClientShard
+	hubSh      *fabHubShard
+	clientPool *linepool.Pool
+	hubPool    *linepool.Pool
+}
+
+// EnableParallel switches the fabric to windowed parallel stepping; it must
+// be called after Attach. clientPool is the line pool the attached clients
+// allocate from, hubPool the one the L2 and the controller share — they must
+// be distinct (the shards run concurrently) and are rebalanced against each
+// other at every barrier.
+func (f *Fabric) EnableParallel(workers int, clientPool, hubPool *linepool.Pool) {
+	if len(f.clients) == 0 {
+		panic("sim: EnableParallel before Attach")
+	}
+	if clientPool == hubPool {
+		panic("sim: parallel fabric needs distinct client and hub line pools")
+	}
+	hub := &fabHubShard{fab: f, ticking: -1}
+	for _, p := range f.Ports {
+		hub.ports = append(hub.ports, managerSide{p})
+		p.SetDeferred(true)
+	}
+	cs := &fabClientShard{fab: f, ticking: -1}
+	for _, p := range f.Ports {
+		cs.views = append(cs.views, clientSide{p})
+	}
+	f.par = &fabRuntime{
+		engine:     pdes.New([]pdes.Shard{hub, cs}, workers, int64(1+f.linkLatency), f.reg),
+		clientSh:   cs,
+		hubSh:      hub,
+		clientPool: clientPool,
+		hubPool:    hubPool,
+	}
+	if f.wdLimit > 0 {
+		f.armFabShards()
+	}
+}
+
+// Parallel returns the engine's worker count, or 0 for a serial fabric.
+func (f *Fabric) Parallel() int {
+	if f.par == nil {
+		return 0
+	}
+	return f.par.engine.Workers()
+}
+
+func (f *Fabric) armFabShards() {
+	p := f.par
+	var sig uint64
+	for _, m := range p.hubSh.ports {
+		sig += m.p.ManagerEvents()
+	}
+	p.hubSh.wdArmed, p.hubSh.wdSig, p.hubSh.wdLastChange = true, sig, f.now
+	sig = 0
+	for _, v := range p.clientSh.views {
+		sig += v.p.ClientEvents()
+	}
+	p.clientSh.wdArmed, p.clientSh.wdSig, p.clientSh.wdLastChange = true, sig, f.now
+}
+
+// fabBarrier publishes the staged link messages in fixed order, rebalances
+// the two line pools, drains the shard skip counts and folds the watchdog
+// state.
+func (f *Fabric) fabBarrier() {
+	p := f.par
+	for _, port := range f.Ports {
+		port.CommitDeferred()
+	}
+	if sk := p.hubSh.skipped + p.clientSh.skipped; sk != 0 {
+		f.ctrSkipped.Add(sk)
+		p.hubSh.skipped, p.clientSh.skipped = 0, 0
+	}
+	if n := p.clientPool.Free(); n > poolHi {
+		linepool.Transfer(p.hubPool, p.clientPool, n-poolLo)
+	} else if n < poolLo {
+		linepool.Transfer(p.clientPool, p.hubPool, poolLo-n)
+	}
+	if f.wdLimit > 0 {
+		last := f.wdLastChange
+		if p.hubSh.wdLastChange > last {
+			last = p.hubSh.wdLastChange
+		}
+		if p.clientSh.wdLastChange > last {
+			last = p.clientSh.wdLastChange
+		}
+		f.wdLastChange, f.wdLastSig = last, p.hubSh.wdSig+p.clientSh.wdSig
+	}
+}
+
+// fabHorizon is the next window's exclusive end: the engine's conservative
+// horizon clamped to the watchdog's trip cycle and the caller's limits,
+// floored at now+1.
+func (f *Fabric) fabHorizon(limits ...int64) int64 {
+	h := f.par.engine.Horizon(f.now - 1)
+	if f.wdLimit > 0 {
+		if d := f.wdLastChange + f.wdLimit; d < h {
+			h = d
+		}
+	}
+	for _, l := range limits {
+		if l < h {
+			h = l
+		}
+	}
+	if h < f.now+1 {
+		h = f.now + 1
+	}
+	return h
+}
+
+// AdvanceWindowChecked advances the fabric by one conservative window under
+// the watchdog and panic guard — the windowed analogue of StepGuarded, with
+// the horizon clamped to the given limits.
+func (f *Fabric) AdvanceWindowChecked(limits ...int64) (err error) {
+	if f.par == nil {
+		panic("sim: AdvanceWindowChecked needs a parallel fabric (EnableParallel)")
+	}
+	from := f.now
+	defer func() {
+		if rec := recover(); rec != nil {
+			sp, ok := rec.(*pdes.ShardPanic)
+			if !ok {
+				panic(rec)
+			}
+			if sp.Shard == 0 {
+				f.now = f.par.hubSh.ticking
+			} else {
+				f.now = f.par.clientSh.ticking
+			}
+			rep := f.buildHangReport("panic")
+			rep.Panic = fmt.Sprint(sp.Val)
+			rep.Stack = string(sp.Stack)
+			err = &HangError{Report: rep}
+		}
+	}()
+	h := f.fabHorizon(limits...)
+	f.par.engine.Session(func(window func(from, to int64)) {
+		window(from, h)
+	})
+	f.now = h
+	f.fabBarrier()
+	if f.wdLimit > 0 && f.now-f.wdLastChange >= f.wdLimit {
+		f.ctrWatchdogTrips.Inc()
+		rep := f.buildHangReport("no-progress")
+		rep.Window = f.now - f.wdLastChange
+		return &HangError{Report: rep}
+	}
+	return nil
+}
+
+// FinishParallel reproduces serial RunScript's exit landing on a drained
+// fabric: the serial loop fast-forwards after the draining step without
+// re-checking quiescence, so the clock jumps to the watchdog's pre-trip
+// cycle (or the cycle limit, whichever is lower) before the exit check runs.
+// The skipped-cycle counter absorbs the jump, exactly as serial's does.
+func (f *Fabric) FinishParallel(limit int64) {
+	if f.par == nil {
+		return
+	}
+	final := limit
+	if f.wdLimit > 0 {
+		if d := f.wdLastChange + f.wdLimit - 1; d < final {
+			final = d
+		}
+	}
+	if final > f.now {
+		f.ctrSkipped.Add(uint64(final - f.now))
+		f.now = final
+	}
+}

@@ -43,47 +43,17 @@ func (s *System) SkippedCycles() uint64 { return s.ctrSkipped.Value() }
 
 // nextEventCycle folds every component's NextEvent into the earliest cycle
 // anything in the SoC can act. last is the most recently ticked cycle.
-// Components are queried busiest-first and the fold bails out as soon as the
-// floor (last+1, nothing skippable) is reached, so on cycles with no idle
-// window the scan usually stops at the first core.
+// Components are queried busiest-first and the fold (fold.go) bails out as
+// soon as the floor (last+1, nothing skippable) is reached, so on cycles
+// with no idle window the scan usually stops at the first core.
 //
 //skipit:hotpath
 func (s *System) nextEventCycle(last int64) int64 {
-	floor := last + 1
-	next := tilelink.NoEvent
-	for _, c := range s.Cores {
-		if t := c.NextEvent(last); t < next {
-			if t <= floor {
-				return floor
-			}
-			next = t
-		}
-	}
-	for _, d := range s.L1s {
-		if t := d.NextEvent(last); t < next {
-			if t <= floor {
-				return floor
-			}
-			next = t
-		}
-	}
-	if t := s.L2.NextEvent(last); t < next {
-		if t <= floor {
-			return floor
-		}
-		next = t
-	}
-	for _, p := range s.ports {
-		if t := p.NextEvent(last); t < next {
-			if t <= floor {
-				return floor
-			}
-			next = t
-		}
-	}
-	if t := s.Mem.NextEvent(last); t < next {
-		next = t
-	}
+	next := foldNextAll(last, tilelink.NoEvent, s.Cores)
+	next = foldNextAll(last, next, s.L1s)
+	next = foldNext(last, next, s.L2)
+	next = foldNextAll(last, next, s.ports)
+	next = foldNext(last, next, s.Mem)
 	return next
 }
 

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"testing"
+
+	"skipit/internal/isa"
+	"skipit/internal/tilelink"
+)
+
+// fixedEvent is an eventSource that always reports the same cycle.
+type fixedEvent int64
+
+func (f fixedEvent) NextEvent(last int64) int64 { return int64(f) }
+
+// countingEvent records how many times it was queried, to prove the fold
+// bails out at the floor.
+type countingEvent struct {
+	at    int64
+	calls int
+}
+
+func (c *countingEvent) NextEvent(last int64) int64 {
+	c.calls++
+	return c.at
+}
+
+func TestFoldNextAll(t *testing.T) {
+	cases := []struct {
+		name string
+		last int64
+		next int64
+		srcs []fixedEvent
+		want int64
+	}{
+		{"empty slice keeps seed", 10, tilelink.NoEvent, nil, tilelink.NoEvent},
+		{"single later event", 10, tilelink.NoEvent, []fixedEvent{42}, 42},
+		{"minimum wins", 10, tilelink.NoEvent, []fixedEvent{42, 20, 99}, 20},
+		{"seed below all events wins", 10, 15, []fixedEvent{42, 20}, 15},
+		{"event below seed wins", 10, 50, []fixedEvent{42}, 42},
+		{"floor report clamps to floor", 10, tilelink.NoEvent, []fixedEvent{11}, 11},
+		{"below-floor report clamps to floor", 10, tilelink.NoEvent, []fixedEvent{3}, 11},
+		{"seed at floor returns floor", 10, 11, []fixedEvent{99}, 11},
+		{"seed below floor clamps up", 10, 5, []fixedEvent{99}, 11},
+		{"all idle stays NoEvent", 10, tilelink.NoEvent, []fixedEvent{fixedEvent(tilelink.NoEvent), fixedEvent(tilelink.NoEvent)}, tilelink.NoEvent},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := foldNextAll(tc.last, tc.next, tc.srcs); got != tc.want {
+				t.Fatalf("foldNextAll(last=%d, next=%d, %v) = %d, want %d",
+					tc.last, tc.next, tc.srcs, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestFoldNextSingle(t *testing.T) {
+	cases := []struct {
+		name string
+		last int64
+		next int64
+		src  fixedEvent
+		want int64
+	}{
+		{"later event lowers", 0, tilelink.NoEvent, 7, 7},
+		{"seed wins", 0, 5, 7, 5},
+		{"floor clamps", 0, tilelink.NoEvent, 1, 1},
+		{"below-floor clamps", 0, tilelink.NoEvent, -3, 1},
+		{"seed at floor short-circuits", 0, 1, 99, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := foldNext(tc.last, tc.next, tc.src); got != tc.want {
+				t.Fatalf("foldNext(last=%d, next=%d, src=%d) = %d, want %d",
+					tc.last, tc.next, tc.src, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestFoldBailsAtFloor(t *testing.T) {
+	// Once a source reports at or below the floor, the rest of the slice
+	// must not be queried, and chained folds must short-circuit.
+	early := &countingEvent{at: 11} // floor for last=10
+	late := &countingEvent{at: 99}
+	got := foldNextAll(10, tilelink.NoEvent, []*countingEvent{early, late})
+	if got != 11 {
+		t.Fatalf("fold = %d, want floor 11", got)
+	}
+	if late.calls != 0 {
+		t.Fatalf("fold queried a source after reaching the floor (%d calls)", late.calls)
+	}
+	if foldNext(10, got, late) != 11 || late.calls != 0 {
+		t.Fatalf("chained foldNext at floor queried its source")
+	}
+	if foldNextAll(10, got, []*countingEvent{late}) != 11 || late.calls != 0 {
+		t.Fatalf("chained foldNextAll at floor queried its source")
+	}
+}
+
+// TestFoldMatchesSystem pins the refactored System.nextEventCycle to the
+// fold helpers on a live system: the fold of an idle multi-core SoC must
+// land strictly beyond now, and a busy one at the floor.
+func TestFoldMatchesSystem(t *testing.T) {
+	s := New(DefaultConfig(2))
+	// Freshly built and empty: nothing can act, so the fold reports NoEvent.
+	if got := s.nextEventCycle(s.Now() - 1); got < tilelink.NoEvent {
+		t.Fatalf("idle system nextEventCycle = %d, want >= NoEvent", got)
+	}
+	s.Cores[0].SetProgram(isa.NewBuilder().Load(0x100).Build())
+	if got, want := s.nextEventCycle(s.Now()-1), s.Now(); got != want {
+		t.Fatalf("busy system nextEventCycle = %d, want floor %d", got, want)
+	}
+}

@@ -1,0 +1,633 @@
+package sim
+
+// Deterministic parallel stepping (Config.Parallel > 0).
+//
+// The SoC is partitioned into shards whose only coupling is the TileLink
+// ports: each core plus its private L1 (and flush unit) forms one shard, and
+// the L2 plus the DRAM controller form the hub shard. The pdes engine
+// advances every shard independently over a window [now, h) whose horizon is
+// conservative: h = G + 1 + LinkLatency, where G is the minimum over all
+// shards' NextEvent folds. A message sent on a link at cycle t is receivable
+// no earlier than t + beats + latency >= t + 1 + latency, so nothing sent
+// inside the window can influence any tick inside it — every tick observes
+// exactly the state it would have observed under serial stepping.
+//
+// Mid-window, sends go to producer-side staging (tilelink deferred mode);
+// at the barrier the coordinator publishes them in a fixed (port index,
+// channel, send order) sequence, rebalances the per-shard line pools, folds
+// the shard-local watchdog signatures, fires any sampler/progress-hook
+// boundaries the window covered (the horizon is clamped so a window never
+// straddles one), and evaluates the exit conditions.
+//
+// Exit cycles are reconstructed, not observed: the serial loops in Run,
+// Drain and the chaos runner interleave their exit checks with single
+// stepping, so the cycle at which they stop is a function of when the last
+// core finished (boom.DoneAt) and the last cycle any component actually
+// acted (q*, the max of the shards' last event ticks). Both are tracked
+// exactly, which is what makes the parallel results — return values, final
+// Now, every counter, every sampled series, every hang report — byte-equal
+// to serial for any worker count. Ticks beyond q* are provably no-ops
+// (the fast-forward contract), so the two modes may tick different cycle
+// sets without diverging in any observable.
+
+import (
+	"fmt"
+	"strings"
+
+	"skipit/internal/boom"
+	"skipit/internal/l1"
+	"skipit/internal/l2"
+	"skipit/internal/linepool"
+	"skipit/internal/mem"
+	"skipit/internal/metrics"
+	"skipit/internal/pdes"
+	"skipit/internal/tilelink"
+)
+
+// Per-shard line pools are rebalanced against the hub pool at every barrier:
+// grant buffers flow core-ward and writeback buffers hub-ward, so an
+// asymmetric workload would otherwise drain one free list while another
+// grows without bound (draining means allocating — the zero-alloc steady
+// state would be lost). A shard leaves each barrier holding between poolLo
+// and poolHi free buffers.
+const (
+	poolLo = 16
+	poolHi = 64
+)
+
+// clientSide folds the client-facing half of a port (B and D deliveries plus
+// the client's own staged work) for a core shard's local fast-forward;
+// managerSide folds the manager-facing half (A, C, E) for the hub. Both are
+// pointer-shaped so converting them to eventSource never allocates.
+type clientSide struct{ p *tilelink.ClientPort }
+
+func (c clientSide) NextEvent(last int64) int64 { return c.p.NextEventClient(last) }
+
+type managerSide struct{ p *tilelink.ClientPort }
+
+func (m managerSide) NextEvent(last int64) int64 { return m.p.NextEventManager(last) }
+
+// coreShard is one core + L1 (+ flush unit) partition.
+type coreShard struct {
+	sys  *System
+	core *boom.Core
+	l1   *l1.DCache
+	port *tilelink.ClientPort
+	view clientSide
+	pool *linepool.Pool
+
+	// lastAct is the last cycle this shard's local fold predicted an event
+	// and the shard ticked it — the shard's contribution to q*. ticking is
+	// the cycle currently (or last) being ticked, read by the coordinator to
+	// place panic reports. skipped accumulates locally fast-forwarded cycles
+	// until the barrier drains it into sim.skipped_cycles.
+	lastAct int64
+	ticking int64
+	skipped uint64
+
+	// Shard-local watchdog signature tracking, mirroring StepGuarded:
+	// wdLastChange is 1 + the last tick at which this shard's slice of the
+	// global progress signature changed. The barrier folds the max.
+	wdArmed      bool
+	wdSig        uint64
+	wdLastChange int64
+}
+
+func (sh *coreShard) next(last int64) int64 {
+	n := foldNext(last, tilelink.NoEvent, sh.core)
+	n = foldNext(last, n, sh.l1)
+	n = foldNext(last, n, sh.view)
+	return n
+}
+
+// NextEvent implements pdes.Shard; called single-threaded at barriers.
+func (sh *coreShard) NextEvent(last int64) int64 { return sh.next(last) }
+
+func (sh *coreShard) tick(now int64) {
+	sh.ticking = now
+	sh.l1.Tick(now)
+	sh.core.Tick(now)
+	if sh.wdArmed {
+		if sig := sh.core.Committed() + sh.port.ClientEvents(); sig != sh.wdSig {
+			sh.wdSig = sig
+			sh.wdLastChange = now + 1
+		}
+	}
+}
+
+// RunWindow implements pdes.Shard: tick (and locally fast-forward) over
+// [from, to), touching no state owned by another shard.
+//
+//skipit:hotpath
+func (sh *coreShard) RunWindow(from, to int64) {
+	ff := sh.sys.fastForward
+	tl := sh.sys.par.tickLast
+	for now := from; now < to; {
+		if next := sh.next(now - 1); next > now {
+			if ff && now != tl {
+				if tl > now && tl < next {
+					next = tl // land on the observation cycle, then tick it
+				}
+				if next > to {
+					next = to
+				}
+				sh.skipped += uint64(next - now)
+				now = next
+				continue
+			}
+			// Observation landing or fast-forward off: tick the cycle anyway
+			// (serial does). It is provably a no-op for architectural state,
+			// so it is not an event for lastAct.
+			sh.tick(now)
+			now++
+			continue
+		}
+		sh.tick(now)
+		sh.lastAct = now
+		now++
+	}
+}
+
+// hubShard is the L2 + DRAM partition, owning the manager side of every port.
+type hubShard struct {
+	sys   *System
+	mem   *mem.Memory
+	l2    *l2.Cache
+	ports []managerSide
+	pool  *linepool.Pool
+
+	lastAct int64
+	ticking int64
+	skipped uint64
+
+	wdArmed      bool
+	wdSig        uint64
+	wdLastChange int64
+}
+
+func (sh *hubShard) next(last int64) int64 {
+	n := foldNext(last, tilelink.NoEvent, sh.mem)
+	n = foldNext(last, n, sh.l2)
+	n = foldNextAll(last, n, sh.ports)
+	return n
+}
+
+// NextEvent implements pdes.Shard; called single-threaded at barriers.
+func (sh *hubShard) NextEvent(last int64) int64 { return sh.next(last) }
+
+func (sh *hubShard) tick(now int64) {
+	sh.ticking = now
+	sh.mem.Tick(now)
+	sh.l2.Tick(now)
+	if sh.wdArmed {
+		var sig uint64
+		for _, p := range sh.ports {
+			sig += p.p.ManagerEvents()
+		}
+		if sig != sh.wdSig {
+			sh.wdSig = sig
+			sh.wdLastChange = now + 1
+		}
+	}
+}
+
+// RunWindow implements pdes.Shard.
+//
+//skipit:hotpath
+func (sh *hubShard) RunWindow(from, to int64) {
+	ff := sh.sys.fastForward
+	tl := sh.sys.par.tickLast
+	for now := from; now < to; {
+		if next := sh.next(now - 1); next > now {
+			if ff && now != tl {
+				if tl > now && tl < next {
+					next = tl
+				}
+				if next > to {
+					next = to
+				}
+				sh.skipped += uint64(next - now)
+				now = next
+				continue
+			}
+			sh.tick(now)
+			now++
+			continue
+		}
+		sh.tick(now)
+		sh.lastAct = now
+		now++
+	}
+}
+
+// parRuntime is the parallel-stepping state hung off System.par.
+type parRuntime struct {
+	engine *pdes.Engine
+	hub    *hubShard
+	cores  []*coreShard
+
+	// samplerFired / hookFired track the last boundary cycle each observer
+	// fired through, so barriers fire exactly the boundaries serial ticking
+	// would have (and Snapshot-visible series stay identical).
+	samplerFired int64
+	hookFired    int64
+
+	// tickLast, when >= 0, is a cycle every shard must tick rather than
+	// locally fast-forward through: the window was clamped there by a
+	// sampler/hook boundary or the watchdog's trip cycle. Serial stepping
+	// lands on and ticks those cycles, and some per-cycle counters (e.g. the
+	// fence drain-stall counter) attribute fast-forwarded gaps lazily at the
+	// next tick — the forced tick makes them exact at the cycle an observer
+	// reads them, exactly as under serial stepping. Architecturally it is a
+	// provable no-op. Written by the coordinator between windows only.
+	tickLast int64
+}
+
+// ticking returns the cycle shard i (engine index) was last ticking, for
+// panic report placement.
+func (p *parRuntime) ticking(shard int) int64 {
+	if shard == 0 {
+		return p.hub.ticking
+	}
+	return p.cores[shard-1].ticking
+}
+
+// initParallel builds the shards and engine; called from New after the
+// components are assembled. pools holds the per-core line pools.
+func (s *System) initParallel(workers int, pools []*linepool.Pool) {
+	p := &parRuntime{samplerFired: -1, hookFired: -1, tickLast: -1}
+	hub := &hubShard{sys: s, mem: s.Mem, l2: s.L2, pool: s.pool, lastAct: -1, ticking: -1}
+	for _, port := range s.ports {
+		hub.ports = append(hub.ports, managerSide{port})
+		port.SetDeferred(true)
+	}
+	p.hub = hub
+	// The hub is shard 0 so the coordinator (worker 0) always runs the
+	// busiest shard itself.
+	shards := make([]pdes.Shard, 0, len(s.Cores)+1)
+	shards = append(shards, hub)
+	for i := range s.Cores {
+		cs := &coreShard{
+			sys: s, core: s.Cores[i], l1: s.L1s[i], port: s.ports[i],
+			view: clientSide{s.ports[i]}, pool: pools[i], lastAct: -1, ticking: -1,
+		}
+		p.cores = append(p.cores, cs)
+		shards = append(shards, cs)
+	}
+	p.engine = pdes.New(shards, workers, int64(1+s.cfg.LinkLatency), s.reg)
+	s.par = p
+}
+
+// armShards seeds the shard-local watchdog signature tracking; called from
+// ArmWatchdog.
+func (s *System) armShards() {
+	p := s.par
+	var sig uint64
+	for _, m := range p.hub.ports {
+		sig += m.p.ManagerEvents()
+	}
+	p.hub.wdArmed, p.hub.wdSig, p.hub.wdLastChange = true, sig, s.now
+	for _, cs := range p.cores {
+		cs.wdArmed = true
+		cs.wdSig = cs.core.Committed() + cs.port.ClientEvents()
+		cs.wdLastChange = s.now
+	}
+}
+
+// parBarrier runs the single-threaded cross-shard bookkeeping after a
+// window: publish staged link messages in fixed order, rebalance line pools,
+// drain per-shard skip counts, and fold the watchdog signatures.
+func (s *System) parBarrier() {
+	p := s.par
+	for _, port := range s.ports {
+		port.CommitDeferred()
+	}
+	if hs := p.hub.skipped; hs != 0 {
+		s.ctrSkipped.Add(hs)
+		p.hub.skipped = 0
+	}
+	for _, cs := range p.cores {
+		if cs.skipped != 0 {
+			s.ctrSkipped.Add(cs.skipped)
+			cs.skipped = 0
+		}
+		if n := cs.pool.Free(); n > poolHi {
+			linepool.Transfer(s.pool, cs.pool, n-poolLo)
+		} else if n < poolLo {
+			linepool.Transfer(cs.pool, s.pool, poolLo-n)
+		}
+	}
+	if s.wdLimit > 0 {
+		last, sig := s.wdLastChange, p.hub.wdSig
+		if p.hub.wdLastChange > last {
+			last = p.hub.wdLastChange
+		}
+		for _, cs := range p.cores {
+			sig += cs.wdSig
+			if cs.wdLastChange > last {
+				last = cs.wdLastChange
+			}
+		}
+		s.wdLastChange, s.wdLastSig = last, sig
+	}
+}
+
+// qStar returns the last cycle any shard actually acted.
+func (s *System) qStar() int64 {
+	q := s.par.hub.lastAct
+	for _, cs := range s.par.cores {
+		if cs.lastAct > q {
+			q = cs.lastAct
+		}
+	}
+	return q
+}
+
+// nextBoundary returns the smallest positive multiple-of-iv cycle strictly
+// greater than fired (boundary 0 is represented by fired == -1).
+func nextBoundary(fired, iv int64) int64 {
+	b := fired + 1
+	if r := b % iv; r != 0 {
+		b += iv - r
+	}
+	return b
+}
+
+// fireBoundaries fires every sampler and progress-hook boundary in
+// (fired, through], in cycle order with the sampler before the hook at equal
+// cycles — exactly the order Step produces. The horizon clamps guarantee the
+// counters read here hold their post-boundary-tick values.
+func (s *System) fireBoundaries(through int64) {
+	p := s.par
+	for {
+		sb, hb := int64(-1), int64(-1)
+		if s.sampler != nil {
+			if b := nextBoundary(p.samplerFired, s.sampler.Interval()); b <= through {
+				sb = b
+			}
+		}
+		if s.hookInterval > 0 {
+			if b := nextBoundary(p.hookFired, s.hookInterval); b <= through {
+				hb = b
+			}
+		}
+		switch {
+		case sb >= 0 && (hb < 0 || sb <= hb):
+			s.sampler.Tick(sb)
+			p.samplerFired = sb
+		case hb >= 0:
+			s.hook(hb)
+			p.hookFired = hb
+		default:
+			return
+		}
+	}
+}
+
+// parHorizon computes the next window's exclusive end: the engine's
+// conservative event horizon clamped to the next sampler/hook boundary (+1,
+// so the barrier lands just past it and the boundary fires with post-tick
+// counter values), the watchdog's trip cycle, and the caller's limits —
+// then floored at now+1 so a window always makes progress (mirroring the
+// serial loop's unconditional Step when fast-forward finds nothing to skip).
+func (s *System) parHorizon(deadline int64, extra ...int64) int64 {
+	h := s.par.engine.Horizon(s.now - 1)
+	observed := false
+	if s.sampler != nil {
+		if b := nextBoundary(s.par.samplerFired, s.sampler.Interval()) + 1; b <= h {
+			h = b
+			observed = true
+		}
+	}
+	if s.hookInterval > 0 {
+		if b := nextBoundary(s.par.hookFired, s.hookInterval) + 1; b <= h {
+			h = b
+			observed = true
+		}
+	}
+	if s.wdLimit > 0 {
+		if d := s.wdLastChange + s.wdLimit; d <= h {
+			h = d
+			observed = true
+		}
+	}
+	if deadline < h {
+		h = deadline
+		observed = false
+	}
+	for _, l := range extra {
+		if l < h {
+			h = l
+			observed = false
+		}
+	}
+	if h < s.now+1 {
+		h = s.now + 1
+	}
+	// Shards must tick (not skip) an observation landing — see tickLast.
+	if observed {
+		s.par.tickLast = h - 1
+	} else {
+		s.par.tickLast = -1
+	}
+	return h
+}
+
+// maxDoneAt returns the latest boom.DoneAt across cores (-1 when no core
+// ever finished a program).
+func (s *System) maxDoneAt() int64 {
+	d := int64(-1)
+	for _, c := range s.Cores {
+		if da := c.DoneAt(); da > d {
+			d = da
+		}
+	}
+	return d
+}
+
+func (s *System) allCoresDone() bool {
+	for _, c := range s.Cores {
+		if !c.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// runParallel is Run's windowed loop (programs already loaded). The serial
+// loop latches "all cores done" one tick after it happens, re-checks
+// quiescence each subsequent tick, and returns (t_done+1) with the clock at
+// max(t_done+1, q*)+1; both are reconstructed here from DoneAt and q*.
+func (s *System) runParallel(deadline, limit int64) (int64, error) {
+	startNow := s.now
+	var ret int64
+	var err error
+	s.par.engine.Session(func(window func(from, to int64)) {
+		defer rethrowShardPanic()
+		for {
+			if s.allCoresDone() && s.Quiescent() {
+				tDone := s.maxDoneAt()
+				if startNow > tDone {
+					tDone = startNow
+				}
+				f := tDone + 1
+				if q := s.qStar(); q > f {
+					f = q
+				}
+				f++
+				if f <= deadline {
+					s.now = f
+					s.fireBoundaries(f - 1)
+					ret = tDone + 1
+					return
+				}
+				// The serial loop's deadline check wins: it would have hit
+				// the limit before reaching its exit iteration.
+			}
+			s.fireBoundaries(s.now - 1)
+			if s.now >= deadline {
+				err = fmt.Errorf("%w (limit %d): %s", ErrTimeout, limit, s.describeStall())
+				return
+			}
+			h := s.parHorizon(deadline)
+			window(s.now, h)
+			s.now = h
+			s.parBarrier()
+		}
+	})
+	return ret, err
+}
+
+// drainParallel is Drain's windowed loop.
+func (s *System) drainParallel(deadline int64) error {
+	var err error
+	windowed := false
+	s.par.engine.Session(func(window func(from, to int64)) {
+		defer rethrowShardPanic()
+		for {
+			if s.Quiescent() {
+				if windowed {
+					// Serial returns right after the tick that drained the
+					// last in-flight transaction.
+					s.now = s.qStar() + 1
+					s.fireBoundaries(s.now - 1)
+				}
+				return
+			}
+			s.fireBoundaries(s.now - 1)
+			if s.now >= deadline {
+				err = fmt.Errorf("%w while draining: %s", ErrTimeout, s.describeStall())
+				return
+			}
+			h := s.parHorizon(deadline)
+			window(s.now, h)
+			s.now = h
+			s.parBarrier()
+			windowed = true
+		}
+	})
+	return err
+}
+
+// rethrowShardPanic unwraps a *pdes.ShardPanic escaping an unguarded window
+// back into the original panic value, for parity with serial Step.
+func rethrowShardPanic() {
+	if rec := recover(); rec != nil {
+		if sp, ok := rec.(*pdes.ShardPanic); ok {
+			panic(sp.Val)
+		}
+		panic(rec)
+	}
+}
+
+// AdvanceWindowChecked advances a parallel system by one conservative window
+// under the watchdog and panic guard — the windowed analogue of StepGuarded
+// plus fast-forward, used by the chaos runner. The horizon is clamped to the
+// given limits (the caller passes its cycle bound and the next scheduled
+// fault's cycle, so faults land between windows exactly as they land between
+// serial steps). When the window ends in the terminal state — every core
+// done and the SoC quiescent — the clock is placed exactly where the serial
+// checked loop would have stopped.
+func (s *System) AdvanceWindowChecked(limits ...int64) (err error) {
+	if s.par == nil {
+		panic("sim: AdvanceWindowChecked needs a parallel system (Config.Parallel > 0)")
+	}
+	if len(limits) == 0 {
+		panic("sim: AdvanceWindowChecked needs at least one cycle limit")
+	}
+	deadline := limits[0]
+	for _, l := range limits[1:] {
+		if l < deadline {
+			deadline = l
+		}
+	}
+	from := s.now
+	defer func() {
+		if rec := recover(); rec != nil {
+			sp, ok := rec.(*pdes.ShardPanic)
+			if !ok {
+				panic(rec)
+			}
+			// Panic reports are best-effort placed at the shard's last
+			// ticking cycle; stacks are host-dependent, so panic artifacts
+			// sit outside the bit-identity contract.
+			s.now = s.par.ticking(sp.Shard)
+			rep := s.buildHangReport("panic")
+			rep.Panic = fmt.Sprint(sp.Val)
+			rep.Stack = string(sp.Stack)
+			err = &HangError{Report: rep}
+		}
+	}()
+	h := s.parHorizon(deadline)
+	s.par.engine.Session(func(window func(from, to int64)) {
+		window(from, h)
+	})
+	s.now = h
+	s.parBarrier()
+	if s.wdLimit > 0 && s.now-s.wdLastChange >= s.wdLimit {
+		s.fireBoundaries(s.now - 1)
+		s.ctrWatchdogTrips.Inc()
+		rep := s.buildHangReport("no-progress")
+		rep.Window = s.now - s.wdLastChange
+		return &HangError{Report: rep}
+	}
+	if s.allCoresDone() && s.Quiescent() {
+		f := s.maxDoneAt()
+		if q := s.qStar(); q > f {
+			f = q
+		}
+		f++
+		if f < from+1 {
+			f = from + 1
+		}
+		s.now = f
+	}
+	s.fireBoundaries(s.now - 1)
+	return nil
+}
+
+// StripHostOnly removes the snapshot entries that are host- or
+// schedule-dependent by design: skip counts (parallel shards skip locally,
+// so totals differ from serial while remaining identical across worker
+// counts), line-pool traffic (per-shard pools split differently than the
+// serial shared pool), pdes scheduler telemetry, and host-throughput rates.
+// Everything that survives is part of the serial/parallel bit-identity
+// contract.
+func StripHostOnly(snap *metrics.Snapshot) {
+	for key := range snap.Counters {
+		if key == "sim.skipped_cycles" || strings.HasPrefix(key, "pool.") || strings.HasPrefix(key, "pdes.") {
+			delete(snap.Counters, key)
+		}
+	}
+	for key := range snap.Histograms {
+		if strings.HasPrefix(key, "pdes.") {
+			delete(snap.Histograms, key)
+		}
+	}
+	for key := range snap.Derived {
+		if key == "ff_skipped_cycle_ratio" || key == "pool_hit_rate" ||
+			key == "host_sim_cycles_per_sec" || strings.HasPrefix(key, "pdes.") {
+			delete(snap.Derived, key)
+		}
+	}
+}

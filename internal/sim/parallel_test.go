@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"skipit/internal/isa"
+)
+
+// parWorkload is a four-core mix of store bursts, clean/flush traffic, AMOs
+// and idle stretches — enough cross-shard coherence traffic (shared lines,
+// L2 probes) to exercise every window/barrier path.
+func parWorkload() []*isa.Program {
+	p0 := isa.NewBuilder().
+		StoreRegion(0x1000, 16*64, 64, 7).CboRegionLoop(0x1000, 16*64, 64, true, 2).
+		Load(0x40000).AmoAdd(0x40000, 3).Nops(120).
+		Load(0x2000).Store(0x2000, 9).CboFlush(0x2000).Fence().Build()
+	p1 := isa.NewBuilder().
+		Load(0x1000).Store(0x1040, 5).Nops(40).
+		AmoSwap(0x40000, 11).StoreRegion(0x8000, 8, 64, 2).
+		CboClean(0x8000).Fence().Build()
+	p2 := isa.NewBuilder().
+		Nops(300).Load(0x40000).Store(0x40040, 1).
+		CboClean(0x40040).Load(0x1040).Fence().Build()
+	p3 := isa.NewBuilder().
+		Store(0x90000, 4).CboFlush(0x90000).Nops(10).
+		Load(0x90000).CflushDL1(0x90000).Fence().Build()
+	return []*isa.Program{p0, p1, p2, p3}
+}
+
+// runParWorkload runs progs on a fresh system with the given worker count
+// (0 = serial) and returns the system and finish cycle.
+func runParWorkload(t *testing.T, progs []*isa.Program, workers int, sampleEvery int64) (*System, int64) {
+	t.Helper()
+	cfg := DefaultConfig(len(progs))
+	cfg.Parallel = workers
+	s := New(cfg)
+	if sampleEvery > 0 {
+		s.EnableSampling(sampleEvery)
+	}
+	cycle, err := s.Run(progs, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return s, cycle
+}
+
+// hostOnlySeries reports series keys excluded from cross-mode comparison,
+// mirroring StripHostOnly.
+func hostOnlySeries(key string) bool {
+	return key == "sim.skipped_cycles" ||
+		len(key) > 5 && key[:5] == "pool." ||
+		len(key) > 5 && key[:5] == "pdes."
+}
+
+func series(s *System) map[string][]uint64 {
+	out := map[string][]uint64{}
+	for _, sr := range s.Snapshot().Series {
+		if hostOnlySeries(sr.Key) {
+			continue
+		}
+		out[sr.Key] = sr.Values
+	}
+	return out
+}
+
+// assertSystemsEqual compares every bit-identity observable of two finished
+// systems: final clock, stripped counters, per-core instruction timings, and
+// sampled series.
+func assertSystemsEqual(t *testing.T, label string, a, b *System) {
+	t.Helper()
+	if a.Now() != b.Now() {
+		t.Fatalf("%s: clock differs: %d vs %d", label, a.Now(), b.Now())
+	}
+	snapA, snapB := a.Snapshot(), b.Snapshot()
+	StripHostOnly(&snapA)
+	StripHostOnly(&snapB)
+	if !reflect.DeepEqual(snapA.Counters, snapB.Counters) {
+		for k, v := range snapA.Counters {
+			if w, ok := snapB.Counters[k]; !ok || v != w {
+				t.Errorf("%s: counter %s: %d vs %d", label, k, v, w)
+			}
+		}
+		for k := range snapB.Counters {
+			if _, ok := snapA.Counters[k]; !ok {
+				t.Errorf("%s: counter %s only in second system", label, k)
+			}
+		}
+		t.Fatalf("%s: counters diverged", label)
+	}
+	for i := range a.Cores {
+		if !reflect.DeepEqual(a.Cores[i].Timings(), b.Cores[i].Timings()) {
+			t.Fatalf("%s: core %d timings diverged", label, i)
+		}
+	}
+	if !reflect.DeepEqual(series(a), series(b)) {
+		t.Fatalf("%s: sampled series diverged", label)
+	}
+}
+
+// TestParallelEquivalence: the parallel scheduler must be bit-identical to
+// serial stepping — same Run return value, same final clock, same counters,
+// same per-instruction timings, same sampled series — for every worker
+// count.
+func TestParallelEquivalence(t *testing.T) {
+	serial, serialCycle := runParWorkload(t, parWorkload(), 0, 100)
+	for _, workers := range []int{1, 2, 4} {
+		par, parCycle := runParWorkload(t, parWorkload(), workers, 100)
+		if parCycle != serialCycle {
+			t.Fatalf("parallel=%d: finish cycle %d, serial %d", workers, parCycle, serialCycle)
+		}
+		assertSystemsEqual(t, "parallel vs serial", serial, par)
+	}
+}
+
+// TestParallelEquivalenceTwoCore runs the fast-forward test workload (long
+// idle stretches, flush round-trips) through the same matrix: idle-heavy
+// shapes exercise the horizon clamps rather than the dense tick path.
+func TestParallelEquivalenceTwoCore(t *testing.T) {
+	serial, serialCycle := runParWorkload(t, ffWorkload(), 0, 50)
+	for _, workers := range []int{1, 2, 4} {
+		par, parCycle := runParWorkload(t, ffWorkload(), workers, 50)
+		if parCycle != serialCycle {
+			t.Fatalf("parallel=%d: finish cycle %d, serial %d", workers, parCycle, serialCycle)
+		}
+		assertSystemsEqual(t, "parallel vs serial (2-core)", serial, par)
+	}
+}
+
+// TestParallelFastForwardOff pins the degenerate matrix corner: parallel
+// windows with per-shard fast-forward disabled must still match serial
+// single-stepping.
+func TestParallelFastForwardOff(t *testing.T) {
+	run := func(workers int) (*System, int64) {
+		cfg := DefaultConfig(2)
+		cfg.Parallel = workers
+		s := New(cfg)
+		s.SetFastForward(false)
+		cycle, err := s.Run(ffWorkload(), 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, cycle
+	}
+	serial, serialCycle := run(0)
+	par, parCycle := run(2)
+	if parCycle != serialCycle {
+		t.Fatalf("finish cycle %d, serial %d", parCycle, serialCycle)
+	}
+	assertSystemsEqual(t, "ff-off", serial, par)
+	if par.SkippedCycles() != 0 {
+		t.Fatalf("ff-off parallel system skipped %d cycles", par.SkippedCycles())
+	}
+}
+
+// TestParallelDrain: Drain must land on the same cycle as serial, both from
+// a busy state and when already quiescent.
+func TestParallelDrain(t *testing.T) {
+	run := func(workers int) *System {
+		cfg := DefaultConfig(2)
+		cfg.Parallel = workers
+		s := New(cfg)
+		if _, err := s.Run(ffWorkload(), 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		// Start fresh traffic, then drain mid-flight.
+		s.Cores[0].SetProgram(isa.NewBuilder().Store(0x7000, 1).CboClean(0x7000).Build())
+		s.Cores[1].SetProgram(isa.NewBuilder().Build())
+		for i := 0; i < 8; i++ {
+			s.Step()
+		}
+		if err := s.Drain(100_000); err != nil {
+			t.Fatal(err)
+		}
+		before := s.Now()
+		if err := s.Drain(100_000); err != nil { // already quiescent: no-op
+			t.Fatal(err)
+		}
+		if s.Now() != before {
+			t.Fatalf("quiescent drain moved the clock %d -> %d", before, s.Now())
+		}
+		return s
+	}
+	serial := run(0)
+	for _, workers := range []int{1, 2} {
+		assertSystemsEqual(t, "drain", serial, run(workers))
+	}
+}
+
+// TestParallelTimeout: a run that exceeds its cycle limit must report the
+// timeout at the same cycle serial does.
+func TestParallelTimeout(t *testing.T) {
+	run := func(workers int) (int64, error) {
+		cfg := DefaultConfig(1)
+		cfg.Parallel = workers
+		s := New(cfg)
+		// Plenty of work, tiny limit.
+		_, err := s.Run([]*isa.Program{parWorkload()[0]}, 40)
+		return s.Now(), err
+	}
+	serialNow, serialErr := run(0)
+	if serialErr == nil {
+		t.Fatal("serial run did not time out")
+	}
+	for _, workers := range []int{1, 2} {
+		now, err := run(workers)
+		if err == nil {
+			t.Fatalf("parallel=%d run did not time out", workers)
+		}
+		if now != serialNow {
+			t.Fatalf("parallel=%d timed out at %d, serial at %d", workers, now, serialNow)
+		}
+		if err.Error() != serialErr.Error() {
+			t.Fatalf("parallel=%d timeout %q, serial %q", workers, err, serialErr)
+		}
+	}
+}
+
+// TestParallelMixedStepping: serial Steps interleaved with parallel Runs on
+// the same system must compose (deferred sends publish at each Step).
+func TestParallelMixedStepping(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Parallel = 2
+	s := New(cfg)
+	s.Cores[0].SetProgram(isa.NewBuilder().Store(0x1000, 7).CboClean(0x1000).Build())
+	s.Cores[1].SetProgram(isa.NewBuilder().Build())
+	for i := 0; i < 50; i++ {
+		s.Step()
+	}
+	if err := s.Drain(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(ffWorkload(), 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

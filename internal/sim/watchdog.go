@@ -113,6 +113,9 @@ func (s *System) ArmWatchdog(limit int64) {
 	s.wdLimit = limit
 	s.wdLastSig = s.progressSignature()
 	s.wdLastChange = s.now
+	if s.par != nil {
+		s.armShards()
+	}
 }
 
 // progressSignature folds the per-core commit counters and per-link activity

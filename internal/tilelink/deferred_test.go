@@ -1,0 +1,139 @@
+package tilelink
+
+import "testing"
+
+func TestDeferredSendInvisibleUntilCommit(t *testing.T) {
+	l := NewLink("t", 16, 64, 0)
+	l.SetDeferred(true)
+	if !l.Send(0, Msg{Op: OpGrant, Addr: 64}) {
+		t.Fatal("deferred send rejected")
+	}
+	if _, ok := l.Recv(100); ok {
+		t.Fatal("staged message delivered before commit")
+	}
+	if _, ok := l.Peek(100); ok {
+		t.Fatal("staged message visible to Peek before commit")
+	}
+	if got := l.NextEvent(100); got != NoEvent {
+		t.Fatalf("staged message visible to NextEvent: %d", got)
+	}
+	if l.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1 (staged messages count)", l.Pending())
+	}
+	l.CommitDeferred()
+	if m, ok := l.Recv(100); !ok || m.Addr != 64 {
+		t.Fatalf("Recv after commit = %v,%v", m, ok)
+	}
+}
+
+func TestDeferredOccupancyMatchesImmediate(t *testing.T) {
+	// Send timing (busyUntil, readyAt) is computed at Send in both modes;
+	// only publication is deferred. Replaying the same send sequence must
+	// produce identical delivery cycles.
+	imm := NewLink("imm", 16, 64, 1)
+	def := NewLink("def", 16, 64, 1)
+	def.SetDeferred(true)
+	data := Msg{Op: OpGrantData, Addr: 0, Data: make([]byte, 64)}
+	for now := int64(0); now < 20; now++ {
+		a := imm.Send(now, data)
+		b := def.Send(now, data)
+		if a != b {
+			t.Fatalf("cycle %d: immediate accepted=%v deferred accepted=%v", now, a, b)
+		}
+	}
+	def.CommitDeferred()
+	for now := int64(0); now < 60; now++ {
+		ma, oka := imm.Recv(now)
+		mb, okb := def.Recv(now)
+		if oka != okb || ma.Addr != mb.Addr {
+			t.Fatalf("cycle %d: immediate (%v,%v) != deferred (%v,%v)", now, ma, oka, mb, okb)
+		}
+	}
+	if imm.Pending() != 0 || def.Pending() != 0 {
+		t.Fatal("messages left undelivered")
+	}
+}
+
+func TestDeferredCommitPreservesSendOrder(t *testing.T) {
+	l := NewLink("t", 16, 64, 0)
+	l.SetDeferred(true)
+	now := int64(0)
+	for i := 0; i < 8; i++ {
+		m := Msg{Op: OpGrant, Addr: uint64(i) * 64}
+		for !l.Send(now, m) {
+			now++
+		}
+		now++
+	}
+	l.CommitDeferred()
+	for i := 0; i < 8; i++ {
+		m, ok := l.Recv(now + 100)
+		if !ok || m.Addr != uint64(i)*64 {
+			t.Fatalf("message %d out of order after commit: %v,%v", i, m, ok)
+		}
+	}
+}
+
+func TestDeferredResetDropsStaged(t *testing.T) {
+	l := NewLink("t", 16, 64, 0)
+	l.SetDeferred(true)
+	l.Send(0, Msg{Op: OpGrant, Addr: 0})
+	l.Reset()
+	if l.Pending() != 0 {
+		t.Fatal("staged message survived Reset")
+	}
+	l.CommitDeferred()
+	if _, ok := l.Recv(100); ok {
+		t.Fatal("reset staged message delivered")
+	}
+}
+
+func TestSetDeferredOffWithStagedPanics(t *testing.T) {
+	l := NewLink("t", 16, 64, 0)
+	l.SetDeferred(true)
+	l.Send(0, Msg{Op: OpGrant, Addr: 0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("leaving deferred mode with staged messages did not panic")
+		}
+	}()
+	l.SetDeferred(false)
+}
+
+func TestPerSideEventCounters(t *testing.T) {
+	p := NewClientPort("l1", 16, 64, 1)
+	p.A.Send(0, Msg{Op: OpAcquireBlock, Addr: 0, Grow: GrowNtoB})
+	if _, ok := p.A.Recv(10); !ok {
+		t.Fatal("acquire not delivered")
+	}
+	p.D.Send(10, Msg{Op: OpGrant, Addr: 0})
+	// A carried one send (client) + one recv (manager); D one send (manager).
+	if got := p.ClientEvents(); got != 1 {
+		t.Fatalf("ClientEvents = %d, want 1", got)
+	}
+	if got := p.ManagerEvents(); got != 2 {
+		t.Fatalf("ManagerEvents = %d, want 2", got)
+	}
+	if p.Events() != p.ClientEvents()+p.ManagerEvents() {
+		t.Fatalf("Events %d != client %d + manager %d", p.Events(), p.ClientEvents(), p.ManagerEvents())
+	}
+}
+
+func TestPerSideNextEvent(t *testing.T) {
+	p := NewClientPort("l1", 16, 64, 1)
+	// Client-produced traffic on A is the manager's event, not the client's.
+	p.A.Send(0, Msg{Op: OpAcquireBlock, Addr: 0, Grow: GrowNtoB})
+	if got := p.NextEventClient(0); got != NoEvent {
+		t.Fatalf("NextEventClient sees outbound A traffic: %d", got)
+	}
+	if got := p.NextEventManager(0); got == NoEvent {
+		t.Fatal("NextEventManager blind to inbound A traffic")
+	}
+	p.D.Send(5, Msg{Op: OpGrant, Addr: 0})
+	if got := p.NextEventClient(5); got == NoEvent {
+		t.Fatal("NextEventClient blind to inbound D traffic")
+	}
+	if p.NextEvent(0) > p.NextEventManager(0) || p.NextEvent(5) > p.NextEventClient(5) {
+		t.Fatal("combined NextEvent later than a per-side fold")
+	}
+}

@@ -1,0 +1,62 @@
+package tlctest
+
+import "skipit/internal/mem"
+
+// DurableQueue collects §5.5 durability checks an agent could not perform
+// inline: on a parallel fabric the DRAM store belongs to the hub shard, so
+// peeking it from an agent's tick would race (and could observe a cycle the
+// serial run never peeked at). Agents capture the scoreboard's durability
+// floor at the ack cycle and queue (cycle, agent, addr, floor); the episode
+// driver resolves the queue at each window barrier.
+type DurableQueue struct {
+	pending []durableCheck
+}
+
+type durableCheck struct {
+	cycle   int64
+	agent   int
+	addr    uint64
+	mark    int
+	npushes int
+}
+
+// Defer captures the scoreboard state the inline check would have read at
+// this instant (Scoreboard.DurableFloor — the floor is consumed exactly like
+// CheckDurable consumes it, so later same-window flush issues on the block
+// cannot move it) and queues the value comparison. Agents tick in fixed
+// order inside their shard, so queue order is (cycle, agent-tick order) —
+// the order serial stepping would have performed the checks in.
+func (q *DurableQueue) Defer(sb *Scoreboard, now int64, agent int, addr uint64) {
+	if sb.Violation() != nil {
+		return
+	}
+	mark, npushes := sb.DurableFloor(agent, addr)
+	q.pending = append(q.pending, durableCheck{
+		cycle: now, agent: agent, addr: addr, mark: mark, npushes: npushes,
+	})
+}
+
+// Resolve performs the queued checks against the scoreboard. peek reads the
+// current DRAM value; journal holds the pre-images of every DRAM write the
+// just-finished window retired (mem.DrainWriteJournal), in retirement order.
+// A write retired after a check's cycle hides the value the serial run saw,
+// so the earliest such write's pre-image is the exact value at the check
+// cycle; with no later write, the current value is.
+func (q *DurableQueue) Resolve(sb *Scoreboard, peek func(uint64) uint64, journal []mem.WriteLog, lineBytes uint64) {
+	for _, c := range q.pending {
+		got := peek(c.addr)
+		base := c.addr &^ (lineBytes - 1)
+		for _, w := range journal {
+			if w.Addr == base && w.Cycle > c.cycle {
+				off := c.addr & (lineBytes - 1)
+				got = 0
+				for i := uint64(0); i < 8; i++ {
+					got |= uint64(w.Old[off+i]) << (8 * i)
+				}
+				break
+			}
+		}
+		sb.CheckDurableAt(c.cycle, c.agent, c.addr, got, c.mark, c.npushes)
+	}
+	q.pending = q.pending[:0]
+}

@@ -1,0 +1,93 @@
+package tlctest
+
+import (
+	"encoding/json"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// parVerdict flattens an episode result for byte comparison, optionally
+// zeroing the skipped-cycle count (shards fast-forward locally, so the skip
+// total is the one stat outside the serial/parallel identity contract — it
+// is still identical across worker counts).
+func parVerdict(t *testing.T, fail *Failure, st Stats, dropSkipped bool) string {
+	t.Helper()
+	if dropSkipped {
+		st.Skipped = 0
+	}
+	raw, err := json.Marshal(struct {
+		Fail  *Failure `json:"fail"`
+		Stats Stats    `json:"stats"`
+	}{fail, st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// TestEpisodeParallelSweep runs a randomized episode sweep serially and on
+// 1, 2 and 4 workers: every parallel verdict must be byte-identical across
+// worker counts, and identical to serial up to the skipped-cycle count.
+// SKIPIT_PDES_EPISODES overrides the sweep size; CI's pdes-smoke job sets it
+// to 10000 (plain and -race) while the default keeps `go test ./...` fast.
+func TestEpisodeParallelSweep(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 10
+	}
+	if env := os.Getenv("SKIPIT_PDES_EPISODES"); env != "" {
+		v, err := strconv.Atoi(env)
+		if err != nil || v < 1 {
+			t.Fatalf("bad SKIPIT_PDES_EPISODES %q", env)
+		}
+		n = v
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		s := BuildScript(DefaultParams(seed))
+		serialFail, serialSt := RunScript(s)
+		serial := parVerdict(t, serialFail, serialSt, true)
+		ref := ""
+		for _, workers := range []int{1, 2, 4} {
+			fail, st := RunScriptParallel(s, workers)
+			if got := parVerdict(t, fail, st, true); got != serial {
+				t.Fatalf("seed %d parallel=%d diverged from serial:\n%s\nvs\n%s",
+					seed, workers, got, serial)
+			}
+			full := parVerdict(t, fail, st, false)
+			if ref == "" {
+				ref = full
+			} else if full != ref {
+				t.Fatalf("seed %d parallel=%d not byte-identical across worker counts:\n%s\nvs\n%s",
+					seed, workers, full, ref)
+			}
+		}
+	}
+}
+
+// TestEpisodeParallelCatchesMutations replays the litmus-race mutation
+// episodes on a parallel fabric: the scoreboard oracle must still convict
+// every armed bug, with the same verdict serial reaches.
+func TestEpisodeParallelCatchesMutations(t *testing.T) {
+	for name, script := range map[string]Script{
+		"race1": race1Script(true),
+		"race2": race2Script(true),
+	} {
+		serialFail, _ := RunScript(script)
+		if serialFail == nil {
+			t.Fatalf("%s: serial run passed with the bug armed", name)
+		}
+		for _, workers := range []int{1, 2} {
+			fail, _ := RunScriptParallel(script, workers)
+			if fail == nil {
+				t.Fatalf("%s: parallel=%d run passed, serial convicted: %s",
+					name, workers, serialFail.Message)
+			}
+			if fail.Kind != serialFail.Kind || fail.Cycle != serialFail.Cycle ||
+				fail.Message != serialFail.Message {
+				t.Fatalf("%s: parallel=%d verdict %s@%d %q, serial %s@%d %q", name, workers,
+					fail.Kind, fail.Cycle, fail.Message, serialFail.Kind, serialFail.Cycle, serialFail.Message)
+			}
+		}
+	}
+}

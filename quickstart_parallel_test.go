@@ -1,0 +1,95 @@
+package skipit_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"skipit"
+	"skipit/internal/sim"
+)
+
+// goldenSnapshot flattens a system's metrics snapshot to a canonical JSON
+// string with the host-only instruments stripped (encoding/json sorts map
+// keys, so equal snapshots marshal to equal bytes).
+func goldenSnapshot(t *testing.T, s *skipit.System) string {
+	t.Helper()
+	snap := s.Snapshot()
+	sim.StripHostOnly(&snap)
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// runQuickstart replays the three stages of examples/quickstart on systems
+// with the given parallel worker count and folds every observable — run
+// cycles, NVMM values, flush-unit statistics, and the full golden metrics
+// snapshot — into one comparable transcript.
+func runQuickstart(t *testing.T, parallel int) string {
+	t.Helper()
+	var out strings.Builder
+
+	// Stage 1: store -> CBO.CLEAN -> FENCE durability chain.
+	cfg := skipit.DefaultSystemConfig(1)
+	cfg.Parallel = parallel
+	sys := skipit.NewSystemWithConfig(cfg)
+	prog := skipit.NewProgram().
+		Store(0x1000, 42).
+		CboClean(0x1000).
+		Fence().
+		Build()
+	cycles, err := sys.Run([]*skipit.Program{prog}, 1_000_000)
+	if err != nil {
+		t.Fatalf("parallel=%d stage 1: %v", parallel, err)
+	}
+	fmt.Fprintf(&out, "stage1: cycles=%d nvmm=%d snap=%s\n",
+		cycles, skipit.NVMMValue(sys, 0x1000), goldenSnapshot(t, sys))
+
+	// Stage 2: an unwritten-back store is lost by a crash.
+	cfg2 := skipit.DefaultSystemConfig(1)
+	cfg2.Parallel = parallel
+	sys2 := skipit.NewSystemWithConfig(cfg2)
+	if _, err := sys2.Run([]*skipit.Program{
+		skipit.NewProgram().Store(0x2000, 7).Build()}, 1_000_000); err != nil {
+		t.Fatalf("parallel=%d stage 2: %v", parallel, err)
+	}
+	sys2.Crash(false)
+	fmt.Fprintf(&out, "stage2: nvmm=%d snap=%s\n",
+		skipit.NVMMValue(sys2, 0x2000), goldenSnapshot(t, sys2))
+
+	// Stage 3: Skip It dropping redundant writebacks, on versus off.
+	for _, skipIt := range []bool{true, false} {
+		cfg := skipit.DefaultSystemConfig(1)
+		cfg.L1.Flush.SkipIt = skipIt
+		cfg.Parallel = parallel
+		s := skipit.NewSystemWithConfig(cfg)
+		b := skipit.NewProgram().Store(0x3000, 1).CboClean(0x3000).Fence()
+		for i := 0; i < 10; i++ {
+			b.CboClean(0x3000)
+		}
+		b.Fence()
+		if _, err := s.Run([]*skipit.Program{b.Build()}, 1_000_000); err != nil {
+			t.Fatalf("parallel=%d stage 3 skipit=%v: %v", parallel, skipIt, err)
+		}
+		st := s.L1s[0].FlushUnit().Stats()
+		fmt.Fprintf(&out, "stage3 skipit=%v: offered=%d dropped=%d releases=%d snap=%s\n",
+			skipIt, st.Offered, st.SkipDropped, st.RootReleases, goldenSnapshot(t, s))
+	}
+	return out.String()
+}
+
+// TestQuickstartGoldenSnapshotParallel replays the quickstart example serial
+// and at -parallel ∈ {1,2,4}: every observable, including the full metrics
+// snapshot, must be byte-identical.
+func TestQuickstartGoldenSnapshotParallel(t *testing.T) {
+	serial := runQuickstart(t, 0)
+	for _, workers := range []int{1, 2, 4} {
+		if got := runQuickstart(t, workers); got != serial {
+			t.Fatalf("parallel=%d quickstart transcript diverged from serial:\n%s\nvs\n%s",
+				workers, got, serial)
+		}
+	}
+}
