@@ -6,14 +6,20 @@
 //
 // Each finding becomes an ::error command; paths are made repo-relative
 // (annotations require it) against the current working directory or
-// $GITHUB_WORKSPACE. Exit status: 0 when the input holds no findings,
-// 1 otherwise — so the pipeline fails the job exactly when annotations were
-// emitted.
+// $GITHUB_WORKSPACE. The input may hold several concatenated JSON arrays
+// (one per skipit-vet invocation when a job lints package sets separately);
+// identical findings — same file, line, column, analyzer and message — are
+// annotated once, so overlapping package patterns and base/test-variant
+// duplicates do not double-post on the diff. Exit status: 0 when the input
+// holds no findings, 1 otherwise — so the pipeline fails the job exactly
+// when annotations were emitted.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,31 +34,53 @@ type finding struct {
 }
 
 func main() {
-	var findings []finding
-	if err := json.NewDecoder(os.Stdin).Decode(&findings); err != nil {
-		fmt.Fprintf(os.Stderr, "ghannotate: reading findings: %v\n", err)
-		os.Exit(2)
-	}
-
 	root := os.Getenv("GITHUB_WORKSPACE")
 	if root == "" {
 		root, _ = os.Getwd()
 	}
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr, root))
+}
 
+// run reads findings (one or more concatenated JSON arrays), emits one
+// annotation per distinct finding, and returns the process exit status.
+func run(in io.Reader, out, errw io.Writer, root string) int {
+	var findings []finding
+	dec := json.NewDecoder(in)
+	for {
+		var batch []finding
+		if err := dec.Decode(&batch); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			fmt.Fprintf(errw, "ghannotate: reading findings: %v\n", err)
+			return 2
+		}
+		findings = append(findings, batch...)
+	}
+
+	seen := make(map[finding]bool)
+	emitted := 0
 	for _, f := range findings {
-		file := f.File
 		if root != "" {
-			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
-				file = filepath.ToSlash(rel)
+			if rel, err := filepath.Rel(root, f.File); err == nil && !strings.HasPrefix(rel, "..") {
+				f.File = filepath.ToSlash(rel)
 			}
 		}
-		fmt.Printf("::error file=%s,line=%d,col=%d,title=skipit-vet/%s::%s\n",
-			file, f.Line, f.Col, f.Analyzer, escape(f.Message))
+		// Dedup after relativization: the same finding reported under an
+		// absolute and a repo-relative path is still one annotation.
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		emitted++
+		fmt.Fprintf(out, "::error file=%s,line=%d,col=%d,title=skipit-vet/%s::%s\n",
+			f.File, f.Line, f.Col, f.Analyzer, escape(f.Message))
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "ghannotate: %d finding(s)\n", len(findings))
-		os.Exit(1)
+	if emitted > 0 {
+		fmt.Fprintf(errw, "ghannotate: %d finding(s)\n", emitted)
+		return 1
 	}
+	return 0
 }
 
 // escape encodes the characters the workflow-command grammar reserves in

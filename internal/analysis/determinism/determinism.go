@@ -105,9 +105,12 @@ func matches(path, list string) bool {
 	return false
 }
 
-// inScope reports whether path is held to the simulator rules: listed in
-// -pkgs and not excluded as a -service package.
-func inScope(path string) bool {
+// InScope reports whether path is held to the simulator rules: listed in
+// -pkgs and not excluded as a -service package. Exported for detflow, which
+// shares the determinism analyzer's scope definition (including any
+// -determinism.pkgs/-determinism.service overrides) so the two rule sets can
+// never disagree about where the simulator/service boundary lies.
+func InScope(path string) bool {
 	return matches(path, pkgs) && !matches(path, service)
 }
 
@@ -123,11 +126,11 @@ var seededConstructors = map[string]bool{
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	suppress.Apply(pass)
-	if !inScope(pass.Pkg.Path()) {
+	if !InScope(pass.Pkg.Path()) {
 		return nil, nil
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
-	waived := schedulerWaivers(pass)
+	waived := schedulerWaivers(pass, pass.Report)
 
 	isTestFile := func(pos token.Pos) bool {
 		return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
@@ -145,7 +148,9 @@ func run(pass *analysis.Pass) (interface{}, error) {
 				})
 			}
 		case *ast.RangeStmt:
-			checkMapRange(pass, n)
+			MapRangeIssues(pass, n, func(pos token.Pos, what string) {
+				pass.Report(analysis.Diagnostic{Pos: pos, Message: "map iteration order is randomized: " + what})
+			})
 		}
 	})
 	return nil, nil
@@ -161,15 +166,29 @@ type fileLine struct {
 	line int
 }
 
+// SchedulerWaived returns a predicate for positions whose go statements are
+// waived by a well-formed //skipit:parallel-scheduler directive in a
+// -schedulers package. detflow uses it to keep sanctioned scheduler
+// goroutines out of the taint seed; malformed directives are NOT re-reported
+// here (that is the determinism analyzer's job).
+func SchedulerWaived(pass *analysis.Pass) func(token.Pos) bool {
+	waived := schedulerWaivers(pass, func(analysis.Diagnostic) {})
+	return func(pos token.Pos) bool {
+		p := pass.Fset.Position(pos)
+		return waived[fileLine{p.Filename, p.Line}]
+	}
+}
+
 // schedulerWaivers collects the //skipit:parallel-scheduler directives of the
 // package and returns the lines whose go statements they waive. Only
 // well-formed directives (with a reason) in a -schedulers package waive
 // anything; a reasonless directive and a directive outside the scheduler
-// packages are themselves reported, and the goroutine finding they sit on
-// surfaces as usual. A trailing directive covers its own line, a standalone
-// one the line below — the waiver is per-line and goroutine-only, mirroring
-// //skipit:ignore.
-func schedulerWaivers(pass *analysis.Pass) map[fileLine]bool {
+// packages are reported through report (the determinism run passes
+// pass.Report; SchedulerWaived passes a no-op so the findings are not
+// duplicated), and the goroutine finding they sit on surfaces as usual. A
+// trailing directive covers its own line, a standalone one the line below —
+// the waiver is per-line and goroutine-only, mirroring //skipit:ignore.
+func schedulerWaivers(pass *analysis.Pass, report func(analysis.Diagnostic)) map[fileLine]bool {
 	inScheduler := matches(pass.Pkg.Path(), schedulers)
 	waived := make(map[fileLine]bool)
 	for _, f := range pass.Files {
@@ -197,12 +216,12 @@ func schedulerWaivers(pass *analysis.Pass) map[fileLine]bool {
 				}
 				switch {
 				case strings.TrimSpace(reason) == "":
-					pass.Report(analysis.Diagnostic{
+					report(analysis.Diagnostic{
 						Pos:     c.Pos(),
 						Message: "skipit:parallel-scheduler directive needs a reason: //skipit:parallel-scheduler <why this goroutine is part of the deterministic scheduler>",
 					})
 				case !inScheduler:
-					pass.Report(analysis.Diagnostic{
+					report(analysis.Diagnostic{
 						Pos:     c.Pos(),
 						Message: "skipit:parallel-scheduler has no effect outside scheduler packages (-schedulers): component packages stay single-threaded",
 					})
@@ -222,40 +241,61 @@ func schedulerWaivers(pass *analysis.Pass) map[fileLine]bool {
 
 // checkCall flags wall-clock reads and global-rand calls.
 func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
+	src, ok := NondetCall(pass.TypesInfo, call)
 	if !ok {
 		return
 	}
-	obj := pass.TypesInfo.Uses[sel.Sel]
-	fn, ok := obj.(*types.Func)
+	if strings.HasPrefix(src, "time.") {
+		pass.Report(analysis.Diagnostic{
+			Pos:     call.Pos(),
+			Message: fmt.Sprintf("wall-clock read %s in a simulator package: host time must never influence simulated state (use the cycle clock)", src),
+		})
+	} else {
+		pass.Report(analysis.Diagnostic{
+			Pos:     call.Pos(),
+			Message: fmt.Sprintf("global %s in a simulator package: the shared source is unseeded; derive a private generator with rand.New(rand.NewSource(seed))", src),
+		})
+	}
+}
+
+// NondetCall reports whether call is a direct nondeterminism source — a
+// wall-clock read (time.Now/Since/Until) or a global math/rand function —
+// returning a short description like "time.Now" or "rand.Intn". Methods on
+// *rand.Rand or time.Time are the approved deterministic idiom and do not
+// match. Shared with detflow, which seeds its interprocedural taint from the
+// same definition of "source".
+func NondetCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
 	if !ok || fn.Pkg() == nil {
-		return
+		return "", false
 	}
 	// Only package-level functions: methods on *rand.Rand or time.Time are
 	// the approved deterministic idiom.
 	if fn.Type().(*types.Signature).Recv() != nil {
-		return
+		return "", false
 	}
 	switch fn.Pkg().Path() {
 	case "time":
 		if wallClockFuncs[fn.Name()] {
-			pass.Report(analysis.Diagnostic{
-				Pos:     call.Pos(),
-				Message: fmt.Sprintf("wall-clock read time.%s in a simulator package: host time must never influence simulated state (use the cycle clock)", fn.Name()),
-			})
+			return "time." + fn.Name(), true
 		}
 	case "math/rand", "math/rand/v2":
 		if !seededConstructors[fn.Name()] {
-			pass.Report(analysis.Diagnostic{
-				Pos:     call.Pos(),
-				Message: fmt.Sprintf("global rand.%s in a simulator package: the shared source is unseeded; derive a private generator with rand.New(rand.NewSource(seed))", fn.Name()),
-			})
+			return "rand." + fn.Name(), true
 		}
 	}
+	return "", false
 }
 
-// checkMapRange flags order-sensitive effects inside a range over a map.
-func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+// MapRangeIssues invokes emit for every order-sensitive effect inside a
+// range over a map (writes to the ranged map, outer-slice appends with no
+// sort, channel sends, float/string accumulation, writer output). The
+// determinism run reports them directly; detflow seeds taint from them.
+func MapRangeIssues(pass *analysis.Pass, rng *ast.RangeStmt, emit func(token.Pos, string)) {
 	tv, ok := pass.TypesInfo.Types[rng.X]
 	if !ok {
 		return
@@ -264,13 +304,7 @@ func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
 		return
 	}
 	rangedObj := exprObject(pass, rng.X)
-
-	report := func(pos token.Pos, what string) {
-		pass.Report(analysis.Diagnostic{
-			Pos:     pos,
-			Message: "map iteration order is randomized: " + what,
-		})
-	}
+	report := emit
 
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
 		switch n := n.(type) {

@@ -1,0 +1,21 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"skipit/internal/analysis/antest"
+	"skipit/internal/analysis/detflow"
+)
+
+// TestDetflow proves taint crosses package boundaries: the svc fixture
+// earns Tainted facts (and produces no diagnostics of its own — it is
+// outside simulator scope), while the sim and hot fixtures report findings
+// whose witness chains bottom out at source lines in svc. Because the sim
+// and hot passes never see svc's bodies — only its exported facts — this is
+// also the export/import round-trip test for the driver's fact store.
+func TestDetflow(t *testing.T) {
+	antest.Run(t, detflow.Analyzer,
+		antest.Dir(t, "detflow/internal/svc"),
+		antest.Dir(t, "detflow/internal/sim"),
+		antest.Dir(t, "detflow/hot"))
+}

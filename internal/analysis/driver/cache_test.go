@@ -1,0 +1,217 @@
+package driver_test
+
+import (
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"skipit/internal/analysis/callsum"
+	"skipit/internal/analysis/driver"
+)
+
+// leakFact is a minimal object fact: it marks a function so that importers
+// can detect calls to it, which makes cross-package fact flow observable.
+type leakFact struct{ Note string }
+
+func (*leakFact) AFact() {}
+
+func (f *leakFact) String() string { return "leak(" + f.Note + ")" }
+
+// leakAnalyzer exports a leakFact on every function whose name starts with
+// Leak (reporting at the declaration) and reports every static call to a
+// function carrying the fact. runs counts invocations so the test can prove
+// a warm cache replays without running the analyzer at all.
+func leakAnalyzer(runs *int) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:      "cacheprobe",
+		Doc:       "test analyzer: marks Leak* functions and flags their callers",
+		FactTypes: []analysis.Fact{new(leakFact)},
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			*runs++
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.FuncDecl:
+						if strings.HasPrefix(n.Name.Name, "Leak") {
+							if obj, ok := pass.TypesInfo.Defs[n.Name].(*types.Func); ok {
+								pass.ExportObjectFact(obj, &leakFact{Note: n.Name.Name})
+								pass.Report(analysis.Diagnostic{Pos: n.Pos(), Message: "leaky decl " + n.Name.Name})
+							}
+						}
+					case *ast.CallExpr:
+						if callee := callsum.StaticCallee(pass.TypesInfo, n); callee != nil {
+							var lf leakFact
+							if pass.ImportObjectFact(callee, &lf) {
+								pass.Report(analysis.Diagnostic{Pos: n.Pos(), Message: "call to leaky " + callee.Name()})
+							}
+						}
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+}
+
+// writeModule lays out a two-package module: b calls a.Leak, so analyzing b
+// needs a's object fact.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module cachetest\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nfunc Leak() {}\n\nfunc Clean() {}\n",
+		"b/b.go": "package b\n\nimport \"cachetest/a\"\n\nfunc Use() { a.Leak() }\n",
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runOnce loads the module fresh (a new typechecked universe, as a new
+// process would have) and runs the analyzer through the cache.
+func runOnce(t *testing.T, dir string, an *analysis.Analyzer, cache *driver.Cache) []string {
+	t.Helper()
+	l := &driver.Loader{Dir: dir}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := driver.RunCached(pkgs, l.Fset, []*analysis.Analyzer{an}, cache)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Posn.String() + ": " + d.Message + " (" + d.Analyzer + ")"
+	}
+	return out
+}
+
+func TestCacheReplaysWithoutRerunning(t *testing.T) {
+	dir := writeModule(t)
+	cache := &driver.Cache{Dir: filepath.Join(dir, "cache")}
+	runs := 0
+	an := leakAnalyzer(&runs)
+
+	cold := runOnce(t, dir, an, cache)
+	if runs != 2 {
+		t.Fatalf("cold run: analyzer ran %d times, want 2 (packages a and b)", runs)
+	}
+	if len(cold) != 2 {
+		t.Fatalf("cold run: got %d diagnostics, want 2 (decl + call):\n%s", len(cold), strings.Join(cold, "\n"))
+	}
+	wantCall := false
+	for _, d := range cold {
+		if strings.Contains(d, "call to leaky Leak") {
+			wantCall = true
+		}
+	}
+	if !wantCall {
+		t.Fatalf("cold run missing cross-package finding:\n%s", strings.Join(cold, "\n"))
+	}
+
+	runs = 0
+	warm := runOnce(t, dir, an, cache)
+	if runs != 0 {
+		t.Errorf("warm run: analyzer ran %d times, want 0 (full replay)", runs)
+	}
+	if strings.Join(warm, "\n") != strings.Join(cold, "\n") {
+		t.Errorf("warm diagnostics differ from cold:\ncold:\n%s\nwarm:\n%s",
+			strings.Join(cold, "\n"), strings.Join(warm, "\n"))
+	}
+}
+
+func TestCacheInvalidatesDependents(t *testing.T) {
+	dir := writeModule(t)
+	cache := &driver.Cache{Dir: filepath.Join(dir, "cache")}
+	runs := 0
+	an := leakAnalyzer(&runs)
+
+	runOnce(t, dir, an, cache) // populate
+
+	// Editing a must re-key a AND its importer b: b's findings depend on
+	// a's facts, and the dependency closure in the key is what carries that.
+	src := filepath.Join(dir, "a", "a.go")
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(src, append(data, []byte("\nfunc LeakMore() {}\n")...), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	runs = 0
+	edited := runOnce(t, dir, an, cache)
+	if runs != 2 {
+		t.Errorf("after edit: analyzer ran %d times, want 2 (a and b both re-keyed)", runs)
+	}
+	found := false
+	for _, d := range edited {
+		if strings.Contains(d, "leaky decl LeakMore") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("after edit: missing finding for new decl:\n%s", strings.Join(edited, "\n"))
+	}
+
+	// And the edited tree caches too: a third run is a full replay.
+	runs = 0
+	rewarm := runOnce(t, dir, an, cache)
+	if runs != 0 {
+		t.Errorf("re-warm run: analyzer ran %d times, want 0", runs)
+	}
+	if strings.Join(rewarm, "\n") != strings.Join(edited, "\n") {
+		t.Errorf("re-warm diagnostics differ from post-edit run")
+	}
+}
+
+// TestCacheRestoresFactsForLiveDependents is the mixed case: a hits the
+// cache while b misses (its own file changed), so b's live analysis must
+// import a's facts from the restored store, not from a live run.
+func TestCacheRestoresFactsForLiveDependents(t *testing.T) {
+	dir := writeModule(t)
+	cache := &driver.Cache{Dir: filepath.Join(dir, "cache")}
+	runs := 0
+	an := leakAnalyzer(&runs)
+
+	runOnce(t, dir, an, cache) // populate
+
+	src := filepath.Join(dir, "b", "b.go")
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(src, append(data, []byte("\nfunc Use2() { a.Leak() }\n")...), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	runs = 0
+	mixed := runOnce(t, dir, an, cache)
+	if runs != 1 {
+		t.Errorf("mixed run: analyzer ran %d times, want 1 (only b)", runs)
+	}
+	calls := 0
+	for _, d := range mixed {
+		if strings.Contains(d, "call to leaky Leak") {
+			calls++
+		}
+	}
+	if calls != 2 {
+		t.Errorf("mixed run: got %d call findings, want 2 — b's live analysis must see a's cached fact:\n%s",
+			calls, strings.Join(mixed, "\n"))
+	}
+}

@@ -23,6 +23,18 @@
 // Cold fallbacks that live inside a hot function (the linepool's make on
 // pool miss) carry //skipit:ignore waivers with reasons, keeping every
 // intentional allocation documented at its site.
+//
+// The analyzer is also interprocedural: every function that is NOT hotpath-
+// annotated but contains an unwaived allocation site (or transitively calls
+// one, over the internal/analysis/callsum graph) exports an Allocates object
+// fact carrying a witness chain down to the concrete site. A call from a
+// //skipit:hotpath function into a function with an Allocates fact — in this
+// package or any imported one — is a finding, so a hot path can no longer
+// hide an allocation behind a helper in another package. Hotpath-annotated
+// functions act as barriers in the propagation: their own bodies are checked
+// site-by-site above, so they never carry an Allocates fact, and an audited
+// hot helper does not smear "allocates" onto its callers. Functions in
+// _test.go files neither earn nor propagate facts.
 package hotalloc
 
 import (
@@ -33,8 +45,7 @@ import (
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
-	"golang.org/x/tools/go/analysis/passes/inspect"
-	"golang.org/x/tools/go/ast/inspector"
+	"skipit/internal/analysis/callsum"
 	"skipit/internal/analysis/suppress"
 )
 
@@ -43,28 +54,125 @@ const Directive = "//skipit:hotpath"
 
 var Analyzer = &analysis.Analyzer{
 	Name: "hotalloc",
-	Doc: "report allocation sites inside //skipit:hotpath functions\n\n" +
-		"Turns the benchmark-based 1-alloc/op CI gate into a static check with exact positions.",
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
-	Run:      run,
+	Doc: "report allocation sites inside //skipit:hotpath functions, including transitive ones reached through calls\n\n" +
+		"Turns the benchmark-based 1-alloc/op CI gate into a static check with exact positions. " +
+		"Allocates facts carry witness chains across package boundaries.",
+	Requires:  []*analysis.Analyzer{callsum.Analyzer},
+	FactTypes: []analysis.Fact{new(Allocates)},
+	Run:       run,
 }
+
+// chainMax bounds the witness chains embedded in facts and diagnostics.
+const chainMax = 8
+
+// Allocates marks a non-hotpath function that contains (or transitively
+// reaches) an unwaived allocation site. Chain is the witness path, outermost
+// callee first, ending at the concrete site description.
+type Allocates struct {
+	Chain []string
+}
+
+// AFact marks Allocates as an analysis fact.
+func (*Allocates) AFact() {}
+
+func (a *Allocates) String() string { return "allocates(" + strings.Join(a.Chain, " -> ") + ")" }
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	suppress.Apply(pass)
-	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
-	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
-		fn := n.(*ast.FuncDecl)
-		if fn.Body == nil || !isHotpath(fn) {
-			return
+	sums := pass.ResultOf[callsum.Analyzer].(*callsum.Summaries)
+	waived := suppress.CoveredLines(pass, pass.Analyzer.Name)
+
+	// Intraprocedural half: report every allocation site inside hotpath
+	// bodies (suppress.Apply filters the waived ones).
+	for _, fi := range sums.Funcs {
+		if fi.Decl.Body == nil || !IsHotpath(fi.Decl) {
+			continue
 		}
-		checkBody(pass, fn)
-	})
+		fn := fi.Decl
+		sites(pass, fn, func(pos token.Pos, msg string) {
+			pass.Report(analysis.Diagnostic{
+				Pos:     pos,
+				Message: fmt.Sprintf("%s in hot path %s", msg, fn.Name.Name),
+			})
+		})
+	}
+
+	// Summaries: seed Allocates for non-hotpath functions with an unwaived
+	// site of their own.
+	allocs := make(map[*callsum.FuncInfo]*Allocates)
+	for _, fi := range sums.Funcs {
+		if fi.TestFile || fi.Decl.Body == nil || IsHotpath(fi.Decl) {
+			continue
+		}
+		var first string
+		sites(pass, fi.Decl, func(pos token.Pos, msg string) {
+			if first == "" && !waived(pos) {
+				first = fmt.Sprintf("%s at %s", msg, callsum.ShortPos(pass.Fset, pos))
+			}
+		})
+		if first != "" {
+			allocs[fi] = &Allocates{Chain: []string{first}}
+		}
+	}
+
+	calleeAlloc := func(c callsum.Call) *Allocates {
+		if local, ok := sums.ByObj[c.Callee]; ok {
+			return allocs[local]
+		}
+		var fact Allocates
+		if pass.ImportObjectFact(c.Callee, &fact) {
+			return &fact
+		}
+		return nil
+	}
+
+	// Propagate bottom-up to a fixpoint; hotpath functions are barriers.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range sums.Funcs {
+			if allocs[fi] != nil || fi.TestFile || IsHotpath(fi.Decl) {
+				continue
+			}
+			for _, c := range fi.Calls {
+				a := calleeAlloc(c)
+				if a == nil || waived(c.Pos) {
+					continue
+				}
+				hop := fmt.Sprintf("%s (%s)", callsum.Name(c.Callee), callsum.ShortPos(pass.Fset, c.Pos))
+				allocs[fi] = &Allocates{Chain: callsum.TrimChain(append([]string{hop}, a.Chain...), chainMax)}
+				changed = true
+				break
+			}
+		}
+	}
+
+	for fi, a := range allocs {
+		pass.ExportObjectFact(fi.Obj, a)
+	}
+
+	// Interprocedural findings: hotpath calls into allocating callees.
+	for _, fi := range sums.Funcs {
+		if !IsHotpath(fi.Decl) {
+			continue
+		}
+		for _, c := range fi.Calls {
+			a := calleeAlloc(c)
+			if a == nil {
+				continue
+			}
+			pass.Report(analysis.Diagnostic{
+				Pos: c.Pos,
+				Message: fmt.Sprintf("hot path %s calls allocating function: %s -> %s",
+					fi.Decl.Name.Name, callsum.Name(c.Callee), strings.Join(a.Chain, " -> ")),
+			})
+		}
+	}
 	return nil, nil
 }
 
-// isHotpath reports whether the function's doc comment carries the
+// IsHotpath reports whether the function's doc comment carries the
 // //skipit:hotpath directive.
-func isHotpath(fn *ast.FuncDecl) bool {
+func IsHotpath(fn *ast.FuncDecl) bool {
 	if fn.Doc == nil {
 		return false
 	}
@@ -76,12 +184,12 @@ func isHotpath(fn *ast.FuncDecl) bool {
 	return false
 }
 
-func checkBody(pass *analysis.Pass, fn *ast.FuncDecl) {
+// sites walks one function body and emits every allocation site with a
+// pre-formatted message. Both halves of the analyzer share it: the hotpath
+// loop reports the sites, the summary loop folds them into Allocates facts.
+func sites(pass *analysis.Pass, fn *ast.FuncDecl, emit func(token.Pos, string)) {
 	report := func(pos token.Pos, format string, args ...interface{}) {
-		pass.Report(analysis.Diagnostic{
-			Pos:     pos,
-			Message: fmt.Sprintf(format, args...) + fmt.Sprintf(" in hot path %s", fn.Name.Name),
-		})
+		emit(pos, fmt.Sprintf(format, args...))
 	}
 
 	// ast.Inspect has no exit hook, so track loop nesting with an interval
@@ -100,6 +208,18 @@ func checkBody(pass *analysis.Pass, fn *ast.FuncDecl) {
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		if n == nil {
 			return false
+		}
+		// Allocation while building a panic message is crash-path by
+		// definition: the episode is over and steady-state budgets no longer
+		// apply. Skipping the whole argument tree keeps every cold
+		// panic(fmt.Sprintf(...)) guard in the component sinks out of the
+		// summaries without a waiver per site.
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					return false
+				}
+			}
 		}
 		switch n := n.(type) {
 		case *ast.ForStmt, *ast.RangeStmt:
@@ -270,13 +390,21 @@ func isInterface(t types.Type) bool {
 }
 
 // pointerShaped reports whether values of t fit in an interface's data word
-// without allocation: pointers, channels, maps, funcs, unsafe.Pointer.
+// without allocation ("direct interface types" in compiler terms): pointers,
+// channels, maps, funcs, unsafe.Pointer — and, recursively, single-field
+// structs and length-1 arrays wrapping one of those. Wrapper structs like
+// sim's clientSide exist precisely so converting them to an interface stays
+// allocation-free, and must not be flagged.
 func pointerShaped(t types.Type) bool {
-	switch t.Underlying().(type) {
+	switch u := t.Underlying().(type) {
 	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
 		return true
 	case *types.Basic:
-		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+		return u.Kind() == types.UnsafePointer
+	case *types.Struct:
+		return u.NumFields() == 1 && pointerShaped(u.Field(0).Type())
+	case *types.Array:
+		return u.Len() == 1 && pointerShaped(u.Elem())
 	}
 	return false
 }

@@ -10,3 +10,13 @@ import (
 func TestHotAlloc(t *testing.T) {
 	antest.Run(t, hotalloc.Analyzer, antest.Dir(t, "internal/linepool"))
 }
+
+// TestHotAllocCrossPackage proves Allocates facts survive the cross-package
+// export/import round trip: the buf fixture exports them (reporting nothing
+// itself), and the engine fixture's hotpath calls report with the full
+// witness chain reconstructed from the imported facts.
+func TestHotAllocCrossPackage(t *testing.T) {
+	antest.Run(t, hotalloc.Analyzer,
+		antest.Dir(t, "hotcross/buf"),
+		antest.Dir(t, "hotcross/engine"))
+}

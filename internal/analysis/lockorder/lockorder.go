@@ -1,0 +1,628 @@
+// Package lockorder implements mutex discipline checking for the service
+// tier (internal/sweepd, internal/introspect by default): lock-order cycles,
+// self-deadlocks, and locks held across I/O.
+//
+// The simulator proper is single-goroutine by contract (the determinism
+// analyzer enforces that), but the sweep coordinator and the introspection
+// server are real concurrent servers whose mutexes guard journals, stores,
+// and HTTP responses. Three rules:
+//
+//  1. A lock acquired while another lock is held creates an ordering edge.
+//     Edges are unioned across packages (each package exports its edges as a
+//     LockGraph package fact) and a cycle in the union — the classic AB/BA
+//     deadlock — is reported at the local acquisition that closes it.
+//  2. Re-acquiring a lock already held by the same function (directly or
+//     through a callee, resolved via Summary facts) is a self-deadlock:
+//     sync.Mutex is not reentrant.
+//  3. A lock held across an I/O call — file, network, HTTP response,
+//     encoder/decoder writes, or time.Sleep, reached directly or
+//     transitively — serializes every other critical section behind the
+//     kernel; it is reported at the Lock() site so the waiver (when the
+//     blocking is intentional, as with sweepd's WAL commit ordering) sits on
+//     the acquisition it certifies. One finding per (function, lock).
+//
+// Held intervals are tracked positionally, not over the CFG: events (Lock,
+// Unlock, deferred Unlock, calls) are replayed in source order, a deferred
+// Unlock pins the lock held to the end of the function, and an early-return
+// branch releasing a lock is treated as releasing it for the remainder of
+// the function. This under-approximates holding across divergent branches —
+// acceptable for lint — and the usual callsum limits apply (locks taken
+// behind interface calls or function values are invisible).
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"skipit/internal/analysis/callsum"
+	"skipit/internal/analysis/suppress"
+)
+
+var pkgs = "internal/sweepd,internal/introspect"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "flag lock-order cycles, self-deadlocks, and mutexes held across I/O in the service packages\n\n" +
+		"Acquisition summaries and lock-graph edges travel as facts, so cross-package cycles are caught.",
+	Requires:  []*analysis.Analyzer{callsum.Analyzer},
+	FactTypes: []analysis.Fact{new(Summary), new(LockGraph)},
+	Run:       run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&pkgs, "pkgs", pkgs, "comma-separated import-path fragments of packages whose lock discipline is checked (facts are computed everywhere)")
+}
+
+// chainMax bounds witness chains embedded in facts and diagnostics.
+const chainMax = 8
+
+// Summary is the per-function lock/I-O fact: which locks the function
+// (transitively) acquires and whether it (transitively) performs I/O.
+type Summary struct {
+	// Acquires lists locks taken directly or through callees, each with a
+	// witness chain down to the concrete Lock() call.
+	Acquires []Acq
+	// IO is the witness chain to an I/O call, nil when the function is pure.
+	IO []string
+}
+
+// Acq is one (transitively) acquired lock.
+type Acq struct {
+	Lock  string
+	Chain []string
+}
+
+// AFact marks Summary as an analysis fact.
+func (*Summary) AFact() {}
+
+func (s *Summary) String() string {
+	locks := make([]string, len(s.Acquires))
+	for i, a := range s.Acquires {
+		locks[i] = a.Lock
+	}
+	out := "acquires(" + strings.Join(locks, ", ") + ")"
+	if s.IO != nil {
+		out += " io"
+	}
+	return out
+}
+
+// LockGraph is the package fact carrying this package's ordering edges:
+// From was held while To was acquired.
+type LockGraph struct {
+	Edges []Edge
+}
+
+// Edge is one observed acquisition order.
+type Edge struct {
+	From, To string
+}
+
+// AFact marks LockGraph as an analysis fact.
+func (*LockGraph) AFact() {}
+
+func (g *LockGraph) String() string {
+	parts := make([]string, len(g.Edges))
+	for i, e := range g.Edges {
+		parts[i] = e.From + "->" + e.To
+	}
+	return "lockgraph(" + strings.Join(parts, ", ") + ")"
+}
+
+// event kinds for the positional replay.
+const (
+	evAcquire = iota
+	evRelease
+	evCall
+	evIO
+)
+
+type event struct {
+	pos    token.Pos
+	kind   int
+	lock   string      // evAcquire/evRelease
+	shared bool        // RLock/RUnlock
+	callee *types.Func // evCall
+	desc   string      // evIO: "os.File.Sync"
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	suppress.Apply(pass)
+	sums := pass.ResultOf[callsum.Analyzer].(*callsum.Summaries)
+	waived := suppress.CoveredLines(pass, pass.Analyzer.Name)
+
+	// Gather each function's event stream once; summaries and findings both
+	// replay it.
+	events := make(map[*callsum.FuncInfo][]event)
+	for _, fi := range sums.Funcs {
+		if fi.TestFile || fi.Decl.Body == nil {
+			continue
+		}
+		events[fi] = collectEvents(pass, fi.Decl, waived)
+	}
+
+	// Seed summaries from direct events.
+	local := make(map[*callsum.FuncInfo]*Summary)
+	for _, fi := range sums.Funcs {
+		if fi.TestFile {
+			continue
+		}
+		s := &Summary{}
+		seen := map[string]bool{}
+		for _, ev := range events[fi] {
+			switch ev.kind {
+			case evAcquire:
+				if !seen[ev.lock] {
+					seen[ev.lock] = true
+					s.Acquires = append(s.Acquires, Acq{Lock: ev.lock, Chain: []string{fmt.Sprintf("%s.Lock at %s", ev.lock, callsum.ShortPos(pass.Fset, ev.pos))}})
+				}
+			case evIO:
+				if s.IO == nil {
+					s.IO = []string{fmt.Sprintf("%s at %s", ev.desc, callsum.ShortPos(pass.Fset, ev.pos))}
+				}
+			}
+		}
+		local[fi] = s
+	}
+
+	calleeSummary := func(callee *types.Func) *Summary {
+		if lf, ok := sums.ByObj[callee]; ok {
+			return local[lf]
+		}
+		var fact Summary
+		if pass.ImportObjectFact(callee, &fact) {
+			return &fact
+		}
+		return nil
+	}
+
+	// Propagate acquisitions and I/O bottom-up to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range sums.Funcs {
+			s := local[fi]
+			if s == nil {
+				continue
+			}
+			have := map[string]bool{}
+			for _, a := range s.Acquires {
+				have[a.Lock] = true
+			}
+			for _, ev := range events[fi] {
+				if ev.kind != evCall {
+					continue
+				}
+				cs := calleeSummary(ev.callee)
+				if cs == nil {
+					continue
+				}
+				hop := fmt.Sprintf("%s (%s)", callsum.Name(ev.callee), callsum.ShortPos(pass.Fset, ev.pos))
+				for _, a := range cs.Acquires {
+					if !have[a.Lock] {
+						have[a.Lock] = true
+						s.Acquires = append(s.Acquires, Acq{Lock: a.Lock, Chain: callsum.TrimChain(append([]string{hop}, a.Chain...), chainMax)})
+						changed = true
+					}
+				}
+				if s.IO == nil && cs.IO != nil {
+					s.IO = callsum.TrimChain(append([]string{hop}, cs.IO...), chainMax)
+					changed = true
+				}
+			}
+		}
+	}
+
+	for fi, s := range local {
+		if len(s.Acquires) == 0 && s.IO == nil {
+			continue
+		}
+		sort.Slice(s.Acquires, func(i, j int) bool { return s.Acquires[i].Lock < s.Acquires[j].Lock })
+		pass.ExportObjectFact(fi.Obj, s)
+	}
+
+	// Replay each function to collect ordering edges (exported for every
+	// package) and, in scoped packages, report findings.
+	scoped := matches(pass.Pkg.Path(), pkgs)
+	edges := make(map[Edge]ownEdge) // first witness per edge
+	for _, fi := range sums.Funcs {
+		held := make(map[string]event) // lock -> acquisition event
+		ioReported := make(map[string]bool)
+		for _, ev := range events[fi] {
+			switch ev.kind {
+			case evAcquire:
+				if prev, ok := held[ev.lock]; ok && scoped && !(prev.shared && ev.shared) {
+					pass.Report(analysis.Diagnostic{
+						Pos:     ev.pos,
+						Message: fmt.Sprintf("lock %s reacquired while already held (self-deadlock; acquired at %s)", ev.lock, callsum.ShortPos(pass.Fset, prev.pos)),
+					})
+				}
+				for other := range held {
+					if other == ev.lock {
+						continue
+					}
+					e := Edge{From: other, To: ev.lock}
+					if _, ok := edges[e]; !ok {
+						edges[e] = ownEdge{pos: ev.pos, chain: []string{fmt.Sprintf("%s.Lock at %s", ev.lock, callsum.ShortPos(pass.Fset, ev.pos))}}
+					}
+				}
+				held[ev.lock] = ev
+			case evRelease:
+				delete(held, ev.lock)
+			case evIO:
+				for lock, acq := range held {
+					reportHeldIO(pass, scoped, ioReported, lock, acq,
+						fmt.Sprintf("%s at %s", ev.desc, callsum.ShortPos(pass.Fset, ev.pos)))
+				}
+			case evCall:
+				cs := calleeSummary(ev.callee)
+				if cs == nil {
+					continue
+				}
+				hop := fmt.Sprintf("%s (%s)", callsum.Name(ev.callee), callsum.ShortPos(pass.Fset, ev.pos))
+				for _, a := range cs.Acquires {
+					if prev, ok := held[a.Lock]; ok && scoped && !prev.shared {
+						pass.Report(analysis.Diagnostic{
+							Pos: ev.pos,
+							Message: fmt.Sprintf("lock %s reacquired through call while already held (self-deadlock; acquired at %s): %s",
+								a.Lock, callsum.ShortPos(pass.Fset, prev.pos), strings.Join(callsum.TrimChain(append([]string{hop}, a.Chain...), chainMax), " -> ")),
+						})
+					}
+					for other := range held {
+						if other == a.Lock {
+							continue
+						}
+						e := Edge{From: other, To: a.Lock}
+						if _, ok := edges[e]; !ok {
+							edges[e] = ownEdge{pos: ev.pos, chain: callsum.TrimChain(append([]string{hop}, a.Chain...), chainMax)}
+						}
+					}
+				}
+				if cs.IO != nil {
+					for lock, acq := range held {
+						reportHeldIO(pass, scoped, ioReported, lock, acq,
+							strings.Join(callsum.TrimChain(append([]string{hop}, cs.IO...), chainMax), " -> "))
+					}
+				}
+			}
+		}
+	}
+
+	// Publish this package's edges and close the graph over everything the
+	// analyzed dependencies exported.
+	if len(edges) > 0 {
+		g := &LockGraph{}
+		for e := range edges {
+			g.Edges = append(g.Edges, e)
+		}
+		sort.Slice(g.Edges, func(i, j int) bool {
+			if g.Edges[i].From != g.Edges[j].From {
+				return g.Edges[i].From < g.Edges[j].From
+			}
+			return g.Edges[i].To < g.Edges[j].To
+		})
+		pass.ExportPackageFact(g)
+	}
+	if scoped {
+		reportCycles(pass, edges)
+	}
+	return nil, nil
+}
+
+// reportHeldIO emits the one-per-(function, lock) held-across-I/O finding at
+// the acquisition site.
+func reportHeldIO(pass *analysis.Pass, scoped bool, reported map[string]bool, lock string, acq event, io string) {
+	if !scoped || reported[lock] {
+		return
+	}
+	reported[lock] = true
+	pass.Report(analysis.Diagnostic{
+		Pos:     acq.pos,
+		Message: fmt.Sprintf("lock %s held across I/O: %s", lock, io),
+	})
+}
+
+// ownEdge is a locally witnessed edge with its reporting position.
+type ownEdge struct {
+	pos   token.Pos
+	chain []string
+}
+
+// reportCycles unions the local edges with every dependency's LockGraph fact
+// and reports each local edge that closes a cycle.
+func reportCycles(pass *analysis.Pass, own map[Edge]ownEdge) {
+	succ := make(map[string][]string)
+	add := func(e Edge) {
+		succ[e.From] = append(succ[e.From], e.To)
+	}
+	for _, pf := range pass.AllPackageFacts() {
+		if g, ok := pf.Fact.(*LockGraph); ok {
+			for _, e := range g.Edges {
+				add(e)
+			}
+		}
+	}
+	ownEdges := make([]Edge, 0, len(own))
+	for e := range own {
+		add(e)
+		ownEdges = append(ownEdges, e)
+	}
+	sort.Slice(ownEdges, func(i, j int) bool { return own[ownEdges[i]].pos < own[ownEdges[j]].pos })
+	for _, succs := range succ {
+		sort.Strings(succs)
+	}
+
+	reported := make(map[Edge]bool)
+	for _, e := range ownEdges {
+		if reported[e] {
+			continue
+		}
+		// A cycle through e exists iff e.From is reachable from e.To.
+		path := findPath(succ, e.To, e.From)
+		if path == nil {
+			continue
+		}
+		reported[e] = true
+		cycle := append([]string{e.From}, path...)
+		pass.Report(analysis.Diagnostic{
+			Pos:     own[e].pos,
+			Message: fmt.Sprintf("lock order cycle: %s (this acquisition closes the cycle: %s)", strings.Join(cycle, " -> "), strings.Join(own[e].chain, " -> ")),
+		})
+	}
+}
+
+// findPath BFSes from start to goal, returning the node path including both
+// endpoints, or nil.
+func findPath(succ map[string][]string, start, goal string) []string {
+	prev := map[string]string{start: start}
+	queue := []string{start}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == goal {
+			var path []string
+			for at := goal; ; at = prev[at] {
+				path = append([]string{at}, path...)
+				if at == start {
+					return path
+				}
+			}
+		}
+		for _, m := range succ[n] {
+			if _, seen := prev[m]; !seen {
+				prev[m] = n
+				queue = append(queue, m)
+			}
+		}
+	}
+	return nil
+}
+
+// collectEvents flattens one function body into a position-ordered stream of
+// lock operations, I/O calls, and resolvable ordinary calls. Events on lines
+// waived for this analyzer are dropped, so a waived Lock() contributes
+// neither findings nor summary entries.
+func collectEvents(pass *analysis.Pass, fn *ast.FuncDecl, waived func(token.Pos) bool) []event {
+	var evs []event
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if waived(call.Pos()) {
+			return true
+		}
+		if lock, op, shared, ok := lockOp(pass, call); ok {
+			// A deferred Unlock pins the lock held to function end: drop the
+			// release. (A deferred Lock is nonsense; drop it too.)
+			if deferred[call] {
+				return true
+			}
+			evs = append(evs, event{pos: call.Pos(), kind: op, lock: lock, shared: shared})
+			return true
+		}
+		callee := callsum.StaticCallee(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		if desc, ok := ioFunc(callee); ok {
+			evs = append(evs, event{pos: call.Pos(), kind: evIO, desc: desc})
+			return true
+		}
+		evs = append(evs, event{pos: call.Pos(), kind: evCall, callee: callee})
+		return true
+	})
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	return evs
+}
+
+// lockOp classifies a call as a mutex operation and names the lock.
+func lockOp(pass *analysis.Pass, call *ast.CallExpr) (lock string, kind int, shared, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false, false
+	}
+	fn, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0, false, false
+	}
+	switch fn.Name() {
+	case "Lock":
+		kind = evAcquire
+	case "RLock":
+		kind, shared = evAcquire, true
+	case "Unlock":
+		kind = evRelease
+	case "RUnlock":
+		kind, shared = evRelease, true
+	default:
+		return "", 0, false, false // TryLock may fail; Wait/Signal are not ordering
+	}
+	return lockName(pass, sel.X), kind, shared, true
+}
+
+// lockName renders a stable identity for the mutex expression: the owning
+// type and field for struct-held mutexes ("sweepd.Coordinator.mu"), the
+// package-qualified name for globals, the bare name for locals.
+func lockName(pass *analysis.Pass, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var); ok {
+			if v.IsField() {
+				return ownerType(pass, x.X) + "." + v.Name()
+			}
+			return qualify(v)
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[x].(*types.Var); ok {
+			if v.IsField() { // embedded mutex accessed through the receiver
+				return qualify(v)
+			}
+			return qualify(v)
+		}
+	case *ast.IndexExpr:
+		return lockName(pass, x.X) + "[...]"
+	}
+	// Embedded mutexes promoted through a value: name the value's type.
+	return ownerType(pass, e)
+}
+
+// ownerType names the struct type an expression evaluates to.
+func ownerType(pass *analysis.Pass, e ast.Expr) string {
+	t := pass.TypesInfo.TypeOf(e)
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok {
+		name := named.Obj().Name()
+		if named.Obj().Pkg() != nil {
+			name = shortPkg(named.Obj().Pkg().Path()) + "." + name
+		}
+		return name
+	}
+	return "?"
+}
+
+// qualify names a non-field variable, package-qualified when package-level.
+func qualify(v *types.Var) string {
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return shortPkg(v.Pkg().Path()) + "." + v.Name()
+	}
+	return v.Name()
+}
+
+func shortPkg(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// ioNonBlocking lists, per I/O package, the pure helpers that never touch
+// the kernel and are fine to call under a lock.
+var ioNonBlocking = map[string]map[string]bool{
+	"os": {
+		"Getenv": true, "LookupEnv": true, "Environ": true, "Expand": true, "ExpandEnv": true,
+		"Getpid": true, "Getppid": true, "Getuid": true, "Geteuid": true, "Getgid": true,
+		"IsNotExist": true, "IsExist": true, "IsPermission": true, "IsTimeout": true,
+		"NewSyscallError": true, "TempDir": true,
+	},
+	"bufio": {
+		"NewReader": true, "NewReaderSize": true, "NewWriter": true, "NewWriterSize": true,
+		"NewScanner": true, "NewReadWriter": true, "ScanLines": true, "ScanWords": true,
+	},
+	"io": {
+		"LimitReader": true, "MultiReader": true, "MultiWriter": true, "NewSectionReader": true,
+		"NopCloser": true, "TeeReader": true, "Discard": true,
+	},
+	"net": {
+		"JoinHostPort": true, "SplitHostPort": true, "ParseIP": true, "ParseCIDR": true,
+		"IPv4": true, "CIDRMask": true, "ParseMAC": true,
+	},
+	"net/http": {
+		"NewRequest": true, "NewRequestWithContext": true, "NewServeMux": true,
+		"StatusText": true, "CanonicalHeaderKey": true, "DetectContentType": true,
+	},
+	"encoding/json": {
+		"Marshal": true, "MarshalIndent": true, "Unmarshal": true, "Valid": true,
+		"NewEncoder": true, "NewDecoder": true, "Compact": true, "Indent": true, "HTMLEscape": true,
+	},
+	"encoding/gob": {
+		"Register": true, "RegisterName": true, "NewEncoder": true, "NewDecoder": true,
+	},
+}
+
+// ioFunc classifies calls into the blocking-I/O packages. Methods count
+// (file writes, response writes, encoder flushes); the pure constructors and
+// formatters in ioNonBlocking do not.
+func ioFunc(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	switch pkg.Path() {
+	case "os", "net", "net/http", "bufio", "io", "io/ioutil", "encoding/json", "encoding/gob":
+		sig := fn.Type().(*types.Signature)
+		if sig.Recv() == nil && ioNonBlocking[pkg.Path()][fn.Name()] {
+			return "", false
+		}
+		name := shortPkg(pkg.Path()) + "." + fn.Name()
+		if sig.Recv() != nil {
+			name = fmt.Sprintf("(%s).%s", ownerTypeOf(sig.Recv().Type(), pkg), fn.Name())
+		}
+		return name, true
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "fmt":
+		// Writer-directed formatting blocks on the destination.
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln":
+			return "fmt." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// ownerTypeOf renders a receiver type as pkg.Type.
+func ownerTypeOf(t types.Type, pkg *types.Package) string {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok {
+		return shortPkg(pkg.Path()) + "." + named.Obj().Name()
+	}
+	return shortPkg(pkg.Path())
+}
+
+// matches mirrors the determinism analyzer's fragment matching.
+func matches(path, list string) bool {
+	for _, frag := range strings.Split(list, ",") {
+		frag = strings.TrimSpace(frag)
+		if frag == "" {
+			continue
+		}
+		if path == frag || strings.HasSuffix(path, "/"+frag) || strings.Contains(path, "/"+frag+"/") {
+			return true
+		}
+	}
+	return false
+}

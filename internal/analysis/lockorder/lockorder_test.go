@@ -1,0 +1,18 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"skipit/internal/analysis/antest"
+	"skipit/internal/analysis/lockorder"
+)
+
+// TestLockOrder covers the three rules over a two-package fixture: the
+// store package (out of scope) only exports Summary facts, and the sweepd
+// fixture's findings — including the held-across-I/O reached through
+// store.Put — must carry chains reconstructed from those facts.
+func TestLockOrder(t *testing.T) {
+	antest.Run(t, lockorder.Analyzer,
+		antest.Dir(t, "lockorder/internal/store"),
+		antest.Dir(t, "lockorder/internal/sweepd"))
+}

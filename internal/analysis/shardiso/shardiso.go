@@ -1,0 +1,451 @@
+// Package shardiso implements the PDES shard-isolation checker: it turns
+// the parallel simulator's by-convention state partitioning into a
+// machine-checked contract.
+//
+// The deterministic PDES path (internal/pdes + internal/sim's parallel
+// runtime) is only bit-identical to the serial schedule if each shard's
+// window step touches nothing but its own state, communicating with other
+// shards exclusively through TileLink messages staged for delivery at the
+// next barrier. The ownership annotations make that partitioning explicit:
+//
+//	//skipit:shard-owned <domain>
+//
+// on a struct type declaration marks every field of the struct as owned by
+// <domain> (a field's own //skipit:shard-owned comment overrides the type's
+// domain). The repository uses three domains: "core" (core + L1 + flush
+// engine state), "hub" (L2 + DRAM state), and the special domain "barrier"
+// for coordinator bookkeeping that shard code may READ (the coordinator
+// only writes it between windows) but never write.
+//
+//	//skipit:shard-step <domain>
+//
+// on a function or method declaration marks a shard entry point: everything
+// reachable from it (over the internal/analysis/callsum graph, across
+// package boundaries via Touches facts) must access only <domain>-owned
+// fields, plus reads of barrier-owned ones. Reaching a foreign shard's
+// state — or writing barrier state — is a finding, reported at the access
+// site (or at the call site through which the foreign access is reached,
+// with the witness chain down to the concrete field access).
+//
+// The TileLink port types are deliberately unannotated: staged sends are the
+// sanctioned cross-shard channel, so accesses through them register nothing.
+//
+// Ownership travels as Owned facts on field objects and per-function access
+// summaries travel as Touches facts, so a core shard that reaches hub state
+// through a helper three packages away is still caught. The usual callsum
+// soundness limits apply: accesses behind interface calls or function
+// values are invisible, which is why the runtime replay gate stays on.
+package shardiso
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"skipit/internal/analysis/callsum"
+	"skipit/internal/analysis/suppress"
+)
+
+// OwnDirective marks a struct type (or single field) as shard-owned.
+const OwnDirective = "//skipit:shard-owned"
+
+// StepDirective marks a shard entry point held to the isolation contract.
+const StepDirective = "//skipit:shard-step"
+
+// BarrierDomain is readable from any shard step but writable by none: the
+// coordinator mutates it only between windows.
+const BarrierDomain = "barrier"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "shardiso",
+	Doc: "prove //skipit:shard-step code touches only its own //skipit:shard-owned state (reads of barrier state allowed)\n\n" +
+		"Ownership and per-function access summaries travel as facts, so cross-package reaches are caught with witness chains.",
+	Requires:  []*analysis.Analyzer{callsum.Analyzer},
+	FactTypes: []analysis.Fact{new(Owned), new(Touches)},
+	Run:       run,
+}
+
+// chainMax bounds witness chains embedded in facts and diagnostics.
+const chainMax = 8
+
+// Owned is attached to a struct field object claimed by a shard domain.
+type Owned struct {
+	Domain string
+}
+
+// AFact marks Owned as an analysis fact.
+func (*Owned) AFact() {}
+
+func (o *Owned) String() string { return "owned(" + o.Domain + ")" }
+
+// Touches summarizes which owned state a function (transitively) accesses.
+// At most one Access per (Domain, Write) pair is kept — enough to decide
+// every violation, with the first (source-order) witness.
+type Touches struct {
+	Accs []Access
+}
+
+// Access is one reach into owned state. Chain is the witness path from the
+// summarized function down to the concrete field access.
+type Access struct {
+	Domain string
+	Write  bool
+	Chain  []string
+}
+
+// AFact marks Touches as an analysis fact.
+func (*Touches) AFact() {}
+
+func (t *Touches) String() string {
+	parts := make([]string, len(t.Accs))
+	for i, a := range t.Accs {
+		verb := "reads"
+		if a.Write {
+			verb = "writes"
+		}
+		parts[i] = verb + " " + a.Domain
+	}
+	return "touches(" + strings.Join(parts, ", ") + ")"
+}
+
+// accKey merges accesses: one witness per (domain, write) is sufficient.
+type accKey struct {
+	domain string
+	write  bool
+}
+
+// localAcc pairs an Access with the position it is reportable at in this
+// package: the field access itself, or the call site that reaches it.
+type localAcc struct {
+	Access
+	pos token.Pos
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	suppress.Apply(pass)
+	sums := pass.ResultOf[callsum.Analyzer].(*callsum.Summaries)
+	waived := suppress.CoveredLines(pass, pass.Analyzer.Name)
+
+	owned := collectOwned(pass)
+	domainOf := func(v *types.Var) string {
+		if d, ok := owned[v]; ok {
+			return d
+		}
+		var fact Owned
+		if pass.ImportObjectFact(v, &fact) {
+			return fact.Domain
+		}
+		return ""
+	}
+
+	// Seed each function's summary with its own field accesses.
+	touches := make(map[*callsum.FuncInfo]map[accKey]*localAcc)
+	for _, fi := range sums.Funcs {
+		if fi.TestFile || fi.Decl.Body == nil {
+			continue
+		}
+		m := make(map[accKey]*localAcc)
+		fieldAccesses(pass, fi.Decl, domainOf, func(pos token.Pos, domain string, write bool, desc string) {
+			if waived(pos) {
+				return
+			}
+			k := accKey{domain, write}
+			if m[k] == nil {
+				m[k] = &localAcc{Access: Access{Domain: domain, Write: write, Chain: []string{desc}}, pos: pos}
+			}
+		})
+		touches[fi] = m
+	}
+
+	calleeTouches := func(c callsum.Call) []Access {
+		if local, ok := sums.ByObj[c.Callee]; ok {
+			m := touches[local]
+			accs := make([]Access, 0, len(m))
+			for _, la := range m {
+				accs = append(accs, la.Access)
+			}
+			sortAccs(accs)
+			return accs
+		}
+		var fact Touches
+		if pass.ImportObjectFact(c.Callee, &fact) {
+			return fact.Accs
+		}
+		return nil
+	}
+
+	// Propagate bottom-up to a fixpoint: a caller inherits every (domain,
+	// write) pair its callees touch, witnessed through the call site.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range sums.Funcs {
+			m := touches[fi]
+			if m == nil {
+				continue
+			}
+			for _, c := range fi.Calls {
+				if waived(c.Pos) {
+					continue
+				}
+				for _, acc := range calleeTouches(c) {
+					k := accKey{acc.Domain, acc.Write}
+					if m[k] != nil {
+						continue
+					}
+					hop := fmt.Sprintf("%s (%s)", callsum.Name(c.Callee), callsum.ShortPos(pass.Fset, c.Pos))
+					m[k] = &localAcc{
+						Access: Access{Domain: acc.Domain, Write: acc.Write, Chain: callsum.TrimChain(append([]string{hop}, acc.Chain...), chainMax)},
+						pos:    c.Pos,
+					}
+					changed = true
+				}
+			}
+		}
+	}
+
+	for fi, m := range touches {
+		if len(m) == 0 {
+			continue
+		}
+		accs := make([]Access, 0, len(m))
+		for _, la := range m {
+			accs = append(accs, la.Access)
+		}
+		sortAccs(accs)
+		pass.ExportObjectFact(fi.Obj, &Touches{Accs: accs})
+	}
+
+	// Findings: each shard-step root may touch only its own domain, plus
+	// reads of barrier state.
+	for _, fi := range sums.Funcs {
+		domain, ok := stepDomain(pass, fi.Decl)
+		if !ok {
+			continue
+		}
+		accs := make([]*localAcc, 0, len(touches[fi]))
+		for _, la := range touches[fi] {
+			accs = append(accs, la)
+		}
+		sort.Slice(accs, func(i, j int) bool { return accs[i].pos < accs[j].pos })
+		for _, la := range accs {
+			switch {
+			case la.Domain == domain:
+			case la.Domain == BarrierDomain && !la.Write:
+			case la.Domain == BarrierDomain:
+				pass.Report(analysis.Diagnostic{
+					Pos: la.pos,
+					Message: fmt.Sprintf("%s shard step writes barrier-owned coordinator state (shards may only read it between-window values): %s",
+						domain, strings.Join(la.Chain, " -> ")),
+				})
+			default:
+				pass.Report(analysis.Diagnostic{
+					Pos: la.pos,
+					Message: fmt.Sprintf("%s shard step reaches %s-owned state (cross-shard traffic must use staged TileLink sends): %s",
+						domain, la.Domain, strings.Join(la.Chain, " -> ")),
+				})
+			}
+		}
+	}
+	return nil, nil
+}
+
+// sortAccs orders accesses for deterministic fact encoding.
+func sortAccs(accs []Access) {
+	sort.Slice(accs, func(i, j int) bool {
+		if accs[i].Domain != accs[j].Domain {
+			return accs[i].Domain < accs[j].Domain
+		}
+		return !accs[i].Write && accs[j].Write
+	})
+}
+
+// stepDomain parses the //skipit:shard-step directive off a declaration's
+// doc comment, reporting a malformed one.
+func stepDomain(pass *analysis.Pass, fn *ast.FuncDecl) (string, bool) {
+	d, pos, found := directive(fn.Doc, StepDirective)
+	if !found {
+		return "", false
+	}
+	if d == "" {
+		pass.Report(analysis.Diagnostic{
+			Pos:     pos,
+			Message: "skipit:shard-step directive needs a domain: //skipit:shard-step <domain>",
+		})
+		return "", false
+	}
+	return d, true
+}
+
+// directive scans a comment group for marker, returning its first argument.
+func directive(cg *ast.CommentGroup, marker string) (arg string, pos token.Pos, found bool) {
+	if cg == nil {
+		return "", token.NoPos, false
+	}
+	for _, c := range cg.List {
+		if c.Text != marker && !strings.HasPrefix(c.Text, marker+" ") {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(c.Text, marker))
+		if len(fields) > 0 {
+			arg = fields[0]
+		}
+		return arg, c.Pos(), true
+	}
+	return "", token.NoPos, false
+}
+
+// collectOwned parses every //skipit:shard-owned annotation in the package,
+// exporting an Owned fact per claimed field so other packages see the
+// ownership, and returns the local field->domain map.
+func collectOwned(pass *analysis.Pass) map[*types.Var]string {
+	owned := make(map[*types.Var]string)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				typeDomain, tdPos, tdFound := directive(ts.Doc, OwnDirective)
+				if !tdFound && len(gd.Specs) == 1 {
+					typeDomain, tdPos, tdFound = directive(gd.Doc, OwnDirective)
+				}
+				if tdFound && typeDomain == "" {
+					pass.Report(analysis.Diagnostic{
+						Pos:     tdPos,
+						Message: "skipit:shard-owned directive needs a domain: //skipit:shard-owned <domain>",
+					})
+					tdFound = false
+				}
+				st, isStruct := ts.Type.(*ast.StructType)
+				if !isStruct {
+					if tdFound {
+						pass.Report(analysis.Diagnostic{
+							Pos:     tdPos,
+							Message: "skipit:shard-owned applies to struct types only",
+						})
+					}
+					continue
+				}
+				for _, field := range st.Fields.List {
+					fieldDomain, fdPos, fdFound := directive(field.Doc, OwnDirective)
+					if !fdFound {
+						fieldDomain, fdPos, fdFound = directive(field.Comment, OwnDirective)
+					}
+					if fdFound && fieldDomain == "" {
+						pass.Report(analysis.Diagnostic{
+							Pos:     fdPos,
+							Message: "skipit:shard-owned directive needs a domain: //skipit:shard-owned <domain>",
+						})
+						fdFound = false
+					}
+					domain := typeDomain
+					if fdFound {
+						domain = fieldDomain
+					} else if !tdFound {
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+							owned[v] = domain
+							pass.ExportObjectFact(v, &Owned{Domain: domain})
+						}
+					}
+					// Embedded fields have no names; the implicit field
+					// object is not separately claimable, which is fine: the
+					// embedded type's own annotation covers its fields.
+				}
+			}
+		}
+	}
+	return owned
+}
+
+// fieldAccesses walks one function body and emits every access to an owned
+// field, classified as read or write.
+func fieldAccesses(pass *analysis.Pass, fn *ast.FuncDecl, domainOf func(*types.Var) string, emit func(token.Pos, string, bool, string)) {
+	// First pass: mark selector expressions that appear in write position —
+	// assignment targets, ++/--, and address-takes (a retained pointer can
+	// be written through later, so &x.f counts as a write of f).
+	writes := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				markWriteTarget(lhs, writes)
+			}
+		case *ast.IncDecStmt:
+			markWriteTarget(n.X, writes)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				markWriteTarget(n.X, writes)
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if !ok || !v.IsField() {
+			return true
+		}
+		domain := domainOf(v)
+		if domain == "" {
+			return true
+		}
+		write := writes[sel]
+		verb := "read of"
+		if write {
+			verb = "write to"
+		}
+		desc := fmt.Sprintf("%s %s at %s", verb, fieldRef(pass, sel, v), callsum.ShortPos(pass.Fset, sel.Pos()))
+		emit(sel.Pos(), domain, write, desc)
+		return true
+	})
+}
+
+// markWriteTarget finds the selector being mutated by an lvalue expression:
+// c.sys.tick = x writes field tick (the outer selector); c.lines[i] = x
+// mutates storage reached through field lines.
+func markWriteTarget(e ast.Expr, writes map[*ast.SelectorExpr]bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			writes[x] = true
+			return
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+// fieldRef renders an owned-field access as "Type.field".
+func fieldRef(pass *analysis.Pass, sel *ast.SelectorExpr, v *types.Var) string {
+	t := pass.TypesInfo.TypeOf(sel.X)
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name() + "." + v.Name()
+	}
+	return v.Name()
+}

@@ -1,0 +1,22 @@
+package shardiso_test
+
+import (
+	"testing"
+
+	"skipit/internal/analysis/antest"
+	"skipit/internal/analysis/shardiso"
+)
+
+// TestShardIso runs the analyzer over a miniature of the real parallel
+// runtime: core- and hub-owned component packages, barrier bookkeeping, an
+// unannotated staging port, and shard-step roots. The core step contains a
+// deliberately planted cross-shard mutation reached through a helper — the
+// finding must carry the witness chain down to the field write in the l2
+// fixture package, proving Owned and Touches facts cross package
+// boundaries.
+func TestShardIso(t *testing.T) {
+	antest.Run(t, shardiso.Analyzer,
+		antest.Dir(t, "shardiso/internal/l1"),
+		antest.Dir(t, "shardiso/internal/l2"),
+		antest.Dir(t, "shardiso/internal/sim"))
+}

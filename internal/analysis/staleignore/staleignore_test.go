@@ -1,0 +1,17 @@
+package staleignore_test
+
+import (
+	"testing"
+
+	"skipit/internal/analysis/antest"
+	"skipit/internal/analysis/staleignore"
+)
+
+// TestStaleIgnore runs the analyzer (which pulls the entire suite in
+// through its Requires list) over a fixture holding one live waiver, one
+// dead one, and one misspelled analyzer name. The live waiver must stay
+// silent, the dead one must be reported, and the typo must surface both the
+// unknown-name finding and the un-suppressed underlying diagnostic.
+func TestStaleIgnore(t *testing.T) {
+	antest.Run(t, staleignore.Analyzer, antest.Dir(t, "staleignore/internal/sim"))
+}

@@ -21,6 +21,7 @@ import (
 	"go/ast"
 	"go/token"
 	"strings"
+	"sync"
 
 	"golang.org/x/tools/go/analysis"
 )
@@ -29,13 +30,58 @@ import (
 // comment with no space after the slashes.
 const Prefix = "//skipit:ignore"
 
-// directive is one parsed //skipit:ignore comment.
-type directive struct {
-	pos      token.Pos // position of the comment
-	analyzer string    // analyzer it names ("" if absent)
-	reason   string    // justification ("" if absent)
-	line     int       // line the directive appears on
-	trailing bool      // shares its line with code (suppresses that line)
+// Directive is one parsed //skipit:ignore comment.
+type Directive struct {
+	Pos      token.Pos // position of the comment
+	Analyzer string    // analyzer it names ("" if absent)
+	Reason   string    // justification ("" if absent)
+	File     string    // file the directive appears in
+	Line     int       // line the directive appears on
+	Trailing bool      // shares its line with code (suppresses that line)
+}
+
+// Target returns the source line the directive covers: its own line when
+// trailing, the next line when standalone.
+func (d Directive) Target() int {
+	if d.Trailing {
+		return d.Line
+	}
+	return d.Line + 1
+}
+
+// usage records, process-wide, which directives actually suppressed a
+// diagnostic. The staleignore analyzer reads it after the rest of the suite
+// has run over a package — a well-formed directive whose (file, target line,
+// analyzer) key was never hit is a dead waiver. The map is keyed by file
+// path, so runs over distinct packages never collide; test-variant packages
+// share their base package's files and simply mark the same keys again.
+// Guarded by a mutex because unitchecker runs analyzers concurrently.
+var usage struct {
+	sync.Mutex
+	hit map[usageKey]bool
+}
+
+type usageKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+func markUsed(file string, line int, analyzer string) {
+	usage.Lock()
+	if usage.hit == nil {
+		usage.hit = make(map[usageKey]bool)
+	}
+	usage.hit[usageKey{file, line, analyzer}] = true
+	usage.Unlock()
+}
+
+// Used reports whether a directive covering (file, line) for the named
+// analyzer suppressed at least one diagnostic in this process.
+func Used(file string, line int, analyzer string) bool {
+	usage.Lock()
+	defer usage.Unlock()
+	return usage.hit[usageKey{file, line, analyzer}]
 }
 
 // Apply wraps pass.Report so that diagnostics on lines covered by a
@@ -43,25 +89,23 @@ type directive struct {
 // and reports directives naming this analyzer that are missing a reason.
 // Call it first in every analyzer's Run.
 func Apply(pass *analysis.Pass) {
-	dirs := collect(pass)
+	dirs := Collect(pass)
 
 	// A well-formed trailing directive covers its own line; a standalone
 	// directive covers the next line.
 	covered := make(map[int]bool)
 	for _, d := range dirs {
-		if d.analyzer != pass.Analyzer.Name || d.reason == "" {
+		if d.Analyzer != pass.Analyzer.Name || d.Reason == "" {
 			continue
 		}
-		if d.trailing {
-			covered[d.line] = true
-		} else {
-			covered[d.line+1] = true
-		}
+		covered[d.Target()] = true
 	}
 
 	orig := pass.Report
 	pass.Report = func(diag analysis.Diagnostic) {
-		if covered[pass.Fset.Position(diag.Pos).Line] {
+		posn := pass.Fset.Position(diag.Pos)
+		if covered[posn.Line] {
+			markUsed(posn.Filename, posn.Line, pass.Analyzer.Name)
 			return
 		}
 		orig(diag)
@@ -71,19 +115,47 @@ func Apply(pass *analysis.Pass) {
 	// own right (and do not suppress anything, so the original finding
 	// surfaces too).
 	for _, d := range dirs {
-		if d.analyzer != pass.Analyzer.Name || d.reason != "" {
+		if d.Analyzer != pass.Analyzer.Name || d.Reason != "" {
 			continue
 		}
 		pass.Report(analysis.Diagnostic{
-			Pos:     d.pos,
+			Pos:     d.Pos,
 			Message: "skipit:ignore directive needs a reason: //skipit:ignore " + pass.Analyzer.Name + " <why this site is exempt>",
 		})
 	}
 }
 
-// collect parses every skipit:ignore directive in the package's files.
-func collect(pass *analysis.Pass) []directive {
-	var out []directive
+// CoveredLines returns the source lines (per file) waived for the named
+// analyzer by well-formed directives. Interprocedural analyzers use it to
+// keep waived sites out of exported summaries: a site a human certified as
+// harmless must not taint every transitive caller. A directive that blocks
+// a summary entry this way has done real work, so it is recorded in the
+// usage tracker just like one that suppressed a diagnostic — staleignore
+// must not flag it.
+func CoveredLines(pass *analysis.Pass, analyzer string) func(token.Pos) bool {
+	type fl struct {
+		file string
+		line int
+	}
+	covered := make(map[fl]bool)
+	for _, d := range Collect(pass) {
+		if d.Analyzer == analyzer && d.Reason != "" {
+			covered[fl{d.File, d.Target()}] = true
+		}
+	}
+	return func(pos token.Pos) bool {
+		p := pass.Fset.Position(pos)
+		if !covered[fl{p.Filename, p.Line}] {
+			return false
+		}
+		markUsed(p.Filename, p.Line, analyzer)
+		return true
+	}
+}
+
+// Collect parses every skipit:ignore directive in the package's files.
+func Collect(pass *analysis.Pass) []Directive {
+	var out []Directive
 	for _, f := range pass.Files {
 		// Record, per line, the earliest offset of any code token so that a
 		// directive can be classified as trailing (code before it on the
@@ -109,19 +181,21 @@ func collect(pass *analysis.Pass) []directive {
 					continue
 				}
 				fields := strings.Fields(text)
-				d := directive{
-					pos:  c.Pos(),
-					line: pass.Fset.Position(c.Pos()).Line,
+				posn := pass.Fset.Position(c.Pos())
+				d := Directive{
+					Pos:  c.Pos(),
+					File: posn.Filename,
+					Line: posn.Line,
 				}
 				if len(fields) > 0 {
-					d.analyzer = fields[0]
+					d.Analyzer = fields[0]
 				}
 				if len(fields) > 1 {
-					d.reason = strings.Join(fields[1:], " ")
+					d.Reason = strings.Join(fields[1:], " ")
 				}
 				// The AST walk above sees the comment's own line as code-free
 				// unless a statement shares it, because comments were skipped.
-				d.trailing = codeOn[d.line]
+				d.Trailing = codeOn[d.Line]
 				out = append(out, d)
 			}
 		}

@@ -1,0 +1,19 @@
+// Package hot is the detflow fixture's hotpath tier: the package is outside
+// the simulator scope, so only the //skipit:hotpath function is held to the
+// no-taint rule — cold code may call tainted helpers freely.
+package hot
+
+import "skipit/internal/analysis/testdata/src/detflow/internal/svc"
+
+// tick is the per-cycle fold.
+//
+//skipit:hotpath
+func tick() int {
+	return svc.Jitter() // want `call into nondeterministic code from hot path tick: svc\.Jitter -> rand\.Intn at svc\.go:\d+`
+}
+
+// cold is neither hot nor simulator code: it becomes tainted, but calling
+// into taint from here is not a finding.
+func cold() int64 {
+	return svc.Stamp()
+}

@@ -1,0 +1,42 @@
+// Package simflow is the detflow fixture's simulator tier. Its import path
+// ends in internal/sim, so every call into tainted code must produce a
+// finding whose witness chain was imported from the svc package's facts —
+// this package never sees svc's function bodies, only its exported facts.
+package simflow
+
+import "skipit/internal/analysis/testdata/src/detflow/internal/svc"
+
+// step calls across the package boundary into tainted functions.
+func step(m map[string]int) {
+	_ = svc.Stamp()  // want `call into nondeterministic code from a simulator package: svc\.Stamp -> svc\.clock \(svc\.go:\d+\) -> time\.Now at svc\.go:\d+`
+	_ = svc.Jitter() // want `svc\.Jitter -> rand\.Intn at svc\.go:\d+`
+	_ = svc.Keys(m)  // want `svc\.Keys -> order-sensitive map range at svc\.go:\d+`
+	svc.Spawn(nil)   // want `svc\.Spawn -> goroutine launch at svc\.go:\d+`
+	_ = svc.Sorted(m)
+	_ = svc.Seeded(7)
+	_ = svc.Waived() // ok: the source is waived at its site, so no fact crosses
+}
+
+// localRelay is tainted transitively through its own call into svc: the
+// call is a finding here, and the taint continues up to tick below.
+func localRelay() int64 {
+	return svc.Stamp() // want `svc\.Stamp -> svc\.clock`
+}
+
+// tick shows the intra-package hop: the chain now starts at localRelay and
+// still bottoms out at the time.Now line two packages away.
+func tick() int64 {
+	return localRelay() // want `sim\.localRelay -> svc\.Stamp \(sim\.go:\d+\) -> svc\.clock`
+}
+
+// audited demonstrates the detflow waiver: the call is certified, the
+// finding is suppressed, and audited itself does not become tainted.
+func audited() int64 {
+	return svc.Stamp() //skipit:ignore detflow fixture: timestamp feeds the run manifest, not simulated state
+}
+
+// indirect proves the waiver above stopped propagation: calling audited is
+// clean.
+func indirect() int64 {
+	return audited()
+}

@@ -1,0 +1,65 @@
+// Package svc is the detflow fixture's service tier. The package sits
+// outside the determinism analyzer's simulator scope, so the wall clocks and
+// global rand below are legal HERE — but every function that reaches one
+// earns a Tainted fact, and the sim/hot fixture packages prove the fact
+// (with its witness chain) survives the cross-package export/import round
+// trip through the driver's fact store.
+package svc
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// clock is the taint source at the bottom of the chains.
+func clock() int64 {
+	return time.Now().UnixNano()
+}
+
+// Stamp is tainted one hop above the source: its fact's chain names clock
+// and the time.Now line.
+func Stamp() int64 {
+	return clock()
+}
+
+// Jitter is tainted directly by the global rand.
+func Jitter() int {
+	return rand.Intn(16)
+}
+
+// Keys is tainted by an order-sensitive map range (outer append, no sort).
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Spawn is tainted by an unwaived goroutine launch.
+func Spawn(done chan<- struct{}) {
+	go func() { done <- struct{}{} }()
+}
+
+// Sorted folds the map in sorted key order: clean.
+func Sorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Seeded uses the approved explicit-seed idiom: clean.
+func Seeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(16)
+}
+
+// Waived reads the clock behind a determinism waiver: the human certified
+// the value never reaches simulated state, so no taint is recorded and
+// callers stay clean.
+func Waived() int64 {
+	return time.Now().UnixNano() //skipit:ignore determinism fixture: value feeds a log line, never simulated state
+}

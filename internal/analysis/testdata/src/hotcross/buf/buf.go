@@ -1,0 +1,35 @@
+// Package buf is the hotalloc interprocedural fixture's helper package: no
+// //skipit:hotpath directives, so nothing is reported here — but Grow and
+// Fill export Allocates facts that the engine package's pass imports.
+package buf
+
+// Grow holds the concrete allocation site at the bottom of the chains.
+func Grow(b []byte, n int) []byte {
+	return append(b, make([]byte, n)...)
+}
+
+// Fill allocates one hop up: its chain names Grow and the append line.
+func Fill(n int) []byte {
+	return Grow(nil, n)
+}
+
+// Reset is clean: no allocation, no fact.
+func Reset(b []byte) []byte {
+	return b[:0]
+}
+
+// Miss allocates behind a waiver: a certified cold path earns no fact, so
+// hot callers stay clean.
+func Miss(n int) []byte {
+	//skipit:ignore hotalloc fixture: cold pool-miss path, measured off the per-cycle loop
+	return make([]byte, n)
+}
+
+// Hot is an audited hot helper: hotpath functions are barriers in the
+// propagation, so callers of Hot never inherit an Allocates fact — its own
+// body is checked site-by-site instead.
+//
+//skipit:hotpath
+func Hot(b []byte) []byte {
+	return b[:0]
+}

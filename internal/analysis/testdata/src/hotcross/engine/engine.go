@@ -1,0 +1,35 @@
+// Package engine is the hotalloc interprocedural fixture's hot tier: its
+// hotpath functions call across the package boundary into buf, and every
+// finding carries the witness chain imported from buf's Allocates facts —
+// this pass never sees buf's bodies.
+package engine
+
+import "skipit/internal/analysis/testdata/src/hotcross/buf"
+
+// relay is a local non-hot wrapper: it inherits buf.Fill's fact, extending
+// the chain across two package boundaries by the time step calls it.
+func relay(n int) []byte {
+	return buf.Fill(n)
+}
+
+// wrap calls only the audited hot helper, which is a barrier: no fact.
+func wrap(b []byte) []byte {
+	return buf.Hot(b)
+}
+
+//skipit:hotpath
+func step(b []byte, n int) []byte {
+	b = buf.Grow(b, n) // want `hot path step calls allocating function: buf\.Grow -> append may grow and allocate .* at buf\.go:\d+`
+	_ = buf.Fill(n)    // want `buf\.Fill -> buf\.Grow \(buf\.go:\d+\) -> append may grow`
+	_ = relay(n)       // want `engine\.relay -> buf\.Fill \(engine\.go:\d+\) -> buf\.Grow`
+	b = buf.Reset(b)
+	_ = buf.Miss(n) // ok: waived at its site, so no fact crosses
+	b = buf.Hot(b)  // ok: audited hot helper is a barrier
+	_ = wrap(b)     // ok: wrap only reaches the barrier
+	return b
+}
+
+//skipit:hotpath
+func warmup(n int) []byte {
+	return buf.Fill(n) //skipit:ignore hotalloc fixture: one-time warmup fill before the measured loop
+}

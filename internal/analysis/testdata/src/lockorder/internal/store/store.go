@@ -1,0 +1,24 @@
+// Package storefix is the lockorder fixture's helper package. It sits
+// outside the analyzer's scope, so holding its own lock across the file
+// write is not reported here — but Put's Summary fact (acquires Store.mu,
+// performs I/O) crosses the package boundary into the sweepd fixture.
+package storefix
+
+import (
+	"os"
+	"sync"
+)
+
+// Store persists key/value pairs.
+type Store struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// Put appends one pair under the store lock.
+func (s *Store) Put(k, v string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.f.WriteString(k + "=" + v + "\n")
+	return err
+}

@@ -1,0 +1,83 @@
+// Package coordfix is the lockorder fixture's scoped package (its import
+// path ends in internal/sweepd): self-deadlocks, locks held across direct
+// and cross-package I/O, an AB/BA ordering cycle, a documented waiver, and
+// the clean copy-then-write pattern.
+package coordfix
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	store "skipit/internal/analysis/testdata/src/lockorder/internal/store"
+)
+
+// Coordinator mirrors the real sweep coordinator's shape.
+type Coordinator struct {
+	mu sync.Mutex
+	n  int
+	st *store.Store
+}
+
+// Broken reacquires its own non-reentrant lock.
+func (c *Coordinator) Broken() {
+	c.mu.Lock()
+	c.mu.Lock() // want `lock sweepd\.Coordinator\.mu reacquired while already held \(self-deadlock; acquired at coord\.go:\d+\)`
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// Flush holds the lock across a direct file sync; the deferred Unlock pins
+// it held to the end, and the finding lands on the Lock line.
+func (c *Coordinator) Flush(f *os.File) {
+	c.mu.Lock() // want `lock sweepd\.Coordinator\.mu held across I/O: \(os\.File\)\.Sync at coord\.go:\d+`
+	defer c.mu.Unlock()
+	c.n++
+	_ = f.Sync()
+}
+
+// Persist reaches the I/O through the store package: the witness chain is
+// reconstructed from Put's imported Summary fact.
+func (c *Coordinator) Persist(k, v string) {
+	c.mu.Lock() // want `lock sweepd\.Coordinator\.mu held across I/O: \(store\.Store\)\.Put \(coord\.go:\d+\) -> \(os\.File\)\.WriteString at store\.go:\d+`
+	defer c.mu.Unlock()
+	_ = c.st.Put(k, v)
+}
+
+var stateMu sync.Mutex
+var logMu sync.Mutex
+
+// lockBoth and lockBothReversed disagree about acquisition order: each
+// closing acquisition is reported with the full cycle.
+func lockBoth() {
+	stateMu.Lock()
+	logMu.Lock() // want `lock order cycle: sweepd\.stateMu -> sweepd\.logMu -> sweepd\.stateMu`
+	logMu.Unlock()
+	stateMu.Unlock()
+}
+
+func lockBothReversed() {
+	logMu.Lock()
+	stateMu.Lock() // want `lock order cycle: sweepd\.logMu -> sweepd\.stateMu -> sweepd\.logMu`
+	stateMu.Unlock()
+	logMu.Unlock()
+}
+
+// Commit holds the lock across the store write BY DESIGN — the WAL rule
+// says the store commit must happen under the coordinator lock — so the
+// acquisition carries a documented waiver and reports nothing.
+func (c *Coordinator) Commit(k, v string) {
+	c.mu.Lock() //skipit:ignore lockorder fixture: WAL ordering requires the store commit under the coordinator lock
+	defer c.mu.Unlock()
+	_ = c.st.Put(k, v)
+}
+
+// Snapshot copies the state under the lock and writes after releasing it:
+// the clean pattern, no finding.
+func (c *Coordinator) Snapshot(f *os.File) error {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	_, err := fmt.Fprintln(f, n)
+	return err
+}

@@ -1,0 +1,28 @@
+// Package l1fix is the shardiso fixture's core-domain component: its cache
+// type is claimed for the core shard, so every method here exports a
+// Touches fact naming the core domain.
+package l1fix
+
+// DCache is core-shard state.
+//
+//skipit:shard-owned core
+type DCache struct {
+	lines []uint64
+	hits  int
+}
+
+// Lookup reads and (on a hit) writes core state.
+func (c *DCache) Lookup(addr uint64) bool {
+	for _, l := range c.lines {
+		if l == addr {
+			c.hits++
+			return true
+		}
+	}
+	return false
+}
+
+// Insert writes core state.
+func (c *DCache) Insert(addr uint64) {
+	c.lines = append(c.lines, addr)
+}

@@ -1,0 +1,28 @@
+// Package l2fix is the shardiso fixture's hub-domain component: its cache
+// type is claimed for the hub shard. Core-shard code reaching these methods
+// must be reported with a witness chain ending at the field access below.
+package l2fix
+
+// HubCache is hub-shard state.
+//
+//skipit:shard-owned hub
+type HubCache struct {
+	tags   []uint64
+	misses int
+}
+
+// Probe reads hub state.
+func (c *HubCache) Probe(addr uint64) bool {
+	for _, t := range c.tags {
+		if t == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill writes hub state.
+func (c *HubCache) Fill(addr uint64) {
+	c.tags = append(c.tags, addr)
+	c.misses++
+}

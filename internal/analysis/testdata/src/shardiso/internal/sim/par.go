@@ -1,0 +1,98 @@
+// Package parfix is the shardiso fixture's parallel runtime, mirroring the
+// real internal/sim layout: a core shard (L1 + flush state), a hub shard
+// (L2 + DRAM), barrier bookkeeping, and an unannotated staging port as the
+// sanctioned cross-shard channel. The core shard's window step contains a
+// deliberately planted cross-shard mutation (reached through a local helper,
+// so the finding must carry the two-hop witness chain into the l2 package)
+// plus a barrier write; both must be detected, while the hub shard's step
+// and the waived drain stay clean.
+package parfix
+
+import (
+	l1 "skipit/internal/analysis/testdata/src/shardiso/internal/l1"
+	l2 "skipit/internal/analysis/testdata/src/shardiso/internal/l2"
+)
+
+// port is deliberately unannotated: the fixture's stand-in for a TileLink
+// staged channel, free for any shard to use.
+type port struct {
+	queued []uint64
+}
+
+func (p *port) stage(addr uint64) { p.queued = append(p.queued, addr) }
+
+// runtimeState is barrier bookkeeping, written by the coordinator between
+// windows; shard steps may read it but never write it.
+//
+//skipit:shard-owned barrier
+type runtimeState struct {
+	tickLast    uint64
+	fastForward bool
+}
+
+// coreShard owns the core-domain references.
+//
+//skipit:shard-owned core
+type coreShard struct {
+	dc  *l1.DCache
+	hub *l2.HubCache
+	out *port
+	sys *runtimeState
+}
+
+// hubShard owns the hub-domain references; dbg demonstrates a per-field
+// domain override inside an otherwise hub-owned struct.
+//
+//skipit:shard-owned hub
+type hubShard struct {
+	l2  *l2.HubCache
+	sys *runtimeState
+	dbg int //skipit:shard-owned core
+}
+
+// flushHub is the planted cross-shard mutation: core code reaching hub
+// state through a helper, two hops from the concrete field write.
+func (c *coreShard) flushHub() {
+	c.hub.Fill(7)
+}
+
+// RunWindow is the core shard's step.
+//
+//skipit:shard-step core
+func (c *coreShard) RunWindow(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		if !c.dc.Lookup(i) {
+			c.dc.Insert(i)
+			c.out.stage(i) // ok: staged send through the unannotated port
+		}
+	}
+	if c.sys.fastForward { // ok: shard steps may read barrier state
+		return
+	}
+	_ = c.hub.Probe(3)                  // want `core shard step reaches hub-owned state .*: \(l2\.HubCache\)\.Probe \(par\.go:\d+\) -> read of HubCache\.tags at l2\.go:\d+`
+	c.flushHub()                        // want `core shard step reaches hub-owned state \(cross-shard traffic must use staged TileLink sends\): \(sim\.coreShard\)\.flushHub \(par\.go:\d+\) -> \(l2\.HubCache\)\.Fill \(par\.go:\d+\) -> write to HubCache\.tags at l2\.go:\d+`
+	c.sys.tickLast = c.sys.tickLast + 1 // want `core shard step writes barrier-owned coordinator state \(shards may only read it between-window values\): write to runtimeState\.tickLast at par\.go:\d+`
+}
+
+// RunWindow is the hub shard's step: hub state plus barrier reads only —
+// except for the overridden dbg field, which is core-owned and therefore a
+// finding.
+//
+//skipit:shard-step hub
+func (h *hubShard) RunWindow(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		if !h.l2.Probe(i) {
+			h.l2.Fill(i)
+		}
+	}
+	_ = h.sys.fastForward
+	h.dbg++ // want `hub shard step reaches core-owned state .*: write to hubShard\.dbg at par\.go:\d+`
+}
+
+// Drain runs between windows on the coordinator's goroutine, so its barrier
+// write is certified by a waiver and must not be reported.
+//
+//skipit:shard-step core
+func (c *coreShard) Drain() {
+	c.sys.tickLast++ //skipit:ignore shardiso fixture: drain runs between windows on the coordinator goroutine
+}

@@ -1,0 +1,26 @@
+// Package stalefix is the staleignore fixture: its import path ends in
+// internal/sim, so the determinism analyzer is live here and its waivers can
+// be live or dead. The want comments use the block form because the // slot
+// on each line is taken by the directive under test.
+package stalefix
+
+import "time"
+
+// used carries a live waiver: the clock read on the line really would be a
+// determinism diagnostic, so the directive suppresses something and is not
+// stale.
+func used() int64 {
+	return time.Now().UnixNano() //skipit:ignore determinism fixture: value feeds a log line, never simulated state
+}
+
+// stale carries a dead waiver: nothing on the line triggers determinism
+// anymore (the clock read it once covered was refactored away).
+func stale(x int) int {
+	return x + 1 /* want `stale waiver: //skipit:ignore no longer suppresses any determinism diagnostic on this line` */ //skipit:ignore determinism fixture: covered a clock read that no longer exists
+}
+
+// typo names an analyzer that does not exist, so the clock read next to it
+// is NOT suppressed — both diagnostics must fire.
+func typo() int64 {
+	return time.Now().UnixNano() /* want `wall-clock read time\.Now` `skipit:ignore names unknown analyzer "determinsm"` */ //skipit:ignore determinsm fixture: misspelled analyzer name
+}

@@ -106,7 +106,10 @@ func newCoreCounters(reg *metrics.Registry, name string) coreCounters {
 	}
 }
 
-// Core drives one program through one L1 data cache.
+// Core drives one program through one L1 data cache. In parallel
+// simulation each Core belongs to its own shard together with that cache.
+//
+//skipit:shard-owned core
 type Core struct {
 	cfg Config
 	id  int
@@ -252,7 +255,7 @@ func (c *Core) takeInflight(id int) *entry {
 func (c *Core) newEntry() *entry {
 	n := len(c.freeEntries)
 	if n == 0 {
-		return &entry{}
+		return &entry{} //skipit:ignore hotalloc free-list miss allocates only during warmup; steady state recycles retired entries
 	}
 	e := c.freeEntries[n-1]
 	c.freeEntries[n-1] = nil
@@ -287,7 +290,7 @@ func (c *Core) dispatch(now int64) {
 			c.timings[c.pc].CompletedAt = now
 		}
 		c.timings[c.pc].DispatchedAt = now
-		c.rob = append(c.rob, e)
+		c.rob = append(c.rob, e) //skipit:ignore hotalloc ROB is capacity-bounded by cfg.ROBEntries; append reuses its backing after warmup
 		c.pc++
 	}
 }
@@ -448,7 +451,7 @@ func (c *Core) fire(now int64, e *entry) bool {
 	}
 	c.nextReqID++
 	e.reqID = req.ID
-	c.inflight = append(c.inflight, e)
+	c.inflight = append(c.inflight, e) //skipit:ignore hotalloc inflight is bounded by the ROB size; append reuses its backing after warmup
 	e.state = esIssued
 	if c.timings[e.instrIdx].IssuedAt < 0 {
 		c.timings[e.instrIdx].IssuedAt = now
@@ -593,7 +596,7 @@ func (c *Core) commit(now int64) {
 		c.rob = c.rob[:len(c.rob)-1]
 		// Retired entries are never referenced again (inflight only holds
 		// issued, not-yet-done entries); recycle the struct.
-		c.freeEntries = append(c.freeEntries, e)
+		c.freeEntries = append(c.freeEntries, e) //skipit:ignore hotalloc entry free list is bounded by the ROB size; append reuses its backing after warmup
 		if c.pc >= c.prog.Len() && len(c.rob) == 0 {
 			c.done = true
 			c.doneAt = now

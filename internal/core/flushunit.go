@@ -18,6 +18,11 @@ import (
 // RootReleaseAck messages to OnRootReleaseAck, and consults the conflict
 // predicates (LoadConflict, StoreConflict, VictimBlocked) when handling
 // subsequent requests to lines with writebacks in flight (§5.3, §5.4).
+//
+// In parallel simulation the unit lives inside its L1 and is core-shard
+// state.
+//
+//skipit:shard-owned core
 type FlushUnit struct {
 	cfg   Config
 	ports CachePorts
@@ -217,13 +222,13 @@ func (u *FlushUnit) Offer(now int64, addr uint64, clean bool, meta LineMeta) Off
 		isClean: clean,
 		txn:     u.cfg.Txns.Next(),
 	}
-	u.queue = append(u.queue, req)
+	u.queue = append(u.queue, req) //skipit:ignore hotalloc CBO queue is bounded by QueueDepth backpressure; append reuses its backing after warmup
 	u.counter++
 	u.ctr.enqueued.Inc()
 	u.rec.Record(now, trace.RecCboEnqueue, trace.CauseNone, req.txn, addr, uint64(len(u.queue)))
 	if u.tr != nil {
 		trace.EmitTxn(u.tr, now, u.name, "cbo-enqueue", req.txn, addr,
-			fmt.Sprintf("%s hit=%v dirty=%v depth=%d", req.kind(), req.isHit, req.isDirty, len(u.queue)))
+			fmt.Sprintf("%s hit=%v dirty=%v depth=%d", req.kind(), req.isHit, req.isDirty, len(u.queue))) //skipit:ignore hotalloc trace formatting runs only with a tracer attached; untraced runs never reach it
 	}
 	return OfferAccepted
 }
@@ -298,7 +303,7 @@ func (u *FlushUnit) Tick(now int64, probeRdy, wbRdy bool) {
 		u.rec.Record(now, trace.RecFSHRAlloc, trace.CauseNone, head.txn, head.addr, uint64(i))
 		if u.tr != nil {
 			trace.EmitTxn(u.tr, now, u.name, "fshr-alloc", head.txn, head.addr,
-				fmt.Sprintf("fshr=%d %s hit=%v dirty=%v", i, head.kind(), head.isHit, head.isDirty))
+				fmt.Sprintf("fshr=%d %s hit=%v dirty=%v", i, head.kind(), head.isHit, head.isDirty)) //skipit:ignore hotalloc trace formatting runs only with a tracer attached; untraced runs never reach it
 		}
 		// Give the freshly allocated FSHR its first state's work this
 		// cycle, mirroring hardware where allocation and the first

@@ -31,7 +31,7 @@ func (d *DCache) Submit(now int64, req Req) bool {
 		d.acceptedThisCycle = 0
 	}
 	d.acceptedThisCycle++
-	d.inQ = append(d.inQ, pendingReq{req: req, readyAt: now + 1})
+	d.inQ = append(d.inQ, pendingReq{req: req, readyAt: now + 1}) //skipit:ignore hotalloc inQ is bounded by the accept-width backpressure (CanAccept); append reuses its backing after warmup
 	return true
 }
 
@@ -43,9 +43,9 @@ func (d *DCache) PollResponses(now int64) []Resp {
 	kept := d.respQ[:0]
 	for _, r := range d.respQ {
 		if r.readyAt <= now {
-			out = append(out, r.resp)
+			out = append(out, r.resp) //skipit:ignore hotalloc scratch-buffer reuse; capacity persists across calls (see doc comment)
 		} else {
-			kept = append(kept, r)
+			kept = append(kept, r) //skipit:ignore hotalloc filter-in-place reslice of respQ; never exceeds the original backing array
 		}
 	}
 	d.respQ = kept
@@ -54,7 +54,7 @@ func (d *DCache) PollResponses(now int64) []Resp {
 }
 
 func (d *DCache) respond(at int64, r Resp) {
-	d.respQ = append(d.respQ, timedResp{resp: r, readyAt: at})
+	d.respQ = append(d.respQ, timedResp{resp: r, readyAt: at}) //skipit:ignore hotalloc respQ depth is bounded by outstanding requests (ROB-limited); append reuses its backing after warmup
 }
 
 // Tick advances the data cache one cycle: ingest TL-D and TL-B, run the
@@ -112,7 +112,7 @@ func (d *DCache) processRequests(now int64) {
 	kept := d.inQ[:0]
 	for _, p := range d.inQ {
 		if p.readyAt > now {
-			kept = append(kept, p)
+			kept = append(kept, p) //skipit:ignore hotalloc filter-in-place reslice of inQ; never exceeds the original backing array
 			continue
 		}
 		d.process(now, p.req)
@@ -348,7 +348,7 @@ func (d *DCache) missPath(now int64, req Req, lineAddr uint64) {
 			d.nack(now, req, d.ctr.nackMSHRFull)
 			return
 		}
-		m.rpq = append(m.rpq, req)
+		m.rpq = append(m.rpq, req) //skipit:ignore hotalloc replay queue is bounded by RPQDepth (checked above); append reuses its backing after warmup
 		// Plain stores are complete once buffered (§3.3); loads and
 		// AMOs respond at replay with their data.
 		if req.Kind == Store {

@@ -109,7 +109,7 @@ func (p *probeUnit) busy() bool { return p.state != pIdle || len(p.q) > 0 }
 func (d *DCache) probeRdy() bool { return !d.probe.busy() }
 
 func (d *DCache) enqueueProbe(msg tilelink.Msg) {
-	d.probe.q = append(d.probe.q, msg)
+	d.probe.q = append(d.probe.q, msg) //skipit:ignore hotalloc probe queue depth is bounded by outstanding L2 probes (one per MSHR); append reuses its backing
 }
 
 func (d *DCache) tickProbe(now int64) {

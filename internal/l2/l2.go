@@ -144,7 +144,11 @@ func newL2Counters(reg *metrics.Registry, name string) l2Counters {
 	}
 }
 
-// Cache is the inclusive LLC. Drive it once per cycle with Tick.
+// Cache is the inclusive LLC. Drive it once per cycle with Tick. In
+// parallel simulation it belongs to the hub shard; L1s reach it only through
+// the TileLink channels.
+//
+//skipit:shard-owned hub
 type Cache struct {
 	cfg   Config
 	lines [][]line // [set][way]

@@ -169,7 +169,7 @@ func (c *Cache) sinkC(now int64, cl int) {
 					}
 				}
 			}
-			c.listBuffer = append(c.listBuffer, buffered{msg: msg, client: cl, readyAt: now + int64(c.cfg.TagLatency), wbData: wbData})
+			c.listBuffer = append(c.listBuffer, buffered{msg: msg, client: cl, readyAt: now + int64(c.cfg.TagLatency), wbData: wbData}) //skipit:ignore hotalloc listBuffer is bounded by cfg.ListBufferDepth; append reuses its backing after warmup
 
 		default:
 			panic(fmt.Sprintf("l2: %v on channel C", msg.Op))
@@ -254,7 +254,7 @@ func (c *Cache) onRelease(now int64, cl int, msg tilelink.Msg) {
 		c.cfg.Pool.Put(msg.Data)
 	}
 	l.lastUsed = now
-	c.outD[cl] = append(c.outD[cl], tilelink.Msg{Op: tilelink.OpReleaseAck, Addr: msg.Addr, Txn: msg.Txn})
+	c.outD[cl] = append(c.outD[cl], tilelink.Msg{Op: tilelink.OpReleaseAck, Addr: msg.Addr, Txn: msg.Txn}) //skipit:ignore hotalloc per-client outD depth is bounded by outstanding transactions; append reuses its backing after warmup
 }
 
 // sinkA ingests Acquire requests, allocating an MSHR or buffering.
@@ -276,7 +276,7 @@ func (c *Cache) sinkA(now int64, cl int) {
 		}
 		c.ports[cl].A.Recv(now)
 		c.ctr.acquires.Inc()
-		c.listBuffer = append(c.listBuffer, buffered{msg: msg, client: cl, readyAt: now + int64(c.cfg.TagLatency)})
+		c.listBuffer = append(c.listBuffer, buffered{msg: msg, client: cl, readyAt: now + int64(c.cfg.TagLatency)}) //skipit:ignore hotalloc listBuffer is bounded by listBufferLimit (checked above); append reuses its backing after warmup
 	}
 }
 
@@ -291,7 +291,7 @@ func (c *Cache) retryListBuffer(now int64) {
 	// its backing array persists on the Cache so the hot loop is
 	// allocation-free.
 	blocked := c.blockedScratch[:0]
-	isBlocked := func(addr uint64) bool {
+	isBlocked := func(addr uint64) bool { //skipit:ignore hotalloc non-escaping local closure; blocked backing persists on the Cache (see comment above)
 		for _, a := range blocked {
 			if a == addr {
 				return true
@@ -302,15 +302,15 @@ func (c *Cache) retryListBuffer(now int64) {
 	kept := c.listBuffer[:0]
 	for _, b := range c.listBuffer {
 		if b.readyAt > now || isBlocked(b.msg.Addr) || c.lineBusy(b.msg.Addr) {
-			blocked = append(blocked, b.msg.Addr)
-			kept = append(kept, b)
+			blocked = append(blocked, b.msg.Addr) //skipit:ignore hotalloc blocked reuses blockedScratch whose backing persists on the Cache
+			kept = append(kept, b)                //skipit:ignore hotalloc filter-in-place reslice of listBuffer; never exceeds the original backing array
 			continue
 		}
 		m := c.freeMSHR(now)
 		if m == nil {
 			c.ctr.mshrFullDefers.Inc()
-			blocked = append(blocked, b.msg.Addr)
-			kept = append(kept, b)
+			blocked = append(blocked, b.msg.Addr) //skipit:ignore hotalloc blocked reuses blockedScratch whose backing persists on the Cache
+			kept = append(kept, b)                //skipit:ignore hotalloc filter-in-place reslice of listBuffer; never exceeds the original backing array
 			continue
 		}
 		*m = mshr{state: msStart, addr: b.msg.Addr, client: b.client, since: now, txn: b.msg.Txn}
@@ -322,7 +322,8 @@ func (c *Cache) retryListBuffer(now int64) {
 			m.clean = b.msg.Op.IsRootReleaseClean()
 			m.wbData = b.wbData
 		}
-		blocked = append(blocked, b.msg.Addr) // serialize same-line entries
+		// Serialize same-line entries.
+		blocked = append(blocked, b.msg.Addr) //skipit:ignore hotalloc blocked reuses blockedScratch whose backing persists on the Cache
 	}
 	c.listBuffer = kept
 	c.blockedScratch = blocked
@@ -376,7 +377,7 @@ func (c *Cache) maybeFinish(m *mshr) {
 	if m.state != msFinish {
 		return
 	}
-	c.outD[m.client] = append(c.outD[m.client], tilelink.Msg{Op: tilelink.OpRootReleaseAck, Addr: m.addr, Txn: m.txn})
+	c.outD[m.client] = append(c.outD[m.client], tilelink.Msg{Op: tilelink.OpRootReleaseAck, Addr: m.addr, Txn: m.txn}) //skipit:ignore hotalloc per-client outD depth is bounded by outstanding transactions; append reuses its backing after warmup
 	*m = mshr{}
 }
 

@@ -119,7 +119,10 @@ func newMemCounters(reg *metrics.Registry, name string) memCounters {
 }
 
 // Memory is the DRAM controller plus backing store. The zero value is not
-// usable; construct with New.
+// usable; construct with New. In parallel simulation it belongs to the hub
+// shard, which is the only shard that ticks it.
+//
+//skipit:shard-owned hub
 type Memory struct {
 	cfg        Config
 	data       map[uint64][]byte // durable contents, line granular
@@ -209,7 +212,7 @@ func (m *Memory) Submit(now int64, req Request) bool {
 		}
 		m.ctr.writes.Inc()
 	}
-	m.inflight = append(m.inflight, pending{req: req, readyAt: now + int64(lat)})
+	m.inflight = append(m.inflight, pending{req: req, readyAt: now + int64(lat)}) //skipit:ignore hotalloc inflight depth is bounded by AcceptInterval backpressure; append reuses its backing after warmup
 	m.nextAccept = now + int64(m.cfg.AcceptInterval)
 	m.ctr.inflightDepth.Set(int64(len(m.inflight)))
 	return true
@@ -300,7 +303,7 @@ func (m *Memory) Stats() Stats {
 func (m *Memory) line(addr uint64) []byte {
 	l, ok := m.data[addr]
 	if !ok {
-		l = make([]byte, m.cfg.LineBytes)
+		l = make([]byte, m.cfg.LineBytes) //skipit:ignore hotalloc sparse backing store materializes a line on first touch; a resident working set is allocation-free
 		m.data[addr] = l
 	}
 	return l
@@ -312,7 +315,7 @@ func (m *Memory) line(addr uint64) []byte {
 // addr. Unwritten memory reads as zero.
 func (m *Memory) PeekLine(addr uint64) []byte {
 	base := addr &^ (m.cfg.LineBytes - 1)
-	line := make([]byte, m.cfg.LineBytes)
+	line := make([]byte, m.cfg.LineBytes) //skipit:ignore hotalloc PeekLine is a debug/chaos-recovery accessor; the unpoisoned steady-state path never calls it
 	copy(line, m.line(base))
 	return line
 }

@@ -103,7 +103,7 @@ func newHistogram(bounds []uint64) *Histogram {
 // Observe records one value.
 func (h *Histogram) Observe(v uint64) {
 	h.mu.Lock()
-	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v }) //skipit:ignore hotalloc sort.Search closure does not escape; the compiler keeps it on the stack
 	h.counts[i]++
 	h.count++
 	h.sum += v

@@ -63,6 +63,11 @@ type ShardPanic struct {
 // goroutine doubles as worker 0, so workers == 1 runs fully inline with no
 // goroutines at all (the -parallel=1 degenerate case used to pin
 // bit-identity without host concurrency).
+//
+// Engine state is coordinator-owned: shard code never touches it during a
+// window.
+//
+//skipit:shard-owned barrier
 type Engine struct {
 	shards    []Shard
 	workers   int

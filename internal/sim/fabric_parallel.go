@@ -26,6 +26,8 @@ import (
 
 // fabClientShard runs every attached FabricClient and the client sides of
 // all ports.
+//
+//skipit:shard-owned client
 type fabClientShard struct {
 	fab     *Fabric
 	views   []clientSide
@@ -67,6 +69,7 @@ func (sh *fabClientShard) tick(now int64) {
 // RunWindow implements pdes.Shard.
 //
 //skipit:hotpath
+//skipit:shard-step client
 func (sh *fabClientShard) RunWindow(from, to int64) {
 	ff := sh.fab.fastForward
 	for now := from; now < to; {
@@ -89,6 +92,8 @@ func (sh *fabClientShard) RunWindow(from, to int64) {
 }
 
 // fabHubShard runs the L2 and the DRAM controller plus the manager sides.
+//
+//skipit:shard-owned hub
 type fabHubShard struct {
 	fab     *Fabric
 	ports   []managerSide
@@ -130,6 +135,7 @@ func (sh *fabHubShard) tick(now int64) {
 // RunWindow implements pdes.Shard.
 //
 //skipit:hotpath
+//skipit:shard-step hub
 func (sh *fabHubShard) RunWindow(from, to int64) {
 	ff := sh.fab.fastForward
 	for now := from; now < to; {
@@ -142,11 +148,11 @@ func (sh *fabHubShard) RunWindow(from, to int64) {
 				now = next
 				continue
 			}
-			sh.tick(now)
+			sh.tick(now) //skipit:ignore hotalloc mem.Tick queue appends reuse steady-state capacity; journaling is an opt-in debug mode. CI alloc gate enforces zero steady-state allocs
 			now++
 			continue
 		}
-		sh.tick(now)
+		sh.tick(now) //skipit:ignore hotalloc mem.Tick queue appends reuse steady-state capacity; journaling is an opt-in debug mode. CI alloc gate enforces zero steady-state allocs
 		now++
 	}
 }

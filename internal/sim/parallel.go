@@ -68,6 +68,8 @@ type managerSide struct{ p *tilelink.ClientPort }
 func (m managerSide) NextEvent(last int64) int64 { return m.p.NextEventManager(last) }
 
 // coreShard is one core + L1 (+ flush unit) partition.
+//
+//skipit:shard-owned core
 type coreShard struct {
 	sys  *System
 	core *boom.Core
@@ -119,6 +121,7 @@ func (sh *coreShard) tick(now int64) {
 // [from, to), touching no state owned by another shard.
 //
 //skipit:hotpath
+//skipit:shard-step core
 func (sh *coreShard) RunWindow(from, to int64) {
 	ff := sh.sys.fastForward
 	tl := sh.sys.par.tickLast
@@ -149,6 +152,8 @@ func (sh *coreShard) RunWindow(from, to int64) {
 }
 
 // hubShard is the L2 + DRAM partition, owning the manager side of every port.
+//
+//skipit:shard-owned hub
 type hubShard struct {
 	sys   *System
 	mem   *mem.Memory
@@ -194,6 +199,7 @@ func (sh *hubShard) tick(now int64) {
 // RunWindow implements pdes.Shard.
 //
 //skipit:hotpath
+//skipit:shard-step hub
 func (sh *hubShard) RunWindow(from, to int64) {
 	ff := sh.sys.fastForward
 	tl := sh.sys.par.tickLast
@@ -210,17 +216,21 @@ func (sh *hubShard) RunWindow(from, to int64) {
 				now = next
 				continue
 			}
-			sh.tick(now)
+			sh.tick(now) //skipit:ignore hotalloc mem.Tick queue appends reuse steady-state capacity; journaling is an opt-in debug mode. CI alloc gate enforces zero steady-state allocs
 			now++
 			continue
 		}
-		sh.tick(now)
+		sh.tick(now) //skipit:ignore hotalloc mem.Tick queue appends reuse steady-state capacity; journaling is an opt-in debug mode. CI alloc gate enforces zero steady-state allocs
 		sh.lastAct = now
 		now++
 	}
 }
 
-// parRuntime is the parallel-stepping state hung off System.par.
+// parRuntime is the parallel-stepping state hung off System.par. It is
+// coordinator state: shard steps may read it (tickLast) but only the
+// single-threaded barrier code writes it.
+//
+//skipit:shard-owned barrier
 type parRuntime struct {
 	engine *pdes.Engine
 	hub    *hubShard

@@ -233,7 +233,7 @@ func (c *Coordinator) backoffFor(id string, attempt int) time.Duration {
 // Submit enqueues jobs (idempotent by ID), resolving store hits immediately
 // and applying overload policy. It is the client's entry point.
 func (c *Coordinator) Submit(req SubmitRequest) (SubmitResponse, error) {
-	c.mu.Lock()
+	c.mu.Lock() //skipit:ignore lockorder WAL ordering: state mutation and its journal append must be atomic under mu, or a crash between them loses the entry
 	defer c.mu.Unlock()
 	if c.closed {
 		return SubmitResponse{}, fmt.Errorf("sweepd: coordinator closed")
@@ -410,7 +410,7 @@ func (c *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
 // Lease hands the first runnable pending job (submission order, backoff
 // respected) to the worker under a fresh lease.
 func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
-	c.mu.Lock()
+	c.mu.Lock() //skipit:ignore lockorder WAL ordering: state mutation and its journal append must be atomic under mu, or a crash between them loses the entry
 	defer c.mu.Unlock()
 	now := c.cfg.Clock()
 	if w := c.workers[req.Worker]; w != nil {
@@ -505,7 +505,7 @@ func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error)
 //     identical content — a no-op by value.
 //   - stale lease + failure -> discarded; the retry already lives elsewhere.
 func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
-	c.mu.Lock()
+	c.mu.Lock() //skipit:ignore lockorder commit ordering: a job is marked done only after the durable store write succeeds, so both stay under mu
 	defer c.mu.Unlock()
 	now := c.cfg.Clock()
 	if w := c.workers[req.Worker]; w != nil {
@@ -580,7 +580,7 @@ func (c *Coordinator) reapLocked(now time.Time) error {
 // Reap is the public tick: lease expiry plus degradation policy. The serving
 // loop calls it periodically; tests call it directly with a fake clock.
 func (c *Coordinator) Reap() error {
-	c.mu.Lock()
+	c.mu.Lock() //skipit:ignore lockorder WAL ordering: state mutation and its journal append must be atomic under mu, or a crash between them loses the entry
 	defer c.mu.Unlock()
 	return c.reapLocked(c.cfg.Clock())
 }

@@ -99,7 +99,7 @@ func (l *Link) Send(now int64, m Msg) bool {
 	if !l.CanSend(now) {
 		return false
 	}
-	if err := m.Validate(l.LineBytes); err != nil {
+	if err := m.Validate(l.LineBytes); err != nil { //skipit:ignore hotalloc Validate builds errors only for illegal messages; the legal-trace path is allocation-free
 		panic(err)
 	}
 	var extra int64

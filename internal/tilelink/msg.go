@@ -84,7 +84,7 @@ func (o Opcode) String() string {
 	if s, ok := opcodeNames[o]; ok {
 		return s
 	}
-	return fmt.Sprintf("Opcode(%d)", uint8(o))
+	return fmt.Sprintf("Opcode(%d)", uint8(o)) //skipit:ignore hotalloc Sprintf fallback for unknown opcodes only; named opcodes return interned strings
 }
 
 // Chan returns the channel the opcode travels on.

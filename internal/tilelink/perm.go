@@ -60,7 +60,7 @@ func (g Grow) String() string {
 	case GrowBtoT:
 		return "BtoT"
 	}
-	return fmt.Sprintf("Grow(%d)", uint8(g))
+	return fmt.Sprintf("Grow(%d)", uint8(g)) //skipit:ignore hotalloc Sprintf fallback for unknown grow codes only; named codes return interned strings
 }
 
 // From returns the permission level the client must currently hold for the
